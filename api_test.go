@@ -1,0 +1,28 @@
+package unprotected_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"unprotected"
+)
+
+func TestPublicAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign")
+	}
+	cfg := unprotected.DefaultConfig(5)
+	if cfg == nil || cfg.Profile == nil {
+		t.Fatal("default config incomplete")
+	}
+	s := unprotected.RunStudy(cfg)
+	if s.Dataset == nil || len(s.Dataset.Faults) == 0 {
+		t.Fatal("study produced no dataset")
+	}
+	var buf bytes.Buffer
+	s.FullReport(&buf, unprotected.ReportOptions{})
+	if !strings.Contains(buf.String(), "independent memory faults") {
+		t.Fatal("report missing headline")
+	}
+}

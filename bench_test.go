@@ -1,0 +1,400 @@
+// Benchmarks regenerating every table and figure of the paper. One bench
+// per artifact (BenchmarkFig01..Fig13, BenchmarkTab1/Tab2) measures the
+// analysis that produces it over a shared full-scale campaign; the
+// Benchmark*Substrate group measures the hot building blocks (scanner
+// pass, extraction, ECC decode, strike sampling, campaign itself).
+//
+// Run: go test -bench=. -benchmem
+package unprotected_test
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"unprotected"
+	"unprotected/internal/analysis"
+	"unprotected/internal/checkpoint"
+	"unprotected/internal/cluster"
+	"unprotected/internal/dram"
+	"unprotected/internal/ecc"
+	"unprotected/internal/eventlog"
+	"unprotected/internal/extract"
+	"unprotected/internal/pageretire"
+	"unprotected/internal/quarantine"
+	"unprotected/internal/radiation"
+	"unprotected/internal/rng"
+	"unprotected/internal/scanner"
+	"unprotected/internal/solar"
+	"unprotected/internal/stats"
+	"unprotected/internal/timebase"
+)
+
+var (
+	benchOnce  sync.Once
+	benchStudy *unprotected.Study
+)
+
+// study runs the calibrated 13-month campaign once per bench binary.
+func study(b *testing.B) *unprotected.Study {
+	b.Helper()
+	benchOnce.Do(func() { benchStudy = unprotected.RunPaperStudy(42) })
+	return benchStudy
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := analysis.ComputeHeadline(s.Dataset)
+		if h.IndependentFaults == 0 {
+			b.Fatal("empty headline")
+		}
+	}
+}
+
+func BenchmarkFig01Hours(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if analysis.GridStats(analysis.HoursHeatmap(s.Dataset)).NonZero == 0 {
+			b.Fatal("empty grid")
+		}
+	}
+}
+
+func BenchmarkFig02TBh(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if analysis.GridStats(analysis.TBhHeatmap(s.Dataset)).NonZero == 0 {
+			b.Fatal("empty grid")
+		}
+	}
+}
+
+func BenchmarkFig03Errors(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if analysis.GridStats(analysis.ErrorsHeatmap(s.Dataset)).NonZero == 0 {
+			b.Fatal("empty grid")
+		}
+	}
+}
+
+func BenchmarkTab1MultiBit(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := analysis.MultiBitTable(s.Dataset)
+		if len(rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig04Simultaneity(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig := analysis.ComputeSimultaneityFigure(s.Dataset.Faults)
+		if fig.PerWord[1] == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkSimultaneity(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := extract.Simultaneity(extract.Groups(s.Dataset.Faults))
+		if st.FaultsInGroups == 0 {
+			b.Fatal("no simultaneity")
+		}
+	}
+}
+
+func BenchmarkFig05HourAll(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hod := analysis.ComputeHourOfDay(s.Dataset.Faults)
+		if analysis.DayNightRatio(hod.Total()) == 0 {
+			b.Fatal("empty histogram")
+		}
+	}
+}
+
+func BenchmarkFig06HourMulti(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hod := analysis.ComputeHourOfDay(s.Dataset.Faults)
+		if analysis.DayNightRatio(hod.MultiBit()) == 0 {
+			b.Fatal("empty histogram")
+		}
+	}
+}
+
+func BenchmarkFig07TempAll(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		temp := analysis.ComputeTemperature(s.Dataset.Faults)
+		if temp.Hists[1].Total() == 0 {
+			b.Fatal("empty temperature histogram")
+		}
+	}
+}
+
+func BenchmarkFig08TempMulti(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		temp := analysis.ComputeTemperature(s.Dataset.Faults)
+		if temp.CountAbove(60, 2, 6) != 0 {
+			b.Fatal("multi-bit errors above 60C")
+		}
+	}
+}
+
+func BenchmarkFig09ScannedDaily(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(analysis.DailyScanned(s.Dataset)) != timebase.StudyDays {
+			b.Fatal("wrong length")
+		}
+	}
+}
+
+func BenchmarkFig10ErrorsDaily(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		daily := analysis.DailyErrors(s.Dataset.Faults)
+		if stats.Sum(daily[0]) == 0 {
+			b.Fatal("no errors")
+		}
+	}
+}
+
+func BenchmarkFig11MultiDaily(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		daily := analysis.DailyErrors(s.Dataset.Faults)
+		var multi float64
+		for c := 2; c <= 6; c++ {
+			multi += stats.Sum(daily[c])
+		}
+		if multi == 0 {
+			b.Fatal("no multi-bit errors")
+		}
+	}
+}
+
+func BenchmarkPearsonDaily(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr, err := analysis.ScanErrorCorrelation(s.Dataset)
+		if err != nil || pr.N == 0 {
+			b.Fatal("correlation failed")
+		}
+	}
+}
+
+func BenchmarkFig12TopNodes(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		top, _ := analysis.TopNodes(s.Dataset, 3)
+		if len(top) != 3 {
+			b.Fatal("top nodes")
+		}
+	}
+}
+
+func BenchmarkFig13Regimes(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg := analysis.ComputeRegimes(s.Dataset)
+		if reg.DegradedDays == 0 {
+			b.Fatal("no degraded days")
+		}
+	}
+}
+
+func BenchmarkTab2Quarantine(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := quarantine.Sweep(s.Dataset.Faults, quarantine.PaperPeriods, s.ExcludedNodes()...)
+		if len(res) != len(quarantine.PaperPeriods) {
+			b.Fatal("sweep")
+		}
+	}
+}
+
+func BenchmarkIsolatedSDC(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sdc := analysis.ComputeIsolatedSDC(s.Dataset)
+		if len(sdc.Events) != 7 {
+			b.Fatalf("isolated events %d", len(sdc.Events))
+		}
+	}
+}
+
+func BenchmarkEccAudit(b *testing.B) {
+	s := study(b)
+	pairs := make([][2]uint32, 0, len(s.Dataset.Faults))
+	for _, f := range s.Dataset.Faults {
+		pairs = append(pairs, [2]uint32{f.Expected, f.Expected ^ f.Actual})
+	}
+	sec := ecc.SECDED32{C: ecc.NewSECDED3932()}
+	ck := ecc.NewChipkill()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ecc.RunAudit(sec, pairs).Total == 0 || ecc.RunAudit(ck, pairs).Total == 0 {
+			b.Fatal("audit")
+		}
+	}
+}
+
+func BenchmarkPageRetire(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := pageretire.Simulate(s.Dataset.Faults, pageretire.Policy{Threshold: 3})
+		if res.Errors == 0 {
+			b.Fatal("retire")
+		}
+	}
+}
+
+func BenchmarkCheckpointAdapt(b *testing.B) {
+	s := study(b)
+	reg := analysis.ComputeRegimes(s.Dataset)
+	var failureHours []float64
+	for _, f := range s.Dataset.FaultsExcluding(s.ExcludedNodes()...) {
+		failureHours = append(failureHours, float64(f.FirstAt)/3600)
+	}
+	const cost = 0.1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan := checkpoint.AdaptivePlan(reg.Degraded, cost, reg.MTBFNormalHours, reg.MTBFDegradedHours)
+		out := checkpoint.Replay(plan, failureHours, cost)
+		if out.Failures == 0 {
+			b.Fatal("no failures replayed")
+		}
+	}
+}
+
+func BenchmarkBurnInEscapes(b *testing.B) {
+	pop := dram.DefaultWeakPopulation()
+	screen := dram.DefaultBurnIn()
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dram.SimulateEscapes(pop, screen, 1000, r)
+	}
+}
+
+func BenchmarkFullReport(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.FullReport(io.Discard, unprotected.ReportOptions{Charts: true, Heatmaps: true})
+	}
+}
+
+// --- Substrate benchmarks ---
+
+func BenchmarkSubstrateCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st := unprotected.RunStudy(unprotected.DefaultConfig(uint64(i + 1)))
+		if len(st.Dataset.Faults) == 0 {
+			b.Fatal("empty campaign")
+		}
+	}
+}
+
+func BenchmarkSubstrateScannerPass(b *testing.B) {
+	host := cluster.NodeID{Blade: 1, SoC: 2}
+	dev := dram.NewDevice(uint64(host.Index()), 1<<20, nil) // 4 MiB
+	sink := func(eventlog.Record) {}
+	s := scanner.New(host, dev, scanner.FlipMode, sink, rng.New(1))
+	b.SetBytes(int64(dev.Len()) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(0, 1, nil)
+	}
+}
+
+func BenchmarkSubstrateExtraction(b *testing.B) {
+	// One million ERROR records through the streaming collapser.
+	recs := make([]eventlog.Record, 0, 1<<20)
+	host := cluster.NodeID{Blade: 2, SoC: 4}
+	r := rng.New(7)
+	at := timebase.T(0)
+	for len(recs) < cap(recs) {
+		at += timebase.T(r.IntN(20))
+		recs = append(recs, eventlog.Record{
+			Kind: eventlog.KindError, At: at, Host: host,
+			VAddr: dram.VirtAddr(dram.Addr(r.IntN(4096))), Expected: 0xFFFFFFFF,
+			Actual: 0xFFFFFFFE,
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := extract.NewCollapser()
+		for _, rec := range recs {
+			c.Observe(rec)
+		}
+		runs, raw := c.Close()
+		if raw != int64(len(recs)) || len(runs) == 0 {
+			b.Fatal("extraction")
+		}
+	}
+}
+
+func BenchmarkSubstrateSECDEDDecode(b *testing.B) {
+	c := ecc.NewSECDED3932()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Classify(uint64(i)&0xFFFFFFFF, uint64(i%37)) == ecc.OK && i%37 != 0 {
+			b.Fatal("impossible outcome")
+		}
+	}
+}
+
+func BenchmarkSubstrateChipkillDecode(b *testing.B) {
+	c := ecc.NewChipkill()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Classify32(uint32(i), uint32(i%4096))
+	}
+}
+
+func BenchmarkSubstrateStrikeSampling(b *testing.B) {
+	flux := radiation.NewFlux(solar.Barcelona)
+	gen := radiation.NewGenerator(flux, 0.001)
+	r := rng.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Window(0, timebase.T(30*86400), r)
+	}
+}
+
+func BenchmarkSubstrateSolarPosition(b *testing.B) {
+	at := timebase.Epoch
+	for i := 0; i < b.N; i++ {
+		solar.PositionAt(solar.Barcelona, at)
+	}
+}

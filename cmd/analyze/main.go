@@ -1,0 +1,99 @@
+// Command analyze runs the full study and regenerates every figure and
+// table of the paper.
+//
+// Usage:
+//
+//	analyze [-seed N] [-charts] [-heatmaps] [-csv DIR]
+//
+// Without flags it prints the numeric report (headlines, Table I, Table
+// II, per-figure statistics). -charts adds ASCII renderings of Figs 4–13,
+// -heatmaps the Figs 1–3 node maps, and -csv writes every figure's data as
+// CSV files for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"unprotected/internal/analysis"
+	"unprotected/internal/cluster"
+	"unprotected/internal/core"
+	"unprotected/internal/extract"
+	"unprotected/internal/logstore"
+	"unprotected/internal/quarantine"
+)
+
+// studyFromLogs rebuilds the analysis dataset from on-disk per-node log
+// files — the paper's actual workflow (§II-B kept one log file per node).
+func studyFromLogs(dir, controller string) (*core.Study, error) {
+	res, err := logstore.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	d := &analysis.Dataset{
+		Faults:        extract.Faults(res.Runs),
+		Sessions:      res.Sessions,
+		RawLogs:       res.RawLogs,
+		RawLogsByNode: make(map[cluster.NodeID]int64),
+		Topo:          cluster.PaperTopology(),
+	}
+	extract.SortFaults(d.Faults)
+	for _, run := range res.Runs {
+		d.RawLogsByNode[run.Node] += int64(run.Logs)
+	}
+	if controller != "" {
+		id, err := cluster.ParseNodeID(controller)
+		if err != nil {
+			return nil, fmt.Errorf("bad -controller: %w", err)
+		}
+		d.ControllerNode = id
+	}
+	return &core.Study{Dataset: d}, nil
+}
+
+func main() {
+	seed := flag.Uint64("seed", 42, "campaign RNG seed")
+	charts := flag.Bool("charts", false, "render ASCII charts for Figs 4-13")
+	heatmaps := flag.Bool("heatmaps", false, "render Figs 1-3 node heat maps")
+	csvDir := flag.String("csv", "", "write per-figure CSV files to this directory")
+	fromLogs := flag.String("from-logs", "", "analyze per-node log files from this directory instead of simulating")
+	controller := flag.String("controller", "02-04", "permanently failing node to exclude from MTBF analyses (with -from-logs)")
+	flag.Parse()
+
+	var study *core.Study
+	if *fromLogs != "" {
+		var err error
+		study, err = studyFromLogs(*fromLogs, *controller)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "analyze:", err)
+			os.Exit(1)
+		}
+	} else {
+		study = core.RunPaperStudy(*seed)
+	}
+	study.FullReport(os.Stdout, core.ReportOptions{Charts: *charts, Heatmaps: *heatmaps})
+
+	if *csvDir != "" {
+		rows := quarantineCSVRows(study)
+		if err := analysis.WriteCSVs(study.Dataset, rows, *csvDir); err != nil {
+			fmt.Fprintln(os.Stderr, "analyze:", err)
+			os.Exit(1)
+		}
+		fmt.Println("CSV files written to", *csvDir)
+	}
+}
+
+// quarantineCSVRows renders the Table II sweep for CSV export.
+func quarantineCSVRows(study *core.Study) [][]string {
+	var rows [][]string
+	for _, r := range quarantine.Sweep(study.Dataset.Faults, quarantine.PaperPeriods, study.ExcludedNodes()...) {
+		rows = append(rows, []string{
+			fmt.Sprint(int(r.Policy.Period.Hours() / 24)),
+			fmt.Sprint(r.Errors),
+			fmt.Sprintf("%.0f", r.NodeDaysQuarantined),
+			fmt.Sprintf("%.1f", r.MTBFHours),
+		})
+	}
+	return rows
+}

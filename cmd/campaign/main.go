@@ -1,0 +1,114 @@
+// Command campaign runs the full 13-month measurement campaign and writes
+// the resulting dataset.
+//
+// Usage:
+//
+//	campaign [-seed N] [-faults FILE] [-sessions FILE] [-logdir DIR]
+//
+// -faults writes every independent memory fault as a canonical ERROR log
+// line (the §II-C extracted view, ~58k lines); -sessions writes START/END
+// pairs for every scanner session; -logdir exports the prototype's
+// one-log-file-per-node layout, which `analyze -from-logs` consumes.
+// Without flags a summary is printed. The raw 25M-record stream is not
+// materialized — it is counted during simulation exactly as the analysis
+// requires (see DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"unprotected/internal/analysis"
+	"unprotected/internal/core"
+	"unprotected/internal/dram"
+	"unprotected/internal/eventlog"
+	"unprotected/internal/extract"
+	"unprotected/internal/logstore"
+)
+
+func vaddrOf(f extract.Fault) uint64 { return dram.VirtAddr(f.Addr) }
+
+func pageOf(f extract.Fault) uint64 { return dram.PhysPage(uint64(f.Node.Index()), f.Addr) }
+
+func main() {
+	seed := flag.Uint64("seed", 42, "campaign RNG seed")
+	faultsPath := flag.String("faults", "", "write independent faults as ERROR log lines")
+	sessionsPath := flag.String("sessions", "", "write sessions as START/END log lines")
+	logDir := flag.String("logdir", "", "write per-node log files (the prototype's on-disk layout)")
+	flag.Parse()
+
+	study := core.RunPaperStudy(*seed)
+	h := analysis.ComputeHeadline(study.Dataset)
+	fmt.Printf("campaign complete: %d raw logs, %d independent faults, %.0f node-hours, %.0f TBh\n",
+		h.RawLogs, h.IndependentFaults, float64(h.NodeHours), float64(h.TotalTBh))
+
+	if *faultsPath != "" {
+		if err := writeFaults(study, *faultsPath); err != nil {
+			fail(err)
+		}
+		fmt.Println("faults written to", *faultsPath)
+	}
+	if *sessionsPath != "" {
+		if err := writeSessions(study, *sessionsPath); err != nil {
+			fail(err)
+		}
+		fmt.Println("sessions written to", *sessionsPath)
+	}
+	if *logDir != "" {
+		if err := logstore.Export(study.Dataset.Sessions, study.Dataset.Faults, *logDir); err != nil {
+			fail(err)
+		}
+		fmt.Println("per-node logs written to", *logDir, "— analyze them with: analyze -from-logs", *logDir)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "campaign:", err)
+	os.Exit(1)
+}
+
+func writeFaults(study *core.Study, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := eventlog.NewWriter(f)
+	for _, fault := range study.Dataset.Faults {
+		rec := eventlog.Record{
+			Kind: eventlog.KindError, At: fault.FirstAt, Host: fault.Node,
+			VAddr: vaddrOf(fault), Actual: fault.Actual, Expected: fault.Expected,
+			TempC: fault.TempC, PhysPage: pageOf(fault),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+func writeSessions(study *core.Study, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := eventlog.NewWriter(f)
+	for _, s := range study.Dataset.Sessions {
+		if err := w.Write(eventlog.Record{
+			Kind: eventlog.KindStart, At: s.From, Host: s.Host, AllocBytes: s.AllocBytes,
+		}); err != nil {
+			return err
+		}
+		if s.Truncated {
+			continue // hard reboot: no END was ever logged
+		}
+		if err := w.Write(eventlog.Record{
+			Kind: eventlog.KindEnd, At: s.To, Host: s.Host,
+		}); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}

@@ -1,0 +1,50 @@
+// Package unprotected is a Go reproduction of "Unprotected Computing: A
+// Large-Scale Study of DRAM Raw Error Rate on a Supercomputer"
+// (Bautista-Gomez, Zyulkyarov, Unsal, McIntosh-Smith; SC'16).
+//
+// The paper monitored 923 ECC-less LPDDR nodes of the Mont-Blanc prototype
+// for 13 months with a software memory scanner, collected >25 million raw
+// error logs, distilled them into >55,000 independent DRAM faults and
+// analyzed their spatial, temporal and environmental structure. This
+// module implements the complete system: the scanner tool, the cluster /
+// scheduler / thermal / radiation substrates that replace the physical
+// machine (the hardware is simulated — see DESIGN.md for the substitution
+// argument), the §II-C extraction methodology, every §III analysis
+// (Figures 1–13, Tables I–II), the §IV resilience policies (quarantine,
+// page retirement, adaptive checkpointing) and real SECDED/chipkill codecs
+// for detectability classification.
+//
+// Quick start:
+//
+//	study := unprotected.RunPaperStudy(42)
+//	study.FullReport(os.Stdout, unprotected.ReportOptions{Charts: true})
+//
+// The public API re-exports the core types; the substrates live under
+// internal/ and are documented in DESIGN.md.
+package unprotected
+
+import (
+	"unprotected/internal/campaign"
+	"unprotected/internal/core"
+)
+
+// Study is one executed campaign with its analysis-ready dataset.
+type Study = core.Study
+
+// Config parameterizes a campaign (topology, scheduler calendar, fault
+// profile, RNG seed).
+type Config = campaign.Config
+
+// ReportOptions selects FullReport sections.
+type ReportOptions = core.ReportOptions
+
+// RunPaperStudy executes the full-scale calibrated study: 923 scanned
+// nodes, February 2015 – February 2016.
+func RunPaperStudy(seed uint64) *Study { return core.RunPaperStudy(seed) }
+
+// RunStudy executes a custom configuration.
+func RunStudy(cfg *Config) *Study { return core.RunStudy(cfg) }
+
+// DefaultConfig returns the calibrated paper-scale configuration, which
+// callers may modify before RunStudy.
+func DefaultConfig(seed uint64) *Config { return campaign.DefaultConfig(seed) }

@@ -1,0 +1,75 @@
+// Eccaudit answers the paper's central "what if" (§III-C, §III-D): had
+// the prototype carried ECC, which of the observed corruptions would have
+// been corrected, which would have crashed the node, and which would have
+// slipped through as silent data corruption? Real Hsiao SECDED (39,32)
+// and GF(16) chipkill codecs decode every observed corruption pattern.
+package main
+
+import (
+	"fmt"
+
+	"unprotected"
+	"unprotected/internal/ecc"
+)
+
+func main() {
+	fmt.Println("Running the 13-month study...")
+	study := unprotected.RunPaperStudy(42)
+
+	pairs := make([][2]uint32, 0, len(study.Dataset.Faults))
+	for _, f := range study.Dataset.Faults {
+		pairs = append(pairs, [2]uint32{f.Expected, f.Expected ^ f.Actual})
+	}
+
+	sec := ecc.RunAudit(ecc.SECDED32{C: ecc.NewSECDED3932()}, pairs)
+	ck := ecc.RunAudit(ecc.NewChipkill(), pairs)
+
+	fmt.Printf("\n%d observed corruptions decoded under both codes:\n\n", len(pairs))
+	fmt.Printf("%-22s %12s %12s\n", "", "SECDED(39,32)", "chipkill")
+	row := func(label string, s, c int) { fmt.Printf("%-22s %12d %12d\n", label, s, c) }
+	row("corrected", sec.ByOutcome[ecc.Corrected], ck.ByOutcome[ecc.Corrected])
+	row("detected (crash)", sec.ByOutcome[ecc.Detected], ck.ByOutcome[ecc.Detected])
+	row("miscorrected (SDC)", sec.ByOutcome[ecc.Miscorrected], ck.ByOutcome[ecc.Miscorrected])
+	row("undetected (SDC)", sec.ByOutcome[ecc.Undetected], ck.ByOutcome[ecc.Undetected])
+	row("total silent", sec.Silent(), ck.Silent())
+	row("total uncorrected", sec.Uncorrected(), ck.Uncorrected())
+
+	if cu := ck.Uncorrected(); cu > 0 {
+		fmt.Printf("\nuncorrected-error ratio SECDED/chipkill: %.1fx (related work [31] measured 42x in the field)\n",
+			float64(sec.Uncorrected())/float64(cu))
+	} else {
+		fmt.Println("\nchipkill left no uncorrected errors in this population")
+	}
+
+	fmt.Println("\nSilent corruptions by per-word bit count (SECDED):")
+	for bits := 3; bits <= 9; bits++ {
+		if n := sec.SilentByBits[bits]; n > 0 {
+			fmt.Printf("  %d-bit corruptions slipping through: %d\n", bits, n)
+		}
+	}
+	fmt.Println("\nThe >3-bit isolated events of §III-D are exactly the population that")
+	fmt.Println("SECDED miscorrects or passes — on nodes with no other errors at all,")
+	fmt.Println("so no counter-based health monitoring would have flagged them.")
+
+	deviceFailureComparison()
+}
+
+// deviceFailureComparison shows where chipkill's 42x field advantage comes
+// from: whole-device (x4 chip) failures corrupt 1-4 bits of one symbol,
+// which chipkill corrects by construction and SECDED mostly cannot.
+func deviceFailureComparison() {
+	var pairs [][2]uint32
+	for sym := 0; sym < 8; sym++ {
+		for pat := uint32(1); pat < 16; pat++ {
+			pairs = append(pairs, [2]uint32{0xFFFFFFFF, pat << (4 * sym)})
+			pairs = append(pairs, [2]uint32{0x00000000, pat << (4 * sym)})
+		}
+	}
+	sec := ecc.RunAudit(ecc.SECDED32{C: ecc.NewSECDED3932()}, pairs)
+	ck := ecc.RunAudit(ecc.NewChipkill(), pairs)
+	fmt.Printf("\nSynthetic x4 device-failure population (%d patterns):\n", len(pairs))
+	fmt.Printf("  SECDED corrected %d/%d, chipkill corrected %d/%d\n",
+		sec.ByOutcome[ecc.Corrected], sec.Total, ck.ByOutcome[ecc.Corrected], ck.Total)
+	fmt.Printf("  uncorrected: SECDED %d vs chipkill %d — the regime behind the 42x field gap\n",
+		sec.Uncorrected(), ck.Uncorrected())
+}

@@ -1,0 +1,105 @@
+// Futurework runs the two experiments the paper proposes in §VI:
+//
+//  1. Stress test: keep the overheating SoC-12 positions powered all year
+//     and monitor them and their neighbours — temperature-accelerated
+//     retention failures emerge exactly where the heat is.
+//  2. Component swap: move the degrading component of the worst node
+//     (02-04) into a healthy node mid-study — the error stream follows
+//     the component, nailing the root cause to hardware rather than the
+//     chassis position.
+//
+// It also quantifies the §III-H burn-in story: how many weak cells escape
+// a production screen and reach the field.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"unprotected/internal/campaign"
+	"unprotected/internal/cluster"
+	"unprotected/internal/dram"
+	"unprotected/internal/rng"
+	"unprotected/internal/timebase"
+)
+
+func main() {
+	stressTest()
+	swapExperiment()
+	burnInStory()
+}
+
+func stressTest() {
+	fmt.Println("== §VI stress test: SoC-12 powered all year ==")
+	res := campaign.Run(campaign.StressConfig(11))
+	hot, cold := 0, 0
+	over55 := 0
+	special := map[cluster.NodeID]bool{
+		{Blade: 2, SoC: 4}: true, {Blade: 4, SoC: 5}: true, {Blade: 58, SoC: 2}: true,
+	}
+	for _, f := range res.Faults {
+		switch {
+		case f.Node.SoC >= 11 && f.Node.SoC <= 13:
+			hot++
+			if f.HasTemp() && f.TempC > 55 {
+				over55++
+			}
+		case special[f.Node]:
+		default:
+			cold++
+		}
+	}
+	fmt.Printf("faults on hot positions (SoC 11-13): %d, of which %d logged above 55°C\n", hot, over55)
+	fmt.Printf("ambient faults elsewhere:            %d\n", cold)
+	fmt.Println("conclusion: with the heaters left on, §III-F's missing temperature")
+	fmt.Println("correlation appears — the paper's scanner simply never stressed the silicon.")
+	fmt.Println()
+}
+
+func swapExperiment() {
+	fmt.Println("== §VI component swap: faulty DIMM moves to a healthy node ==")
+	swapAt := timebase.FromTime(time.Date(2015, time.October, 15, 0, 0, 0, 0, time.UTC))
+	healthy := cluster.NodeID{Blade: 40, SoC: 6}
+	res := campaign.Run(campaign.SwapConfig(13, swapAt, healthy))
+	controller := cluster.NodeID{Blade: 2, SoC: 4}
+	var a0, a1, b0, b1 int
+	for _, f := range res.Faults {
+		switch f.Node {
+		case controller:
+			if f.FirstAt < swapAt {
+				a0++
+			} else {
+				a1++
+			}
+		case healthy:
+			if f.FirstAt < swapAt {
+				b0++
+			} else {
+				b1++
+			}
+		}
+	}
+	fmt.Printf("node %v (donor):     %6d faults before swap, %6d after\n", controller, a0, a1)
+	fmt.Printf("node %v (recipient): %6d faults before swap, %6d after\n", healthy, b0, b1)
+	fmt.Println("conclusion: the error stream follows the component — root cause is the")
+	fmt.Println("hardware itself, not the rack position or its environment.")
+	fmt.Println()
+}
+
+func burnInStory() {
+	fmt.Println("== §III-H: why weak bits reach the field despite burn-in ==")
+	r := rng.New(5)
+	pop := dram.DefaultWeakPopulation()
+	screen := dram.DefaultBurnIn()
+	fmt.Printf("burn-in acceleration at %.0f°C vs %.0f°C field: %.0fx\n",
+		screen.TempC, screen.FieldTempC, screen.Acceleration())
+	rate := dram.EscapeRate(pop, screen, 20000, r)
+	fmt.Printf("weak cells escaping a %.0fh screen: %.4f per device\n", screen.Hours, rate)
+	fmt.Printf("expected weak-bit nodes in a 923-node system: %.1f (the study found 2)\n",
+		rate*923)
+	longer := screen
+	longer.Hours = 168
+	fmt.Printf("with a week-long screen instead: %.4f per device (%.1f nodes)\n",
+		dram.EscapeRate(pop, longer, 20000, r),
+		dram.EscapeRate(pop, longer, 20000, r)*923)
+}

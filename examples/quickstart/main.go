@@ -1,0 +1,14 @@
+// Quickstart: run the full calibrated study and print the paper's headline
+// findings. This is the three-line entry point to the whole reproduction.
+package main
+
+import (
+	"os"
+
+	"unprotected"
+)
+
+func main() {
+	study := unprotected.RunPaperStudy(42)
+	study.FullReport(os.Stdout, unprotected.ReportOptions{})
+}

@@ -1,0 +1,153 @@
+// Package analysis computes every figure and table of the paper's §III
+// from a study dataset: heat maps of hours/TBh/errors per node (Figs 1–3),
+// the multi-bit corruption table (Table I), simultaneity (Fig 4 and
+// §III-C), hour-of-day and temperature distributions (Figs 5–8), daily
+// time series and their correlation (Figs 9–11, §III-G), spatial and
+// temporal correlation (Figs 12–13) and the headline statistics of
+// §III-B. It is deliberately independent of the campaign package: a
+// Dataset can come from the simulator, from parsed log files, or from a
+// test fixture.
+package analysis
+
+import (
+	"unprotected/internal/cluster"
+	"unprotected/internal/eventlog"
+	"unprotected/internal/extract"
+	"unprotected/internal/timebase"
+	"unprotected/internal/units"
+)
+
+// Dataset is the analysis input: independent faults (§II-C extraction
+// already applied, pathological node excluded) plus session accounting.
+type Dataset struct {
+	Faults   []extract.Fault
+	Sessions []eventlog.Session
+	// RawLogs counts every ERROR record, including the pathological node.
+	RawLogs       int64
+	RawLogsByNode map[cluster.NodeID]int64
+	Topo          *cluster.Topology
+
+	// ControllerNode (02-04) is excluded from MTBF/regime/quarantine
+	// analyses per §III-I; zero value disables the exclusion.
+	ControllerNode cluster.NodeID
+	// PathologicalNode produced ~98% of raw logs and no characterized
+	// faults.
+	PathologicalNode cluster.NodeID
+
+	byNode map[cluster.NodeID][]extract.Fault
+}
+
+// ByNode lazily indexes faults per node.
+func (d *Dataset) ByNode() map[cluster.NodeID][]extract.Fault {
+	if d.byNode == nil {
+		d.byNode = make(map[cluster.NodeID][]extract.Fault)
+		for _, f := range d.Faults {
+			d.byNode[f.Node] = append(d.byNode[f.Node], f)
+		}
+	}
+	return d.byNode
+}
+
+// FaultsExcluding returns faults not on the given nodes, preserving order.
+func (d *Dataset) FaultsExcluding(nodes ...cluster.NodeID) []extract.Fault {
+	skip := make(map[cluster.NodeID]bool, len(nodes))
+	for _, n := range nodes {
+		skip[n] = true
+	}
+	var out []extract.Fault
+	for _, f := range d.Faults {
+		if !skip[f.Node] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// MultiBitFaults returns the faults corrupting >1 bit of one word.
+func (d *Dataset) MultiBitFaults() []extract.Fault {
+	var out []extract.Fault
+	for _, f := range d.Faults {
+		if f.MultiBit() {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// BitClass buckets a per-word bit count into the paper's figure classes:
+// 1..5 individually, 6 and above together ("6+").
+func BitClass(bits int) int {
+	if bits >= 6 {
+		return 6
+	}
+	return bits
+}
+
+// BitClassLabels are the legend labels for the classes.
+var BitClassLabels = []string{"", "1-bit", "2-bit", "3-bit", "4-bit", "5-bit", "6+bit"}
+
+// Headline is §III-B's summary box.
+type Headline struct {
+	RawLogs            int64
+	TopNodeRawShare    float64 // fraction of raw logs from the worst node
+	TopRawNode         cluster.NodeID
+	IndependentFaults  int
+	MultiBitFaults     int
+	NodeHours          units.NodeHours
+	TotalTBh           units.TBh
+	NodesScanned       int
+	NodesWithFaults    int
+	ClusterMTBFMinutes float64 // study minutes per independent fault
+	NodeMTBFHours      float64 // monitored node-hours per independent fault
+	Ones2Zeros         int
+	Zeros2Ones         int
+}
+
+// ComputeHeadline aggregates the §III-B statistics.
+func ComputeHeadline(d *Dataset) Headline {
+	h := Headline{RawLogs: d.RawLogs, IndependentFaults: len(d.Faults)}
+	var maxRaw int64
+	for id, n := range d.RawLogsByNode {
+		if n > maxRaw {
+			maxRaw = n
+			h.TopRawNode = id
+		}
+	}
+	if d.RawLogs > 0 {
+		h.TopNodeRawShare = float64(maxRaw) / float64(d.RawLogs)
+	}
+	var hours float64
+	var tbh units.TBh
+	for _, s := range d.Sessions {
+		hours += s.Duration().Hours()
+		tbh += s.TBh()
+	}
+	h.NodeHours = units.NodeHours(hours)
+	h.TotalTBh = tbh
+	if d.Topo != nil {
+		h.NodesScanned = d.Topo.CountByRole()[cluster.Scanned]
+	}
+	h.NodesWithFaults = len(d.ByNode())
+	if n := len(d.Faults); n > 0 {
+		h.ClusterMTBFMinutes = float64(timebase.StudySeconds) / 60 / float64(n)
+		h.NodeMTBFHours = hours / float64(n)
+	}
+	for _, f := range d.Faults {
+		h.Ones2Zeros += f.Ones2Zeros.Count()
+		h.Zeros2Ones += f.Zeros2Ones.Count()
+		if f.MultiBit() {
+			h.MultiBitFaults++
+		}
+	}
+	return h
+}
+
+// Ones2ZerosFraction returns the fraction of corrupted bits that flipped
+// 1→0 (the paper: about 90%).
+func (h Headline) Ones2ZerosFraction() float64 {
+	total := h.Ones2Zeros + h.Zeros2Ones
+	if total == 0 {
+		return 0
+	}
+	return float64(h.Ones2Zeros) / float64(total)
+}

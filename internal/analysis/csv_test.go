@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSVs(t *testing.T) {
+	dir := t.TempDir()
+	d := fixture()
+	rows := [][]string{{"0", "10", "0", "2.1"}}
+	if err := WriteCSVs(d, rows, dir); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"fig1_hours.csv", "fig2_tbh.csv", "fig3_errors.csv",
+		"fig4_simultaneity.csv", "fig5_fig6_hour_of_day.csv",
+		"fig7_fig8_temperature.csv", "fig9_fig10_fig11_daily.csv",
+		"fig12_top_nodes.csv", "fig13_regimes.csv",
+		"table1_multibit.csv", "table2_quarantine.csv",
+	}
+	for _, name := range want {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) < 2 {
+			t.Fatalf("%s has no data rows", name)
+		}
+	}
+
+	// Spot-check content: fig13 has one degraded day (day 10).
+	data, _ := os.ReadFile(filepath.Join(dir, "fig13_regimes.csv"))
+	if !strings.Contains(string(data), "10,2015-02-11,degraded,5") {
+		t.Fatalf("fig13 content wrong:\n%s", firstLines(string(data), 12))
+	}
+	// Table I carries the fixture's double and quad.
+	data, _ = os.ReadFile(filepath.Join(dir, "table1_multibit.csv"))
+	if !strings.Contains(string(data), "0xffff7bff") {
+		t.Fatal("table1 missing the double-bit pattern")
+	}
+	// Table II passthrough.
+	data, _ = os.ReadFile(filepath.Join(dir, "table2_quarantine.csv"))
+	if !strings.Contains(string(data), "0,10,0,2.1") {
+		t.Fatal("table2 rows not written")
+	}
+}
+
+func TestWriteCSVsNilQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteCSVs(fixture(), nil, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "table2_quarantine.csv")); !os.IsNotExist(err) {
+		t.Fatal("table2 should be skipped without rows")
+	}
+}
+
+func TestWriteCSVsBadDir(t *testing.T) {
+	if err := WriteCSVs(fixture(), nil, "/dev/null/not-a-dir"); err == nil {
+		t.Fatal("impossible directory accepted")
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.Split(s, "\n")
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"unprotected/internal/extract"
+	"unprotected/internal/render"
+)
+
+// MultiBitRow is one line of Table I: a distinct (expected, corrupted)
+// word pattern with its occurrence count.
+type MultiBitRow struct {
+	Bits        int
+	Expected    uint32
+	Corrupted   uint32
+	Occurrences int
+	Consecutive bool
+}
+
+// MultiBitTable builds Table I from the dataset's multi-bit faults,
+// grouped by exact value pair, ordered like the paper (bit count, then
+// occurrences).
+func MultiBitTable(d *Dataset) []MultiBitRow {
+	type key struct{ e, a uint32 }
+	rows := make(map[key]*MultiBitRow)
+	for _, f := range d.MultiBitFaults() {
+		k := key{f.Expected, f.Actual}
+		r, ok := rows[k]
+		if !ok {
+			r = &MultiBitRow{
+				Bits:        f.BitCount(),
+				Expected:    f.Expected,
+				Corrupted:   f.Actual,
+				Consecutive: f.Bits.Consecutive(),
+			}
+			rows[k] = r
+		}
+		r.Occurrences++
+	}
+	out := make([]MultiBitRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bits != out[j].Bits {
+			return out[i].Bits < out[j].Bits
+		}
+		if out[i].Occurrences != out[j].Occurrences {
+			return out[i].Occurrences < out[j].Occurrences
+		}
+		return out[i].Corrupted < out[j].Corrupted
+	})
+	return out
+}
+
+// MultiBitStats aggregates §III-C's adjacency observations over Table I.
+type MultiBitStats struct {
+	TotalEvents     int // multi-bit faults (85 in the paper)
+	DoubleBitEvents int // 76 in the paper
+	OverTwoBits     int // 9 in the paper (undetectable by SECDED)
+	OverThreeBits   int // 7 in the paper (§III-D focus)
+	NonConsecutive  int // events whose corrupted bits are not contiguous
+	MeanGap         float64
+	MaxGap          int
+	MaxBits         int
+	LSBShare        float64 // fraction of corrupted bits in the low half-word
+}
+
+// ComputeMultiBitStats summarizes the multi-bit population.
+func ComputeMultiBitStats(faults []extract.Fault) MultiBitStats {
+	var st MultiBitStats
+	var gapSum float64
+	var gapN int
+	var lsb, bitsTotal int
+	for _, f := range faults {
+		bc := f.BitCount()
+		if bc < 2 {
+			continue
+		}
+		st.TotalEvents++
+		if bc == 2 {
+			st.DoubleBitEvents++
+		}
+		if bc > 2 {
+			st.OverTwoBits++
+		}
+		if bc > 3 {
+			st.OverThreeBits++
+		}
+		if !f.Bits.Consecutive() {
+			st.NonConsecutive++
+		}
+		if g := f.Bits.MaxGap(); g > st.MaxGap {
+			st.MaxGap = g
+		}
+		if bc > st.MaxBits {
+			st.MaxBits = bc
+		}
+		gapSum += f.Bits.MeanGap()
+		gapN++
+		for _, p := range f.Bits.Positions() {
+			bitsTotal++
+			if p < 16 {
+				lsb++
+			}
+		}
+	}
+	if gapN > 0 {
+		st.MeanGap = gapSum / float64(gapN)
+	}
+	if bitsTotal > 0 {
+		st.LSBShare = float64(lsb) / float64(bitsTotal)
+	}
+	return st
+}
+
+// RenderMultiBitTable renders Table I in the paper's column layout.
+func RenderMultiBitTable(rows []MultiBitRow) *render.Table {
+	t := &render.Table{
+		Title:   "Table I: multi-bit corruptions affecting the prototype",
+		Headers: []string{"Bits", "Expected", "Corrupted", "Occurrences", "Consecutive"},
+	}
+	for _, r := range rows {
+		cons := "No"
+		if r.Consecutive {
+			cons = "Yes"
+		}
+		t.AddRow(
+			fmt.Sprint(r.Bits),
+			fmt.Sprintf("0x%08x", r.Expected),
+			fmt.Sprintf("0x%08x", r.Corrupted),
+			fmt.Sprint(r.Occurrences),
+			cons,
+		)
+	}
+	return t
+}
+
+// SimultaneityFigure is Fig 4: error-event counts by bit multiplicity on
+// the per-word basis (standard multi-bit definition) and the per-node
+// basis (bits summed over a simultaneity group).
+type SimultaneityFigure struct {
+	PerWord [7]float64 // index BitClass
+	PerNode [7]float64
+}
+
+// ComputeSimultaneityFigure buckets faults and groups.
+func ComputeSimultaneityFigure(faults []extract.Fault) *SimultaneityFigure {
+	var fig SimultaneityFigure
+	for _, f := range faults {
+		fig.PerWord[BitClass(f.BitCount())]++
+	}
+	for _, g := range extract.Groups(faults) {
+		fig.PerNode[BitClass(g.TotalBits())]++
+	}
+	return &fig
+}
+
+// Chart renders Fig 4 on a log scale (counts span orders of magnitude).
+func (f *SimultaneityFigure) Chart() *render.BarChart {
+	chart := &render.BarChart{
+		Title: "Fig 4: simultaneous memory errors vs multi-bit errors",
+		LogY:  true,
+	}
+	for c := 1; c <= 6; c++ {
+		chart.XLabels = append(chart.XLabels, BitClassLabels[c])
+	}
+	word := make([]float64, 6)
+	node := make([]float64, 6)
+	for c := 1; c <= 6; c++ {
+		word[c-1] = f.PerWord[c]
+		node[c-1] = f.PerNode[c]
+	}
+	chart.Series = append(chart.Series,
+		render.Series{Label: "per memory word", Values: word},
+		render.Series{Label: "per node", Values: node},
+	)
+	return chart
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"unprotected/internal/cluster"
+	"unprotected/internal/extract"
+	"unprotected/internal/thermal"
+)
+
+// IsolatedSDC is §III-D's analysis of the relation between detectable and
+// undetectable errors: for every fault with more than 3 corrupted bits
+// (undetectable by SECDED), how many *other* errors did its node log, and
+// did anything detectable happen around the same time?
+type IsolatedSDC struct {
+	Events []IsolatedEvent
+	// NodesInvolved is the number of distinct nodes carrying such events
+	// (5 in the paper).
+	NodesInvolved int
+	// FullyIsolated counts events whose node logged no *detectable*
+	// (≤3-bit) error in the entire study — the paper's striking finding
+	// was that every undetectable error was uncorrelated with anything an
+	// ECC counter would have seen.
+	FullyIsolated int
+	// OnlyErrorOnNode counts events that are their node's only error of
+	// any kind ("4 of those undetectable errors occurred in a node that
+	// had only that one error").
+	OnlyErrorOnNode int
+	// PreTelemetry counts events before temperature logging began.
+	PreTelemetry int
+	// NearSoC12Nodes counts the involved nodes physically adjacent to the
+	// overheating SoC-12 position (4 of 5 nodes in the paper).
+	NearSoC12Nodes int
+}
+
+// IsolatedEvent is one undetectable-error event.
+type IsolatedEvent struct {
+	Fault extract.Fault
+	// NodeOtherErrors counts the node's other faults of any multiplicity.
+	NodeOtherErrors int
+	// NodeDetectableErrors counts the node's ≤3-bit (ECC-visible) faults.
+	NodeDetectableErrors int
+	// SimultaneousDetectable reports whether any other fault of the same
+	// node shares its timestamp.
+	SimultaneousDetectable bool
+}
+
+// ComputeIsolatedSDC scans faults with BitCount > 3.
+func ComputeIsolatedSDC(d *Dataset) *IsolatedSDC {
+	out := &IsolatedSDC{}
+	byNode := d.ByNode()
+	nodes := make(map[cluster.NodeID]bool)
+	for _, f := range d.Faults {
+		if f.BitCount() <= 3 {
+			continue
+		}
+		ev := IsolatedEvent{Fault: f}
+		for _, other := range byNode[f.Node] {
+			if other == f {
+				continue
+			}
+			ev.NodeOtherErrors++
+			if other.BitCount() <= 3 {
+				ev.NodeDetectableErrors++
+			}
+			if other.FirstAt == f.FirstAt {
+				ev.SimultaneousDetectable = true
+			}
+		}
+		if ev.NodeDetectableErrors == 0 {
+			out.FullyIsolated++
+		}
+		if ev.NodeOtherErrors == 0 {
+			out.OnlyErrorOnNode++
+		}
+		if f.TempC <= thermal.NoReading+1 {
+			out.PreTelemetry++
+		}
+		if !nodes[f.Node] && (f.Node.SoC == 11 || f.Node.SoC == 13) {
+			out.NearSoC12Nodes++
+		}
+		nodes[f.Node] = true
+		out.Events = append(out.Events, ev)
+	}
+	out.NodesInvolved = len(nodes)
+	return out
+}

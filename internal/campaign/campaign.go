@@ -1,0 +1,249 @@
+// Package campaign orchestrates the year-long measurement campaign: it
+// wires the cluster topology, scheduler, thermal and radiation models and
+// each node's fault plan into per-node scan-session simulations, runs them
+// on a worker pool, and assembles the study dataset every analysis
+// consumes.
+//
+// Determinism: each node draws from an independent RNG stream derived from
+// (campaign seed, node index); per-node outputs are merged and sorted by
+// (time, node, address), so results are identical for any GOMAXPROCS.
+package campaign
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/dram"
+	"unprotected/internal/eventlog"
+	"unprotected/internal/extract"
+	"unprotected/internal/faults"
+	"unprotected/internal/radiation"
+	"unprotected/internal/rng"
+	"unprotected/internal/scanner"
+	"unprotected/internal/sched"
+	"unprotected/internal/solar"
+	"unprotected/internal/thermal"
+	"unprotected/internal/timebase"
+)
+
+// Config parameterizes a campaign.
+type Config struct {
+	Seed uint64
+	Topo *cluster.Topology
+	// Sched drives idle-window generation.
+	Sched sched.Profile
+	// Site locates the machine for the solar/radiation models.
+	Site solar.Site
+	// CounterModeFrac is the fraction of sessions run in counter mode
+	// ("most of the study was done using the former [flip] method").
+	CounterModeFrac float64
+	// Leak models scanner allocation shortfall from leaky jobs.
+	Leak scanner.LeakModel
+	// AmbientRatePerHour is the background strike rate per node-hour.
+	AmbientRatePerHour float64
+	// Profile places the study's specific faults onto nodes.
+	Profile *Profile
+	// SoC12OffFrom mirrors the topology's SoC-12 power-off instant for
+	// temperature computation (before it, SoC 12 heats its neighbours).
+	SoC12OffFrom timebase.T
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+
+	// StressSoC12 enables the paper's §VI stress-test proposal: the
+	// overheating SoC-12 positions stay powered all year and
+	// temperature-accelerated retention faults are modeled on them and
+	// their neighbours. Use StressConfig to build a consistent topology.
+	StressSoC12 bool
+	// Swap, when set, performs the paper's §VI component-swap experiment:
+	// the degrading component of the controller node moves to a healthy
+	// node at the given instant.
+	Swap *SwapSpec
+}
+
+// SwapSpec schedules the §VI component-swap experiment.
+type SwapSpec struct {
+	At timebase.T
+	// To receives the faulty component; the controller node gives it up.
+	To cluster.NodeID
+}
+
+// Result is the assembled dataset.
+type Result struct {
+	Cfg *Config
+	// Faults are the independent memory errors of every characterized
+	// node, sorted by (time, node, address). The pathological node is
+	// excluded here, as in §III-B.
+	Faults []extract.Fault
+	// Sessions are all scanner sessions (including the pathological
+	// node's), for hours/TBh accounting.
+	Sessions []eventlog.Session
+	// RawLogs counts every ERROR record the scanner would have written.
+	RawLogs int64
+	// RawLogsByNode splits the raw volume per node.
+	RawLogsByNode map[cluster.NodeID]int64
+	// AllocFails counts sessions that could not allocate any memory.
+	AllocFails int
+}
+
+// nodeOutput is one worker's result.
+type nodeOutput struct {
+	runs       []extract.RawRun
+	sessions   []eventlog.Session
+	rawLogs    int64
+	allocFails int
+	node       cluster.NodeID
+	excluded   bool // pathological: runs are not characterized
+}
+
+// Run executes the campaign.
+func Run(cfg *Config) *Result {
+	if cfg.Topo == nil {
+		cfg.Topo = cluster.PaperTopology()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	plans := cfg.Profile.build(cfg)
+	nodes := cfg.Topo.ScannedNodes()
+
+	jobs := make(chan *cluster.Node)
+	results := make(chan nodeOutput, len(nodes))
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := range jobs {
+				results <- simulateNode(cfg, n, plans[n.ID])
+			}
+		}()
+	}
+	go func() {
+		for _, n := range nodes {
+			jobs <- n
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	res := &Result{Cfg: cfg, RawLogsByNode: make(map[cluster.NodeID]int64)}
+	var allRuns []extract.RawRun
+	for out := range results {
+		if !out.excluded {
+			allRuns = append(allRuns, out.runs...)
+		}
+		res.Sessions = append(res.Sessions, out.sessions...)
+		res.RawLogs += out.rawLogs
+		if out.rawLogs > 0 {
+			res.RawLogsByNode[out.node] += out.rawLogs
+		}
+		res.AllocFails += out.allocFails
+	}
+	res.Faults = extract.Faults(allRuns)
+	extract.SortFaults(res.Faults)
+	sortSessions(res.Sessions)
+	return res
+}
+
+// sortSessions orders sessions by (start time, host) so output is
+// reproducible regardless of worker interleaving. No two sessions of one
+// host share a start time, so the key is total.
+func sortSessions(ss []eventlog.Session) {
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].From != ss[j].From {
+			return ss[i].From < ss[j].From
+		}
+		return ss[i].Host.Index() < ss[j].Host.Index()
+	})
+}
+
+// simulateNode runs one node's full-year simulation.
+func simulateNode(cfg *Config, node *cluster.Node, plan *faults.Plan) nodeOutput {
+	r := rng.Derive(cfg.Seed, uint64(node.ID.Index()))
+	gen := sched.NewGenerator(cfg.Sched)
+	windows := gen.NodeWindows(node, r)
+
+	out := nodeOutput{node: node.ID}
+	therm := thermal.New()
+	scrambler := sharedScrambler
+	polarity := sharedPolarity
+
+	// The pathological node scans continuously once failed: it was removed
+	// from the scheduler pool, so nothing ever SIGTERMed its scanner.
+	if plan != nil && plan.Pathological != nil {
+		out.excluded = true
+		var trimmed []sched.Window
+		for _, w := range windows {
+			if w.To <= plan.Pathological.Active.From {
+				trimmed = append(trimmed, w)
+			} else if w.From < plan.Pathological.Active.From {
+				w.To = plan.Pathological.Active.From
+				trimmed = append(trimmed, w)
+			}
+		}
+		for _, b := range plan.Pathological.ContinuousWindows(timebase.T(timebase.StudySeconds)) {
+			trimmed = append(trimmed, sched.Window{From: b.From, To: b.To})
+		}
+		windows = trimmed
+	}
+
+	for _, w := range windows {
+		avail := cfg.Leak.Available(r)
+		alloc := scanner.Allocate(avail)
+		if alloc == 0 {
+			out.allocFails++
+			continue
+		}
+		mode := scanner.FlipMode
+		if r.Bernoulli(cfg.CounterModeFrac) {
+			mode = scanner.CounterMode
+		}
+		ctx := &faults.SessionCtx{
+			Node:    node.ID,
+			Window:  w,
+			Alloc:   alloc,
+			Mode:    mode,
+			IterDur: scanner.IterDuration(alloc),
+			Words:   alloc / 4,
+			Rng:     r,
+			Temp: func(at timebase.T) float64 {
+				return therm.NodeTemp(node.ID, at, at < cfg.SoC12OffFrom, r)
+			},
+			Polarity:  polarity,
+			Scrambler: scrambler,
+		}
+		if plan != nil {
+			for _, src := range plan.Sources {
+				out.rawLogs += src.Emit(ctx, &out.runs)
+			}
+			if plan.Pathological != nil {
+				out.rawLogs += plan.Pathological.Emit(ctx, &out.runs)
+			}
+		}
+		out.sessions = append(out.sessions, eventlog.Session{
+			Host: node.ID, From: w.From, To: w.To,
+			AllocBytes: alloc, Truncated: w.HardReboot,
+		})
+	}
+	return out
+}
+
+// Shared immutable models: the scrambler search and polarity map are pure
+// functions of fixed seeds, safe to share across workers (read-only after
+// construction).
+var (
+	sharedScrambler = dram.NewScrambler()
+	sharedPolarity  = dram.NewPolarityMap(0xd0_c4_11)
+)
+
+// Scrambler exposes the shared bit scrambler for analyses and tests.
+func Scrambler() *dram.Scrambler { return sharedScrambler }
+
+// Polarity exposes the shared polarity map.
+func Polarity() *dram.PolarityMap { return sharedPolarity }
+
+// FluxFor builds the site flux model used by fault profiles.
+func FluxFor(site solar.Site) *radiation.Flux { return radiation.NewFlux(site) }

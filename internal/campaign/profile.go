@@ -1,0 +1,395 @@
+package campaign
+
+import (
+	"time"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/dram"
+	"unprotected/internal/faults"
+	"unprotected/internal/radiation"
+	"unprotected/internal/scanner"
+	"unprotected/internal/sched"
+	"unprotected/internal/solar"
+	"unprotected/internal/timebase"
+)
+
+// Profile places the study's specific fault population onto nodes. The
+// constants here were calibrated once against the paper's aggregates
+// (§III, Tables I–II); EXPERIMENTS.md records paper-vs-measured for every
+// figure.
+type Profile struct {
+	// PathologicalNode produced ~98% of all raw error logs.
+	PathologicalNode cluster.NodeID
+	PathologicalFrom timebase.T
+	// AddrsPerIter calibrates its raw volume to ~24.5M records.
+	PathologicalAddrsPerIter float64
+
+	// ControllerNode is the degrading node (02-04 in the paper).
+	ControllerNode cluster.NodeID
+	ControllerFrom timebase.T
+	ControllerRamp timebase.T
+	// ControllerPeakRate is glitches/hour at full degradation.
+	ControllerPeakRate float64
+	// ControllerPoolSize is how many distinct addresses the fault touches.
+	ControllerPoolSize int
+	// ControllerScanGaps are periods with no monitoring on that node
+	// (Fig 12's silent stretches in December onward).
+	ControllerScanGaps []cluster.Outage
+
+	// WeakNodes carry one intermittently leaking cell each (04-05, 58-02).
+	WeakNodes []WeakSpec
+
+	// Recurring are the Table I multi-bit word sites.
+	Recurring []RecurringSpec
+
+	// Isolated are the §III-D silent-corruption strikes.
+	Isolated []IsolatedSpec
+
+	// TriplesAt schedules the two triple-bit-with-single events and
+	// DoubleDoubleAt the one double+double event, all on ControllerNode.
+	TriplesAt      []timebase.T
+	DoubleDoubleAt timebase.T
+	// BigBurstAt schedules the 36-bit multi-word glitch.
+	BigBurstAt timebase.T
+}
+
+// WeakSpec places a weak bit on a node.
+type WeakSpec struct {
+	Node         cluster.NodeID
+	Addr         dram.Addr
+	Bit          int
+	LeakPerCheck float64
+	Bursts       []faults.Burst
+}
+
+// RecurringSpec places a recurring multi-bit word site.
+type RecurringSpec struct {
+	Node        cluster.NodeID
+	Addr        dram.Addr
+	PhysStart   int // cells = scrambler image of a 2-cell physical run
+	Cells       int
+	RatePerHour float64
+	Counter     bool // counter-mode affinity (low-bit cells)
+	Stress      bool // couple to the controller node's degradation
+}
+
+// IsolatedSpec places one scheduled >3-bit strike.
+type IsolatedSpec struct {
+	Node      cluster.NodeID
+	At        timebase.T
+	BitCount  int
+	Addr      dram.Addr
+	PhysStart int
+}
+
+// date is a convenience for profile literals.
+func date(y int, m time.Month, d, hh int) timebase.T {
+	return timebase.FromTime(time.Date(y, m, d, hh, 0, 0, 0, time.UTC))
+}
+
+// PaperProfile returns the calibrated fault population of the study.
+func PaperProfile() *Profile {
+	p := &Profile{
+		// ~98% of the ~25M raw logs: continuous scanning from late
+		// September with ~19 failing addresses per pass.
+		PathologicalNode:         cluster.NodeID{Blade: 17, SoC: 9},
+		PathologicalFrom:         date(2015, time.September, 20, 4),
+		PathologicalAddrsPerIter: 17.9,
+
+		ControllerNode:     cluster.NodeID{Blade: 2, SoC: 4},
+		ControllerFrom:     date(2015, time.August, 20, 0),
+		ControllerRamp:     date(2015, time.November, 5, 0),
+		ControllerPeakRate: 102,
+		ControllerPoolSize: 12000,
+		ControllerScanGaps: []cluster.Outage{
+			{From: date(2015, time.November, 26, 12), To: date(2015, time.December, 14, 8), Reason: "no monitoring"},
+			{From: date(2015, time.December, 16, 20), To: timebase.T(timebase.StudySeconds), Reason: "no monitoring"},
+		},
+
+		WeakNodes: []WeakSpec{
+			{
+				Node: cluster.NodeID{Blade: 4, SoC: 5}, Addr: 0x2f3_1180, Bit: 13,
+				LeakPerCheck: 0.033,
+				// Two burst trains: autumn degradation, quiet December
+				// (while the machine is mostly idle), relapse in January.
+				Bursts: append(
+					burstTrain(date(2015, time.September, 20, 0), 5, 6, 10),
+					burstTrain(date(2016, time.January, 10, 0), 3, 6, 10)...),
+			},
+			{
+				Node: cluster.NodeID{Blade: 58, SoC: 2}, Addr: 0x11c_9a44, Bit: 5,
+				LeakPerCheck: 0.033,
+				Bursts: append(
+					burstTrain(date(2015, time.October, 1, 0), 4, 5, 9),
+					burstTrain(date(2016, time.January, 5, 0), 3, 5, 9)...),
+			},
+		},
+
+		// Table I's nine recurring double-bit sites. Rates were fitted to
+		// the occurrence column {36,10,10,7,4 | 4 | 2 | 2,1}.
+		Recurring: []RecurringSpec{
+			{Node: cluster.NodeID{Blade: 2, SoC: 4}, Addr: 0x100_2204, PhysStart: 3, Cells: 2, RatePerHour: 0.058, Stress: true},
+			{Node: cluster.NodeID{Blade: 2, SoC: 4}, Addr: 0x1a4_0010, PhysStart: 9, Cells: 2, RatePerHour: 0.015, Stress: true},
+			{Node: cluster.NodeID{Blade: 2, SoC: 4}, Addr: 0x08c_5b60, PhysStart: 14, Cells: 2, RatePerHour: 0.016, Stress: true},
+			{Node: cluster.NodeID{Blade: 2, SoC: 4}, Addr: 0x221_7e08, PhysStart: 21, Cells: 2, RatePerHour: 0.0115, Stress: true},
+			{Node: cluster.NodeID{Blade: 2, SoC: 4}, Addr: 0x2b0_96cc, PhysStart: 26, Cells: 2, RatePerHour: 0.015, Stress: true},
+			{Node: cluster.NodeID{Blade: 4, SoC: 5}, Addr: 0x1d8_3344, PhysStart: 6, Cells: 2, RatePerHour: 0.0009},
+			{Node: cluster.NodeID{Blade: 28, SoC: 7}, Addr: 0x09a_1208, PhysStart: 11, Cells: 2, RatePerHour: 0.00023},
+			{Node: cluster.NodeID{Blade: 35, SoC: 10}, Addr: 0x044_0c10, PhysStart: 0, Cells: 2, RatePerHour: 0.0016, Counter: true},
+			{Node: cluster.NodeID{Blade: 47, SoC: 3}, Addr: 0x2e1_5550, PhysStart: 1, Cells: 2, RatePerHour: 0.001, Counter: true},
+		},
+
+		// §III-D: seven >3-bit strikes on five otherwise-clean nodes,
+		// four of them adjacent to the overheating SoC-12 position; two
+		// same-day pairs (March, May); six before the SoC-12 power-off.
+		Isolated: []IsolatedSpec{
+			{Node: cluster.NodeID{Blade: 7, SoC: 11}, At: date(2015, time.February, 21, 9), BitCount: 4, Addr: 0x02a_9104, PhysStart: 5},
+			{Node: cluster.NodeID{Blade: 23, SoC: 13}, At: date(2015, time.March, 12, 8), BitCount: 4, Addr: 0x1f0_0218, PhysStart: 12},
+			{Node: cluster.NodeID{Blade: 51, SoC: 13}, At: date(2015, time.March, 12, 17), BitCount: 9, Addr: 0x26b_4ff0, PhysStart: 19},
+			{Node: cluster.NodeID{Blade: 51, SoC: 13}, At: date(2015, time.April, 3, 11), BitCount: 8, Addr: 0x0b2_c660, PhysStart: 24},
+			{Node: cluster.NodeID{Blade: 44, SoC: 11}, At: date(2015, time.May, 19, 7), BitCount: 6, Addr: 0x2c8_0a24, PhysStart: 8},
+			{Node: cluster.NodeID{Blade: 51, SoC: 13}, At: date(2015, time.May, 19, 16), BitCount: 4, Addr: 0x135_7d98, PhysStart: 28},
+			{Node: cluster.NodeID{Blade: 36, SoC: 5}, At: date(2015, time.July, 22, 14), BitCount: 5, Addr: 0x1c3_2b0c, PhysStart: 16},
+		},
+
+		TriplesAt: []timebase.T{
+			date(2015, time.November, 12, 10),
+			date(2015, time.November, 21, 15),
+		},
+		DoubleDoubleAt: date(2015, time.November, 17, 12),
+		BigBurstAt:     date(2015, time.November, 14, 13),
+	}
+	return p
+}
+
+// burstTrain builds n bursts of lenDays starting at from, separated by
+// gapDays of quiet.
+func burstTrain(from timebase.T, n, lenDays, gapDays int) []faults.Burst {
+	var out []faults.Burst
+	t := from
+	day := timebase.T(86400)
+	for i := 0; i < n; i++ {
+		out = append(out, faults.Burst{From: t, To: t + timebase.T(lenDays)*day})
+		t += timebase.T(lenDays+gapDays) * day
+	}
+	return out
+}
+
+// DefaultConfig assembles the full paper-scale configuration.
+func DefaultConfig(seed uint64) *Config {
+	topo := cluster.PaperTopology()
+	return &Config{
+		Seed:               seed,
+		Topo:               topo,
+		Sched:              sched.PaperProfile(),
+		Site:               solar.Barcelona,
+		CounterModeFrac:    0.15,
+		Leak:               scanner.DefaultLeakModel(),
+		AmbientRatePerHour: 4e-6,
+		Profile:            PaperProfile(),
+		SoC12OffFrom:       timebase.FromTime(timebase.Epoch.AddDate(0, 4, 0)),
+	}
+}
+
+// StressConfig returns the §VI stress-test configuration: SoC-12 nodes
+// stay powered (and hot) for the whole study and carry thermally
+// accelerated retention faults along with their neighbours.
+func StressConfig(seed uint64) *Config {
+	cfg := DefaultConfig(seed)
+	topoCfg := cluster.Config{ExcludedChassis: 8}
+	for b := 1; b <= 9; b++ {
+		topoCfg.LoginNodes = append(topoCfg.LoginNodes, cluster.NodeID{Blade: b, SoC: 1})
+	}
+	// Same dead nodes as the paper topology, no SoC-12 outage, no blade-33
+	// outage interference with the experiment.
+	topoCfg.DeadNodes = []cluster.NodeID{
+		{Blade: 5, SoC: 7}, {Blade: 11, SoC: 3}, {Blade: 14, SoC: 9}, {Blade: 19, SoC: 15},
+		{Blade: 22, SoC: 6}, {Blade: 27, SoC: 11}, {Blade: 31, SoC: 2}, {Blade: 38, SoC: 14},
+		{Blade: 41, SoC: 8}, {Blade: 46, SoC: 4}, {Blade: 52, SoC: 10}, {Blade: 57, SoC: 13},
+		{Blade: 61, SoC: 5},
+	}
+	cfg.Topo = cluster.NewTopology(topoCfg)
+	cfg.StressSoC12 = true
+	// SoC 12 never powers off: neighbours stay heated all year.
+	cfg.SoC12OffFrom = timebase.T(timebase.StudySeconds)
+	return cfg
+}
+
+// SwapConfig returns the §VI component-swap configuration: the degrading
+// component leaves the controller node at the given study instant and is
+// installed in a previously healthy node.
+func SwapConfig(seed uint64, at timebase.T, to cluster.NodeID) *Config {
+	cfg := DefaultConfig(seed)
+	cfg.Swap = &SwapSpec{At: at, To: to}
+	return cfg
+}
+
+// build materializes per-node fault plans and mutates the topology with
+// the controller node's monitoring gaps.
+func (p *Profile) build(cfg *Config) map[cluster.NodeID]*faults.Plan {
+	plans := make(map[cluster.NodeID]*faults.Plan)
+	flux := radiation.NewFlux(cfg.Site)
+	scrambler := sharedScrambler
+
+	get := func(id cluster.NodeID) *faults.Plan {
+		if pl, ok := plans[id]; ok {
+			return pl
+		}
+		pl := &faults.Plan{Node: cfg.Topo.Node(id)}
+		plans[id] = pl
+		return pl
+	}
+
+	if p == nil {
+		// No specific faults: ambient background only.
+		p = &Profile{}
+	}
+
+	// Ambient background on every scanned node.
+	if cfg.AmbientRatePerHour > 0 {
+		for _, n := range cfg.Topo.ScannedNodes() {
+			pl := get(n.ID)
+			gen := radiation.NewGenerator(flux, cfg.AmbientRatePerHour)
+			pl.Sources = append(pl.Sources, faults.NewAmbient(gen))
+		}
+	}
+
+	var zero cluster.NodeID
+	var controller *faults.Controller
+	if p.ControllerNode != zero {
+		node := cfg.Topo.Node(p.ControllerNode)
+		if cfg.Swap == nil {
+			// Fig 12's silent stretches: no monitoring on the node from
+			// late November. The swap experiment drops them so both halves
+			// of the attribution experiment stay observable.
+			node.Outages = append(node.Outages, p.ControllerScanGaps...)
+		}
+		pool := make([]dram.Addr, p.ControllerPoolSize)
+		prng := dram.NewPolarityMap(cfg.Seed ^ 0xcafe)
+		_ = prng
+		for i := range pool {
+			// Spread the pool over the full 3 GB word space with a fixed
+			// stride pattern; identity is all that matters downstream.
+			pool[i] = dram.Addr((uint64(i)*2654435761 + 12345) % uint64(cluster.ScanTargetBytes/4))
+		}
+		controller = &faults.Controller{
+			Active:        faults.Burst{From: p.ControllerFrom, To: timebase.T(timebase.StudySeconds)},
+			PeakRate:      p.ControllerPeakRate,
+			RampUntil:     p.ControllerRamp,
+			AddrPool:      pool,
+			Patterns:      faults.DefaultPatterns(),
+			MeanAddrs:     2.6,
+			SingleProb:    0.76,
+			MeanRunChecks: 2.2,
+			MaxBurstAddrs: 34,
+			BigBurstAt:    p.BigBurstAt,
+		}
+		for _, at := range p.TriplesAt {
+			controller.ScheduledMulti = append(controller.ScheduledMulti, &faults.ScheduledMulti{
+				At:         at,
+				Masks:      []dram.BitSet{scrambler.PhysRun(7, 3)},
+				Addrs:      []dram.Addr{dram.Addr(0x150_0000 + at%4096)},
+				Companions: 1,
+			})
+		}
+		if p.DoubleDoubleAt != 0 {
+			controller.ScheduledMulti = append(controller.ScheduledMulti, &faults.ScheduledMulti{
+				At:    p.DoubleDoubleAt,
+				Masks: []dram.BitSet{scrambler.PhysRun(3, 2), scrambler.PhysRun(9, 2)},
+				Addrs: []dram.Addr{0x100_2204, 0x1a4_0010},
+			})
+		}
+		if cfg.Swap != nil {
+			// §VI component swap: the faulty component manifests on the
+			// controller node before the swap instant and on the recipient
+			// node afterwards.
+			swapped := &faults.Swapped{
+				At:     cfg.Swap.At,
+				Before: p.ControllerNode,
+				After:  cfg.Swap.To,
+				Inner:  controller,
+			}
+			get(p.ControllerNode).Sources = append(get(p.ControllerNode).Sources, swapped)
+			get(cfg.Swap.To).Sources = append(get(cfg.Swap.To).Sources, swapped)
+		} else {
+			get(p.ControllerNode).Sources = append(get(p.ControllerNode).Sources, controller)
+		}
+	}
+
+	// §VI stress test: retention faults accelerate with temperature on the
+	// always-powered SoC-12 positions and their neighbours.
+	if cfg.StressSoC12 {
+		for _, n := range cfg.Topo.ScannedNodes() {
+			if n.ID.SoC >= 11 && n.ID.SoC <= 13 {
+				get(n.ID).Sources = append(get(n.ID).Sources, faults.NewThermalRetention())
+			}
+		}
+	}
+
+	if p.PathologicalNode != zero {
+		pl := get(p.PathologicalNode)
+		pl.Pathological = &faults.Pathological{
+			Active:       faults.Burst{From: p.PathologicalFrom, To: timebase.T(timebase.StudySeconds)},
+			AddrsPerIter: p.PathologicalAddrsPerIter,
+		}
+	}
+
+	for _, w := range p.WeakNodes {
+		pl := get(w.Node)
+		pl.Sources = append(pl.Sources, &faults.WeakBit{
+			Addr: w.Addr, Bit: w.Bit, LeakPerCheck: w.LeakPerCheck, Bursts: w.Bursts,
+		})
+	}
+
+	for _, rs := range p.Recurring {
+		site := &faults.RecurringSite{
+			Addr:         rs.Addr,
+			Cells:        cellsFor(scrambler, rs),
+			ModeAffinity: scanner.FlipMode,
+			RatePerHour:  rs.RatePerHour,
+			Flux:         flux,
+		}
+		if rs.Counter {
+			site.ModeAffinity = scanner.CounterMode
+			site.CounterLowBits = true
+			// Counter sites exercise the low bits (Table I's 0x000003c1
+			// and 0x000016bb patterns).
+			site.Cells = dram.BitSetOf(rs.PhysStart%3, rs.PhysStart%3+1)
+		}
+		if rs.Stress && controller != nil {
+			site.Stress = controller
+			site.CompanionProb = 0.68
+		}
+		if rs.Stress && cfg.Swap != nil {
+			// The swap moves the whole DIMM: its strike-susceptible word
+			// sites travel with the component, like the glitch source.
+			swapped := &faults.Swapped{
+				At:     cfg.Swap.At,
+				Before: rs.Node,
+				After:  cfg.Swap.To,
+				Inner:  site,
+			}
+			get(rs.Node).Sources = append(get(rs.Node).Sources, swapped)
+			get(cfg.Swap.To).Sources = append(get(cfg.Swap.To).Sources, swapped)
+			continue
+		}
+		get(rs.Node).Sources = append(get(rs.Node).Sources, site)
+	}
+
+	for _, is := range p.Isolated {
+		get(is.Node).Sources = append(get(is.Node).Sources, &faults.IsolatedStrike{
+			At: is.At, BitCount: is.BitCount, Addr: is.Addr, PhysStart: is.PhysStart,
+		})
+	}
+
+	return plans
+}
+
+// cellsFor derives a site's cell set from its physical run start.
+func cellsFor(s *dram.Scrambler, rs RecurringSpec) dram.BitSet {
+	n := rs.Cells
+	if n <= 0 {
+		n = 2
+	}
+	return s.PhysRun(rs.PhysStart, n)
+}

@@ -1,0 +1,105 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+
+	"unprotected/internal/timebase"
+)
+
+func TestYoungDaly(t *testing.T) {
+	// sqrt(2 * 0.1h * 167h) ≈ 5.78h.
+	got := YoungDaly(0.1, 167)
+	if math.Abs(got-math.Sqrt(2*0.1*167)) > 1e-12 {
+		t.Fatalf("YoungDaly = %v", got)
+	}
+	// Degraded regime: sqrt(2 * 0.1 * 0.39) ≈ 0.28h — the paper's
+	// motivation for shortening the interval.
+	deg := YoungDaly(0.1, 0.39)
+	if deg >= got {
+		t.Fatal("degraded interval must be shorter")
+	}
+	if !math.IsInf(YoungDaly(0, 100), 1) || !math.IsInf(YoungDaly(0.1, 0), 1) {
+		t.Fatal("degenerate inputs")
+	}
+}
+
+func TestWasteFraction(t *testing.T) {
+	// At the Young/Daly optimum the two waste terms are equal.
+	mtbf := 100.0
+	cost := 0.05
+	opt := YoungDaly(cost, mtbf)
+	w := WasteFraction(opt, cost, mtbf)
+	if math.Abs(cost/opt-opt/(2*mtbf)) > 1e-12 {
+		t.Fatal("optimum does not balance terms")
+	}
+	// Any other interval wastes at least as much.
+	for _, iv := range []float64{opt / 4, opt / 2, opt * 2, opt * 4} {
+		if WasteFraction(iv, cost, mtbf) < w {
+			t.Fatalf("interval %v beats the optimum", iv)
+		}
+	}
+	if WasteFraction(0, cost, mtbf) != 1 {
+		t.Fatal("zero interval should saturate")
+	}
+}
+
+func TestPlans(t *testing.T) {
+	p := StaticPlan(6)
+	if len(p.IntervalHours) != timebase.StudyDays || p.IntervalHours[100] != 6 {
+		t.Fatal("static plan")
+	}
+	degraded := make([]bool, 10)
+	degraded[3] = true
+	ap := AdaptivePlan(degraded, 0.1, 167, 0.39)
+	if ap.IntervalHours[3] >= ap.IntervalHours[0] {
+		t.Fatal("adaptive plan must shorten on degraded days")
+	}
+}
+
+func TestReplayCountsFailures(t *testing.T) {
+	plan := StaticPlan(10)
+	failures := []float64{25, 50, 75}
+	out := Replay(plan, failures, 0.1)
+	if out.Failures != 3 {
+		t.Fatalf("failures %d", out.Failures)
+	}
+	if out.ReworkHours <= 0 || out.CheckpointsTaken == 0 {
+		t.Fatalf("replay outcome: %+v", out)
+	}
+	if out.WasteHours != out.CheckpointHours+out.ReworkHours {
+		t.Fatal("waste arithmetic")
+	}
+}
+
+func TestReplayNoFailures(t *testing.T) {
+	plan := StaticPlan(24)
+	out := Replay(plan, nil, 0.05)
+	if out.Failures != 0 || out.ReworkHours != 0 {
+		t.Fatalf("clean replay: %+v", out)
+	}
+	// ~one checkpoint per day for the whole study.
+	if out.CheckpointsTaken < timebase.StudyDays-10 || out.CheckpointsTaken > timebase.StudyDays+10 {
+		t.Fatalf("checkpoints %d", out.CheckpointsTaken)
+	}
+}
+
+func TestAdaptiveBeatsStaticOnRegimeSwitch(t *testing.T) {
+	// Failures cluster in a degraded window (days 100-110, every 0.5h),
+	// like the paper's degraded regime.
+	var failures []float64
+	degraded := make([]bool, timebase.StudyDays)
+	for d := 100; d < 110; d++ {
+		degraded[d] = true
+		for h := 0.0; h < 24; h += 0.5 {
+			failures = append(failures, float64(d)*24+h)
+		}
+	}
+	cost := 0.05
+	static := Replay(StaticPlan(YoungDaly(cost, 167)), failures, cost)
+	adaptive := Replay(AdaptivePlan(degraded, cost, 167, 0.39), failures, cost)
+	if adaptive.WasteHours >= static.WasteHours {
+		t.Fatalf("adaptive %.1fh should beat static %.1fh on bursty failures",
+			adaptive.WasteHours, static.WasteHours)
+	}
+}

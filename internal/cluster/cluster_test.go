@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"unprotected/internal/timebase"
+)
+
+func TestPaperRoster(t *testing.T) {
+	topo := PaperTopology()
+	counts := topo.CountByRole()
+	if counts[Scanned] != 923 {
+		t.Fatalf("scanned nodes = %d, want 923", counts[Scanned])
+	}
+	if counts[Excluded] != 135 {
+		t.Fatalf("excluded = %d, want 135 (one chassis)", counts[Excluded])
+	}
+	if counts[Login] != 9 {
+		t.Fatalf("login = %d, want 9", counts[Login])
+	}
+	if counts[Dead] != 13 {
+		t.Fatalf("dead = %d, want 13", counts[Dead])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != TotalNodes || TotalNodes != 1080 {
+		t.Fatalf("total = %d, want 1080", total)
+	}
+	if blades := topo.MonitoredBlades(); len(blades) != 63 {
+		t.Fatalf("monitored blades = %d, want 63", len(blades))
+	}
+}
+
+func TestNodeIDIndexRoundTrip(t *testing.T) {
+	f := func(raw uint16) bool {
+		i := int(raw) % TotalNodes
+		id := NodeIDFromIndex(i)
+		return id.Index() == i &&
+			id.Blade >= 1 && id.Blade <= TotalBlades &&
+			id.SoC >= 1 && id.SoC <= SoCsPerBlade
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeIDParseString(t *testing.T) {
+	id := NodeID{Blade: 2, SoC: 4}
+	if s := id.String(); s != "02-04" {
+		t.Fatalf("String = %q", s)
+	}
+	parsed, err := ParseNodeID("02-04")
+	if err != nil || parsed != id {
+		t.Fatalf("parse: %v %v", parsed, err)
+	}
+	if _, err := ParseNodeID("99-99"); err == nil {
+		t.Fatal("out-of-range id accepted")
+	}
+	if _, err := ParseNodeID("banana"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestChassisRackMath(t *testing.T) {
+	if Chassis(1) != 1 || Chassis(9) != 1 || Chassis(10) != 2 || Chassis(72) != 8 {
+		t.Fatal("chassis math wrong")
+	}
+	if Rack(1) != 1 || Rack(36) != 1 || Rack(37) != 2 || Rack(72) != 2 {
+		t.Fatal("rack math wrong")
+	}
+}
+
+func TestAvailability(t *testing.T) {
+	topo := PaperTopology()
+	// Login node never available.
+	login := topo.Node(NodeID{Blade: 1, SoC: 1})
+	if login.Role != Login || login.Available(0) {
+		t.Fatal("login node should not be available")
+	}
+	// SoC 12 outage applies from June 2015.
+	n12 := topo.Node(NodeID{Blade: 10, SoC: 12})
+	if n12.Role != Scanned {
+		t.Fatal("SoC 12 of blade 10 should be scanned early on")
+	}
+	before := timebase.FromTime(timebase.Epoch.AddDate(0, 1, 0))
+	after := timebase.FromTime(timebase.Epoch.AddDate(0, 6, 0))
+	if !n12.Available(before) {
+		t.Fatal("SoC 12 should be available before the power-off")
+	}
+	if n12.Available(after) {
+		t.Fatal("SoC 12 should be off after June 2015")
+	}
+	// Blade 33 outage window.
+	b33 := topo.Node(NodeID{Blade: 33, SoC: 3})
+	mid := timebase.FromTime(timebase.Epoch.AddDate(0, 6, 0))
+	if b33.Available(mid) {
+		t.Fatal("blade 33 should be down mid-study")
+	}
+}
+
+func TestScannedNodesOrderedAndComplete(t *testing.T) {
+	topo := PaperTopology()
+	nodes := topo.ScannedNodes()
+	if len(nodes) != 923 {
+		t.Fatalf("scanned list = %d", len(nodes))
+	}
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1].ID.Index() >= nodes[i].ID.Index() {
+			t.Fatal("scanned nodes not strictly ordered")
+		}
+	}
+}
+
+func TestCustomTopologyMasks(t *testing.T) {
+	cfg := Config{
+		ExcludedChassis: 1,
+		LoginNodes:      []NodeID{{Blade: 10, SoC: 1}},
+		DeadNodes:       []NodeID{{Blade: 11, SoC: 2}},
+	}
+	topo := NewTopology(cfg)
+	if topo.Node(NodeID{Blade: 5, SoC: 5}).Role != Excluded {
+		t.Fatal("chassis exclusion not applied")
+	}
+	if topo.Node(NodeID{Blade: 10, SoC: 1}).Role != Login {
+		t.Fatal("login mask not applied")
+	}
+	if topo.Node(NodeID{Blade: 11, SoC: 2}).Role != Dead {
+		t.Fatal("dead mask not applied")
+	}
+	if topo.Node(NodeID{Blade: 11, SoC: 3}).Role != Scanned {
+		t.Fatal("unrelated node mis-roled")
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	for r, want := range map[Role]string{Scanned: "scanned", Login: "login", Excluded: "excluded", Dead: "dead"} {
+		if r.String() != want {
+			t.Fatalf("Role(%d).String() = %q", int(r), r.String())
+		}
+	}
+}

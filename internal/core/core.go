@@ -1,0 +1,58 @@
+// Package core is the study façade: it wires the campaign simulator, the
+// extraction methodology and the analysis layer into a single entry point
+// that runs the whole reproduction and renders every figure and table of
+// the paper. cmd/ binaries and the examples talk to this package (via the
+// root unprotected package) rather than to the substrates directly.
+package core
+
+import (
+	"unprotected/internal/analysis"
+	"unprotected/internal/campaign"
+	"unprotected/internal/cluster"
+)
+
+// Study is one executed campaign with its analysis-ready dataset.
+type Study struct {
+	Config  *campaign.Config
+	Result  *campaign.Result
+	Dataset *analysis.Dataset
+}
+
+// RunPaperStudy executes the full-scale study (923 nodes, 13 months) with
+// the calibrated paper profile.
+func RunPaperStudy(seed uint64) *Study {
+	cfg := campaign.DefaultConfig(seed)
+	return RunStudy(cfg)
+}
+
+// RunStudy executes an arbitrary configuration.
+func RunStudy(cfg *campaign.Config) *Study {
+	res := campaign.Run(cfg)
+	return &Study{Config: cfg, Result: res, Dataset: DatasetOf(cfg, res)}
+}
+
+// DatasetOf adapts a campaign result for the analysis layer.
+func DatasetOf(cfg *campaign.Config, res *campaign.Result) *analysis.Dataset {
+	d := &analysis.Dataset{
+		Faults:        res.Faults,
+		Sessions:      res.Sessions,
+		RawLogs:       res.RawLogs,
+		RawLogsByNode: res.RawLogsByNode,
+		Topo:          cfg.Topo,
+	}
+	if cfg.Profile != nil {
+		d.ControllerNode = cfg.Profile.ControllerNode
+		d.PathologicalNode = cfg.Profile.PathologicalNode
+	}
+	return d
+}
+
+// ExcludedNodes returns the nodes MTBF-style analyses drop (§III-I): the
+// permanently failing controller node.
+func (s *Study) ExcludedNodes() []cluster.NodeID {
+	var zero cluster.NodeID
+	if s.Dataset.ControllerNode == zero {
+		return nil
+	}
+	return []cluster.NodeID{s.Dataset.ControllerNode}
+}

@@ -1,0 +1,49 @@
+package dram
+
+import "testing"
+
+// TestScramblerAblation pins the design rationale: with the study's
+// scrambler, physically contiguous strike runs land on mostly
+// non-consecutive logical bits (as Table I shows); with the identity
+// layout every run is consecutive, which would make adjacent-bit ECC look
+// deceptively strong.
+func TestScramblerAblation(t *testing.T) {
+	real := NewScrambler()
+	ident := NewIdentityScrambler()
+
+	consec := func(s *Scrambler) (n int) {
+		for start := 0; start < WordBits; start++ {
+			for k := 2; k <= 4; k++ {
+				if s.PhysRun(start, k).Consecutive() {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	total := WordBits * 3
+	identConsec := consec(ident)
+	realConsec := consec(real)
+	// Identity: every non-wrapping run is consecutive (wrapping runs at
+	// the top of the word split into two blocks).
+	if identConsec < total*8/10 {
+		t.Fatalf("identity layout: %d/%d consecutive", identConsec, total)
+	}
+	// Real layout: a clear minority.
+	if realConsec >= identConsec/2 {
+		t.Fatalf("scrambler too tame: %d consecutive vs identity's %d", realConsec, identConsec)
+	}
+}
+
+func TestIdentityScramblerIsIdentity(t *testing.T) {
+	s := NewIdentityScrambler()
+	for i := 0; i < WordBits; i++ {
+		if s.ToLogical(i) != i || s.ToPhysical(i) != i {
+			t.Fatalf("not identity at %d", i)
+		}
+	}
+	frac, mean, max := s.AdjacencyStats()
+	if frac != 1 || mean != 1 || max != 1 {
+		t.Fatalf("identity adjacency stats: %v %v %v", frac, mean, max)
+	}
+}

@@ -1,0 +1,47 @@
+package dram
+
+import "fmt"
+
+// Addr is a word index within a node's scanned allocation. A 3 GB
+// allocation holds 805,306,368 32-bit words, comfortably within uint32.
+type Addr uint32
+
+// WordsOf returns how many scannable words an allocation of n bytes holds.
+func WordsOf(allocBytes int64) int64 { return allocBytes / 4 }
+
+// scannerBase is the virtual address at which the scanner's allocation is
+// mapped; fixed so logs are reproducible. The exact value carries no
+// semantics — it only has to look like a user-space mmap region.
+const scannerBase uint64 = 0x7f2a_0000_0000
+
+// VirtAddr returns the virtual address of a scanned word, as recorded in
+// ERROR log entries.
+func VirtAddr(a Addr) uint64 { return scannerBase + uint64(a)*4 }
+
+// AddrOfVirt inverts VirtAddr.
+func AddrOfVirt(v uint64) (Addr, error) {
+	if v < scannerBase || (v-scannerBase)%4 != 0 {
+		return 0, fmt.Errorf("dram: %#x is not a scanned word address", v)
+	}
+	return Addr((v - scannerBase) / 4), nil
+}
+
+// PageBytes is the OS page size on the prototype.
+const PageBytes = 4096
+
+// PhysPage returns the physical page number recorded in ERROR log entries.
+// The prototype's kernel maps the scanner's contiguous allocation onto
+// physical pages with a fixed node-dependent offset plus a light
+// interleave; the exact function is immaterial to the analyses (they only
+// group by page identity), so a deterministic mix is used.
+func PhysPage(node uint64, a Addr) uint64 {
+	virt := VirtAddr(a)
+	vpn := virt / PageBytes
+	return (vpn ^ (mix64(node) & 0xfffff)) & 0xffffffff
+}
+
+// PageOf returns the physical page of an address for retirement decisions.
+func PageOf(node uint64, a Addr) uint64 { return PhysPage(node, a) }
+
+// WordsPerPage is how many scanned words share one page.
+const WordsPerPage = PageBytes / 4

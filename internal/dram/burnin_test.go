@@ -1,0 +1,80 @@
+package dram
+
+import (
+	"testing"
+
+	"unprotected/internal/rng"
+)
+
+func TestBurnInAcceleration(t *testing.T) {
+	b := DefaultBurnIn()
+	// 120°C vs 35°C with doubling every 10°C: 2^8.5 ≈ 362x.
+	acc := b.Acceleration()
+	if acc < 300 || acc > 450 {
+		t.Fatalf("acceleration %v, want ~362", acc)
+	}
+}
+
+func TestBurnInDetectProbMonotonic(t *testing.T) {
+	b := DefaultBurnIn()
+	prev := -1.0
+	for _, leak := range []float64{0, 1e-6, 1e-4, 1e-3, 1e-2, 1e-1, 1} {
+		p := b.DetectProb(leak)
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %v out of range", p)
+		}
+		if p < prev {
+			t.Fatal("detection probability must grow with leak rate")
+		}
+		prev = p
+	}
+	// A cell leaking hourly in the field is caught essentially always.
+	if b.DetectProb(1) < 0.999999 {
+		t.Fatal("gross leaker escaped burn-in")
+	}
+	// A cell leaking once a year is essentially invisible to a 48h screen.
+	if b.DetectProb(1.0/8760) > 0.99 {
+		t.Fatalf("marginal leaker too detectable: %v", b.DetectProb(1.0/8760))
+	}
+}
+
+func TestBurnInEscapes(t *testing.T) {
+	r := rng.New(31)
+	pop := DefaultWeakPopulation()
+	b := DefaultBurnIn()
+	rate := EscapeRate(pop, b, 4000, r)
+	// A small but nonzero fraction of weak cells ships — the mechanism
+	// behind the study's two field weak-bit nodes out of 923.
+	if rate <= 0 {
+		t.Fatal("no escapes: the field weak bits would be impossible")
+	}
+	if rate > pop.PerDevice/2 {
+		t.Fatalf("escape rate %v: screening is ineffective", rate)
+	}
+	// Longer burn-in strictly reduces escapes.
+	longer := b
+	longer.Hours = 480
+	if EscapeRate(pop, longer, 4000, rng.New(31)) >= rate {
+		t.Fatal("longer burn-in should catch more weak cells")
+	}
+}
+
+func TestBurnInEscapesAreMarginal(t *testing.T) {
+	// Escaped cells must be dominated by low leak rates (the "weak bit"
+	// intermittency the paper saw: occasional identical flips, not a
+	// storm).
+	r := rng.New(77)
+	escapes := SimulateEscapes(DefaultWeakPopulation(), DefaultBurnIn(), 5000, r)
+	if len(escapes) == 0 {
+		t.Skip("no escapes at this seed")
+	}
+	high := 0
+	for _, leak := range escapes {
+		if leak > 0.1 {
+			high++
+		}
+	}
+	if frac := float64(high) / float64(len(escapes)); frac > 0.05 {
+		t.Fatalf("%.1f%% of escapes leak >0.1/h; screening model broken", 100*frac)
+	}
+}

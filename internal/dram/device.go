@@ -1,0 +1,101 @@
+package dram
+
+import (
+	"fmt"
+
+	"unprotected/internal/rng"
+)
+
+// WeakCell is a manufacturing-variability defect: a cell that occasionally
+// leaks its charge between refreshes ("weak bit", §III-H). Burn-in is meant
+// to catch these before shipping but its coverage is not 100%, so devices
+// reach the field with a few of them.
+type WeakCell struct {
+	Addr     Addr
+	Bit      int     // logical bit position
+	LeakProb float64 // probability of discharging during one scan iteration while active
+	Active   bool    // weak bits are intermittent; campaigns toggle activity in bursts
+}
+
+// Device is an in-memory DRAM that the scanner genuinely scans: words are
+// real storage, faults mutate that storage, and detection happens by
+// reading and comparing — the same code path the paper's tool runs on
+// hardware.
+type Device struct {
+	Node     uint64 // node identity for polarity/page derivation
+	Polarity *PolarityMap
+
+	words []uint32
+	weak  []*WeakCell
+}
+
+// NewDevice allocates a device with nWords words of backing storage.
+func NewDevice(node uint64, nWords int, polarity *PolarityMap) *Device {
+	if polarity == nil {
+		polarity = NewPolarityMap(node)
+	}
+	return &Device{
+		Node:     node,
+		Polarity: polarity,
+		words:    make([]uint32, nWords),
+	}
+}
+
+// Len returns the number of words.
+func (d *Device) Len() int { return len(d.words) }
+
+// Write stores v at a, fully recharging the word's cells.
+func (d *Device) Write(a Addr, v uint32) { d.words[a] = v }
+
+// Read returns the current (possibly corrupted) stored value.
+func (d *Device) Read(a Addr) uint32 { return d.words[a] }
+
+// Fill writes v to every word (one scanner pass of the write phase).
+func (d *Device) Fill(v uint32) {
+	for i := range d.words {
+		d.words[i] = v
+	}
+}
+
+// Strike discharges the given cells of word a, mutating storage exactly as
+// a particle strike would. It returns the set of observably flipped bits
+// (empty when every struck cell was already discharged).
+func (d *Device) Strike(a Addr, cells BitSet) BitSet {
+	if int(a) >= len(d.words) {
+		return 0
+	}
+	truePol := d.Polarity.WordPolarity(d.Node, a)
+	corrupted, o2z, z2o := DischargeObserved(d.words[a], cells, truePol)
+	d.words[a] = corrupted
+	return o2z | z2o
+}
+
+// AddWeakCell registers a weak bit.
+func (d *Device) AddWeakCell(w *WeakCell) { d.weak = append(d.weak, w) }
+
+// WeakCells exposes the registered defects (for campaign toggling).
+func (d *Device) WeakCells() []*WeakCell { return d.weak }
+
+// Tick advances one scan-iteration of wall time: every active weak cell
+// leaks with its configured probability. Returns the addresses that
+// actually changed.
+func (d *Device) Tick(r *rng.Stream) []Addr {
+	var changed []Addr
+	for _, w := range d.weak {
+		if !w.Active || !r.Bernoulli(w.LeakProb) {
+			continue
+		}
+		if d.Strike(w.Addr, BitSetOf(w.Bit)) != 0 {
+			changed = append(changed, w.Addr)
+		}
+	}
+	return changed
+}
+
+// CheckBounds validates an address for tests and tooling.
+func (d *Device) CheckBounds(a Addr) error {
+	if int(a) >= len(d.words) {
+		return fmt.Errorf("dram: address %d out of range (device has %d words)", a, len(d.words))
+	}
+	return nil
+}

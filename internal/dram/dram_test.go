@@ -1,0 +1,279 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"unprotected/internal/rng"
+)
+
+func TestBitSetBasics(t *testing.T) {
+	b := BitSetOf(0, 5, 31)
+	if b.Count() != 3 {
+		t.Fatalf("count %d", b.Count())
+	}
+	pos := b.Positions()
+	if len(pos) != 3 || pos[0] != 0 || pos[1] != 5 || pos[2] != 31 {
+		t.Fatalf("positions %v", pos)
+	}
+	if BitSetOf(-1, 32).Count() != 0 {
+		t.Fatal("out-of-range positions should be ignored")
+	}
+	if s := BitSetOf(1, 9, 10).String(); s != "{1,9,10}" {
+		t.Fatalf("string %q", s)
+	}
+}
+
+func TestBitSetConsecutive(t *testing.T) {
+	cases := []struct {
+		bits []int
+		want bool
+	}{
+		{nil, true},
+		{[]int{7}, true},
+		{[]int{3, 4}, true},
+		{[]int{3, 5}, false},
+		{[]int{9, 10, 11}, true},
+		{[]int{0, 1, 2, 3, 4, 5, 6, 7}, true},
+		{[]int{0, 2, 3}, false},
+		{[]int{30, 31}, true},
+	}
+	for _, c := range cases {
+		if got := BitSetOf(c.bits...).Consecutive(); got != c.want {
+			t.Errorf("Consecutive(%v) = %v, want %v", c.bits, got, c.want)
+		}
+	}
+}
+
+func TestBitSetGaps(t *testing.T) {
+	// Bits {1, 5, 17}: gaps of 3 and 11 (paper max), mean 7.
+	b := BitSetOf(1, 5, 17)
+	if g := b.MaxGap(); g != 11 {
+		t.Fatalf("max gap %d, want 11", g)
+	}
+	if g := b.MeanGap(); g != 7 {
+		t.Fatalf("mean gap %v, want 7", g)
+	}
+	if BitSetOf(4).MaxGap() != 0 || BitSetOf().MeanGap() != 0 {
+		t.Fatal("degenerate gaps should be 0")
+	}
+}
+
+func TestBitSetCountPositionsProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		b := BitSet(v)
+		pos := b.Positions()
+		if len(pos) != b.Count() {
+			return false
+		}
+		var rebuilt BitSet
+		for _, p := range pos {
+			rebuilt |= 1 << uint(p)
+		}
+		return rebuilt == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScramblerBijection(t *testing.T) {
+	s := NewScrambler()
+	seen := make(map[int]bool)
+	for p := 0; p < WordBits; p++ {
+		l := s.ToLogical(p)
+		if l < 0 || l >= WordBits || seen[l] {
+			t.Fatalf("not a bijection at phys %d -> %d", p, l)
+		}
+		seen[l] = true
+		if s.ToPhysical(l) != p {
+			t.Fatalf("inverse broken at %d", p)
+		}
+	}
+}
+
+func TestScramblerAdjacencyStats(t *testing.T) {
+	// Table I statistics: a minority of multi-bit errors are logically
+	// consecutive; mean in-word distance ~3-4; max gap 11.
+	s := NewScrambler()
+	frac, mean, max := s.AdjacencyStats()
+	if frac < adjFracConsecLo || frac > adjFracConsecHi {
+		t.Fatalf("consecutive fraction %v outside [%v, %v]", frac, adjFracConsecLo, adjFracConsecHi)
+	}
+	if mean < adjMeanDiffLo || mean > adjMeanDiffHi {
+		t.Fatalf("mean diff %v outside window", mean)
+	}
+	if max > adjMaxDiff {
+		t.Fatalf("max diff %d > %d", max, adjMaxDiff)
+	}
+}
+
+func TestScramblerDeterministic(t *testing.T) {
+	a, b := NewScrambler(), NewScrambler()
+	for p := 0; p < WordBits; p++ {
+		if a.ToLogical(p) != b.ToLogical(p) {
+			t.Fatal("scrambler search is not deterministic")
+		}
+	}
+}
+
+func TestPhysRun(t *testing.T) {
+	s := NewScrambler()
+	for k := 1; k <= 9; k++ {
+		set := s.PhysRun(3, k)
+		if set.Count() != k {
+			t.Fatalf("PhysRun(3,%d) has %d bits", k, set.Count())
+		}
+	}
+	if s.PhysRun(30, 5).Count() != 5 {
+		t.Fatal("wrap-around run broken")
+	}
+}
+
+func TestPolarityFraction(t *testing.T) {
+	p := NewPolarityMap(99)
+	trueCells := 0
+	total := 0
+	for node := uint64(0); node < 20; node++ {
+		for addr := Addr(0); addr < 500; addr += 7 {
+			for bit := 0; bit < WordBits; bit++ {
+				total++
+				if p.IsTrueCell(node, addr, bit) {
+					trueCells++
+				}
+			}
+		}
+	}
+	frac := float64(trueCells) / float64(total)
+	if frac < 0.88 || frac > 0.92 {
+		t.Fatalf("true-cell fraction %v, want ~0.90", frac)
+	}
+}
+
+func TestPolarityDeterministic(t *testing.T) {
+	p1 := NewPolarityMap(7)
+	p2 := NewPolarityMap(7)
+	for bit := 0; bit < WordBits; bit++ {
+		if p1.IsTrueCell(3, 1234, bit) != p2.IsTrueCell(3, 1234, bit) {
+			t.Fatal("polarity not deterministic")
+		}
+	}
+}
+
+func TestDischargeObserved(t *testing.T) {
+	// A charged true cell storing 1 discharges to 0.
+	cells := BitSetOf(4)
+	truePol := BitSetOf(4)
+	corrupted, o2z, z2o := DischargeObserved(0xFFFFFFFF, cells, truePol)
+	if corrupted != 0xFFFFFFEF || o2z.Count() != 1 || z2o != 0 {
+		t.Fatalf("true-cell discharge: %08x %v %v", corrupted, o2z, z2o)
+	}
+	// The same cell storing 0 is already discharged: no effect.
+	corrupted, o2z, z2o = DischargeObserved(0x00000000, cells, truePol)
+	if corrupted != 0 || o2z != 0 || z2o != 0 {
+		t.Fatal("discharged true cell should be unobservable")
+	}
+	// An anti cell storing 0 is charged; discharge flips it to 1.
+	corrupted, o2z, z2o = DischargeObserved(0x00000000, cells, 0)
+	if corrupted != 0x10 || z2o.Count() != 1 || o2z != 0 {
+		t.Fatalf("anti-cell discharge: %08x", corrupted)
+	}
+	// An anti cell storing 1 is already discharged.
+	corrupted, _, _ = DischargeObserved(0xFFFFFFFF, cells, 0)
+	if corrupted != 0xFFFFFFFF {
+		t.Fatal("discharged anti cell should be unobservable")
+	}
+}
+
+func TestAddrMapping(t *testing.T) {
+	a := Addr(12345)
+	v := VirtAddr(a)
+	back, err := AddrOfVirt(v)
+	if err != nil || back != a {
+		t.Fatalf("round trip: %v %v", back, err)
+	}
+	if _, err := AddrOfVirt(3); err == nil {
+		t.Fatal("bogus virtual address accepted")
+	}
+	if WordsOf(3<<30) != 805306368 {
+		t.Fatalf("3GB words = %d", WordsOf(3<<30))
+	}
+	// Physical pages differ across nodes for the same address.
+	if PhysPage(1, a) == PhysPage(2, a) {
+		t.Fatal("page mapping should be node-dependent")
+	}
+}
+
+func TestDeviceStrikeAndScan(t *testing.T) {
+	dev := NewDevice(1, 1024, nil)
+	dev.Fill(0xFFFFFFFF)
+	// Find a word with a true-polarity bit so the strike is observable.
+	var addr Addr
+	var bit int
+	found := false
+	for a := Addr(0); a < 64 && !found; a++ {
+		for b := 0; b < WordBits; b++ {
+			if dev.Polarity.IsTrueCell(1, a, b) {
+				addr, bit, found = a, b, true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no true cell found (polarity broken)")
+	}
+	flipped := dev.Strike(addr, BitSetOf(bit))
+	if flipped.Count() != 1 {
+		t.Fatalf("strike flipped %v", flipped)
+	}
+	if dev.Read(addr) == 0xFFFFFFFF {
+		t.Fatal("storage not mutated")
+	}
+	// A write recharges the cells.
+	dev.Write(addr, 0xFFFFFFFF)
+	if dev.Read(addr) != 0xFFFFFFFF {
+		t.Fatal("write did not restore")
+	}
+}
+
+func TestDeviceWeakCellTick(t *testing.T) {
+	dev := NewDevice(2, 128, nil)
+	dev.Fill(0xFFFFFFFF)
+	var bit int = -1
+	for b := 0; b < WordBits; b++ {
+		if dev.Polarity.IsTrueCell(2, 7, b) {
+			bit = b
+			break
+		}
+	}
+	if bit < 0 {
+		t.Fatal("no true cell in word 7")
+	}
+	w := &WeakCell{Addr: 7, Bit: bit, LeakProb: 1.0, Active: false}
+	dev.AddWeakCell(w)
+	r := rng.New(3)
+	if changed := dev.Tick(r); len(changed) != 0 {
+		t.Fatal("inactive weak cell leaked")
+	}
+	w.Active = true
+	changed := dev.Tick(r)
+	if len(changed) != 1 || changed[0] != 7 {
+		t.Fatalf("active weak cell: changed=%v", changed)
+	}
+	if len(dev.WeakCells()) != 1 {
+		t.Fatal("weak cell registry")
+	}
+}
+
+func TestDeviceBounds(t *testing.T) {
+	dev := NewDevice(3, 10, nil)
+	if err := dev.CheckBounds(9); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.CheckBounds(10); err == nil {
+		t.Fatal("out-of-bounds accepted")
+	}
+	if dev.Strike(100, BitSetOf(1)) != 0 {
+		t.Fatal("out-of-range strike should be a no-op")
+	}
+}

@@ -1,0 +1,82 @@
+package dram
+
+// Cell polarity. A DRAM cell stores its logical value either directly
+// (true cell: charged capacitor = logical 1) or inverted (anti cell:
+// charged = logical 0); arrays mix both orientations for layout reasons.
+// A particle strike or retention failure *discharges* the capacitor, so
+// the observable flip direction depends on polarity: a discharged true
+// cell reads 1→0, a discharged anti cell reads 0→1.
+//
+// The paper observed ~90% of corrupted bits switching 1→0 ("an indication
+// that in the large majority of corruptions, the affected memory cell
+// loses some charge", §III-C). We reproduce this with a 90% true-cell
+// fraction assigned pseudo-randomly but deterministically per
+// (device, word, bit).
+
+// DefaultTrueCellFraction is the fraction of true-polarity cells.
+const DefaultTrueCellFraction = 0.90
+
+// PolarityMap deterministically assigns polarity to every cell of every
+// node's DRAM.
+type PolarityMap struct {
+	Seed         uint64
+	TrueFraction float64
+}
+
+// NewPolarityMap returns the study's polarity assignment.
+func NewPolarityMap(seed uint64) *PolarityMap {
+	return &PolarityMap{Seed: seed, TrueFraction: DefaultTrueCellFraction}
+}
+
+// mix64 is a strong 64-bit finalizer (splitmix64's output stage).
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// IsTrueCell reports the polarity of (node, word address, logical bit).
+func (p *PolarityMap) IsTrueCell(node uint64, addr Addr, bit int) bool {
+	h := mix64(p.Seed ^ mix64(node*0x9e3779b97f4a7c15^uint64(addr)<<6^uint64(bit)))
+	// Map to [0,1) using the top 53 bits.
+	f := float64(h>>11) / float64(1<<53)
+	return f < p.TrueFraction
+}
+
+// WordPolarity returns the BitSet of true-polarity bits in a word; the
+// complement is anti-polarity.
+func (p *PolarityMap) WordPolarity(node uint64, addr Addr) BitSet {
+	var b BitSet
+	for bit := 0; bit < WordBits; bit++ {
+		if p.IsTrueCell(node, addr, bit) {
+			b |= 1 << uint(bit)
+		}
+	}
+	return b
+}
+
+// DischargeObserved computes what the scanner sees when the given cells
+// discharge while the word holds expected.
+//
+// For each struck cell: if it is a true cell currently storing 1, the read
+// value flips to 0; if an anti cell currently storing 0, the read flips to
+// 1; otherwise the capacitor was already in the discharged state and the
+// strike is unobservable. The returned BitSets record which observed flips
+// went each direction.
+func DischargeObserved(expected uint32, cells BitSet, truePolarity BitSet) (corrupted uint32, ones2zeros, zeros2ones BitSet) {
+	corrupted = expected
+	for _, bit := range cells.Positions() {
+		mask := uint32(1) << uint(bit)
+		stored := expected&mask != 0
+		isTrue := truePolarity&(1<<uint(bit)) != 0
+		switch {
+		case isTrue && stored: // charged true cell: 1 -> 0
+			corrupted &^= mask
+			ones2zeros |= BitSet(mask)
+		case !isTrue && !stored: // charged anti cell: 0 -> 1
+			corrupted |= mask
+			zeros2ones |= BitSet(mask)
+		}
+	}
+	return corrupted, ones2zeros, zeros2ones
+}

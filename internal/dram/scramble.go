@@ -1,0 +1,177 @@
+package dram
+
+import (
+	"fmt"
+
+	"unprotected/internal/rng"
+)
+
+// Scrambler is the bijective mapping between physical cell positions and
+// logical bit positions within a word.
+//
+// DRAM layouts spread logically adjacent bits of a word across the array
+// (the paper: "this scrambling is done to avoid resonance on the bus",
+// §III-C). The consequence the paper measures is that a particle strike
+// upsetting physically adjacent cells corrupts non-adjacent logical bits:
+// the average in-word distance between corrupted bits was 3 and the maximum
+// 11, yet a minority of multi-bit errors were logically consecutive.
+//
+// The permutation is found once by a deterministic seeded search whose
+// acceptance window encodes those measured statistics; tests pin the
+// properties.
+type Scrambler struct {
+	perm [WordBits]int // physical position -> logical bit
+	inv  [WordBits]int // logical bit -> physical position
+}
+
+// Adjacency targets for the search, derived from Table I:
+// roughly 28% of multi-bit corruptions are logically consecutive, the mean
+// gap between corrupted bits is ~3 and the largest observed is 11.
+const (
+	adjFracConsecLo = 0.22
+	adjFracConsecHi = 0.42
+	adjMeanDiffLo   = 3.0
+	adjMeanDiffHi   = 5.0
+	adjMaxDiff      = 12
+)
+
+// NewScrambler builds the study's scrambler. The search is deterministic:
+// a fixed seed drives a greedy Hamiltonian-path construction over logical
+// positions with bounded step sizes, restarted until the adjacency
+// statistics fall in the acceptance window.
+func NewScrambler() *Scrambler {
+	s, err := searchScrambler(0x5eed0fdead)
+	if err != nil {
+		// The acceptance window is generous; the fixed seed is known to
+		// converge. A failure means the constants were edited carelessly.
+		panic(err)
+	}
+	return s
+}
+
+func searchScrambler(seed uint64) (*Scrambler, error) {
+	r := rng.New(seed)
+	for attempt := 0; attempt < 10000; attempt++ {
+		perm, ok := greedyPath(r)
+		if !ok {
+			continue
+		}
+		s := &Scrambler{}
+		for p, l := range perm {
+			s.perm[p] = l
+			s.inv[l] = p
+		}
+		frac, mean, max := s.AdjacencyStats()
+		if frac >= adjFracConsecLo && frac <= adjFracConsecHi &&
+			mean >= adjMeanDiffLo && mean <= adjMeanDiffHi && max <= adjMaxDiff {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("dram: scrambler search did not converge")
+}
+
+// greedyPath builds a sequence of logical positions where successive steps
+// are small with probability ~0.3 and otherwise bounded by adjMaxDiff,
+// which directly shapes the adjacency statistics.
+func greedyPath(r *rng.Stream) ([]int, bool) {
+	used := [WordBits]bool{}
+	path := make([]int, 0, WordBits)
+	cur := r.IntN(WordBits)
+	used[cur] = true
+	path = append(path, cur)
+	for len(path) < WordBits {
+		var candidates []int
+		wantStep1 := r.Bernoulli(0.30)
+		for v := 0; v < WordBits; v++ {
+			if used[v] {
+				continue
+			}
+			d := cur - v
+			if d < 0 {
+				d = -d
+			}
+			if wantStep1 && d == 1 {
+				candidates = append(candidates, v)
+			}
+			if !wantStep1 && d >= 2 && d <= adjMaxDiff {
+				candidates = append(candidates, v)
+			}
+		}
+		if len(candidates) == 0 {
+			// Fall back to any in-range neighbour before giving up.
+			for v := 0; v < WordBits; v++ {
+				if used[v] {
+					continue
+				}
+				d := cur - v
+				if d < 0 {
+					d = -d
+				}
+				if d <= adjMaxDiff {
+					candidates = append(candidates, v)
+				}
+			}
+		}
+		if len(candidates) == 0 {
+			return nil, false
+		}
+		cur = candidates[r.IntN(len(candidates))]
+		used[cur] = true
+		path = append(path, cur)
+	}
+	return path, true
+}
+
+// NewIdentityScrambler returns the no-scrambling layout: physical and
+// logical positions coincide. It exists for the ablation DESIGN.md calls
+// out — without layout scrambling, every multi-cell strike would corrupt
+// *consecutive* logical bits, and adjacent-bit-optimized ECC would look
+// far more effective than the paper measured (§III-C argues the opposite
+// from its data).
+func NewIdentityScrambler() *Scrambler {
+	s := &Scrambler{}
+	for i := 0; i < WordBits; i++ {
+		s.perm[i] = i
+		s.inv[i] = i
+	}
+	return s
+}
+
+// ToLogical maps a physical cell position to its logical bit.
+func (s *Scrambler) ToLogical(phys int) int { return s.perm[phys&(WordBits-1)] }
+
+// ToPhysical maps a logical bit to its physical cell position.
+func (s *Scrambler) ToPhysical(logical int) int { return s.inv[logical&(WordBits-1)] }
+
+// PhysRun maps a run of k physically contiguous cells starting at phys
+// (wrapping within the word tile) to the logical BitSet it corrupts.
+func (s *Scrambler) PhysRun(phys, k int) BitSet {
+	var b BitSet
+	for i := 0; i < k && i < WordBits; i++ {
+		b |= 1 << uint(s.perm[(phys+i)%WordBits])
+	}
+	return b
+}
+
+// AdjacencyStats summarizes what physically-adjacent cell pairs look like
+// logically: the fraction that are logically consecutive, the mean absolute
+// logical distance, and the max distance.
+func (s *Scrambler) AdjacencyStats() (fracConsecutive, meanDiff float64, maxDiff int) {
+	consec, total := 0, 0
+	sum := 0
+	for p := 0; p+1 < WordBits; p++ {
+		d := s.perm[p] - s.perm[p+1]
+		if d < 0 {
+			d = -d
+		}
+		if d == 1 {
+			consec++
+		}
+		sum += d
+		if d > maxDiff {
+			maxDiff = d
+		}
+		total++
+	}
+	return float64(consec) / float64(total), float64(sum) / float64(total), maxDiff
+}

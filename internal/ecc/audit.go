@@ -1,0 +1,69 @@
+package ecc
+
+// Audit tallies decoder outcomes for a corruption population under one
+// code. The eccaudit example and the §IV ablation benches use it to
+// compare SECDED and chipkill coverage over the corruptions the study
+// observed.
+type Audit struct {
+	Total        int
+	ByOutcome    map[Outcome]int
+	SilentByBits map[int]int // silent outcomes keyed by corrupted-bit count
+}
+
+// NewAudit returns an empty tally.
+func NewAudit() *Audit {
+	return &Audit{ByOutcome: make(map[Outcome]int), SilentByBits: make(map[int]int)}
+}
+
+// Add records one outcome for a corruption of the given bit multiplicity.
+func (a *Audit) Add(o Outcome, bitCount int) {
+	a.Total++
+	a.ByOutcome[o]++
+	if o.Silent() {
+		a.SilentByBits[bitCount]++
+	}
+}
+
+// Silent returns the count of silent-data-corruption outcomes.
+func (a *Audit) Silent() int {
+	return a.ByOutcome[Miscorrected] + a.ByOutcome[Undetected]
+}
+
+// Uncorrected returns everything the code failed to transparently fix
+// (detected + silent): the quantity related work compares across codes.
+func (a *Audit) Uncorrected() int {
+	return a.ByOutcome[Detected] + a.Silent()
+}
+
+// Classifier is the common shape of the word-level codecs.
+type Classifier interface {
+	// Classify returns the outcome for a 32-bit data word and flip mask.
+	Classify32(original, flipMask uint32) Outcome
+}
+
+// SECDED32 adapts SECDED (39,32) to the 32-bit Classifier shape.
+type SECDED32 struct{ C *SECDED }
+
+// Classify32 implements Classifier.
+func (s SECDED32) Classify32(original, flipMask uint32) Outcome {
+	return s.C.Classify(uint64(original), uint64(flipMask))
+}
+
+// Classify32 implements Classifier for chipkill.
+func (c *Chipkill) Classify32(original, flipMask uint32) Outcome {
+	return c.Classify(original, flipMask)
+}
+
+// RunAudit classifies each (word, mask) pair under the classifier.
+func RunAudit(cl Classifier, pairs [][2]uint32) *Audit {
+	a := NewAudit()
+	for _, p := range pairs {
+		o := cl.Classify32(p[0], p[1])
+		bc := 0
+		for m := p[1]; m != 0; m &= m - 1 {
+			bc++
+		}
+		a.Add(o, bc)
+	}
+	return a
+}

@@ -1,0 +1,287 @@
+package ecc
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestSECDEDCodeConstruction(t *testing.T) {
+	for _, c := range []*SECDED{NewSECDED3932(), NewSECDED7264()} {
+		seen := make(map[uint32]bool)
+		for i, col := range c.columns {
+			if col == 0 {
+				t.Fatalf("zero column at %d", i)
+			}
+			if seen[col] {
+				t.Fatalf("duplicate column %x", col)
+			}
+			seen[col] = true
+		}
+		// Data columns must be odd weight >= 3; check columns weight 1.
+		for i := 0; i < c.k; i++ {
+			w := bits.OnesCount32(c.columns[i])
+			if w%2 == 0 || w < 3 {
+				t.Fatalf("data column %d weight %d", i, w)
+			}
+		}
+		for i := c.k; i < c.N(); i++ {
+			if bits.OnesCount32(c.columns[i]) != 1 {
+				t.Fatalf("check column %d not weight 1", i)
+			}
+		}
+	}
+}
+
+func TestSECDEDCleanRoundTrip(t *testing.T) {
+	c := NewSECDED3932()
+	for _, data := range []uint64{0, 1, 0xFFFFFFFF, 0xDEADBEEF, 0x80000001} {
+		d, check := c.Encode(data)
+		if s := c.Syndrome(d, check); s != 0 {
+			t.Fatalf("clean codeword has syndrome %x", s)
+		}
+		got, out := c.Decode(d, check, data)
+		if out != OK || got != data {
+			t.Fatalf("clean decode: %v %x", out, got)
+		}
+	}
+}
+
+func TestSECDEDCorrectsEverySingleBit(t *testing.T) {
+	c := NewSECDED3932()
+	data := uint64(0xCAFEBABE)
+	d, check := c.Encode(data)
+	for i := 0; i < c.N(); i++ {
+		fd, fc := d, check
+		if i < c.K() {
+			fd ^= 1 << uint(i)
+		} else {
+			fc ^= 1 << uint(i-c.K())
+		}
+		got, out := c.Decode(fd, fc, data)
+		if out != Corrected {
+			t.Fatalf("single-bit flip at %d: outcome %v", i, out)
+		}
+		if got != data {
+			t.Fatalf("single-bit flip at %d: repaired to %x", i, got)
+		}
+	}
+}
+
+func TestSECDEDDetectsEveryDoubleBit(t *testing.T) {
+	// The Hsiao guarantee: no double error is miscorrected or missed.
+	c := NewSECDED3932()
+	data := uint64(0x12345678)
+	d, check := c.Encode(data)
+	flip := func(fd uint64, fc uint32, i int) (uint64, uint32) {
+		if i < c.K() {
+			return fd ^ 1<<uint(i), fc
+		}
+		return fd, fc ^ 1<<uint(i-c.K())
+	}
+	for i := 0; i < c.N(); i++ {
+		for j := i + 1; j < c.N(); j++ {
+			fd, fc := flip(d, check, i)
+			fd, fc = flip(fd, fc, j)
+			_, out := c.Decode(fd, fc, data)
+			if out != Detected {
+				t.Fatalf("double flip (%d,%d): outcome %v", i, j, out)
+			}
+		}
+	}
+}
+
+func TestSECDEDTripleBitsGoSilentOrDetected(t *testing.T) {
+	// Triples have odd syndromes: either miscorrected (silent!) or
+	// detected. Some MUST miscorrect — that is the paper's SDC mechanism.
+	c := NewSECDED3932()
+	data := uint64(0xFFFFFFFF)
+	d, check := c.Encode(data)
+	mis, det := 0, 0
+	for i := 0; i < c.k; i++ {
+		for j := i + 1; j < c.k; j++ {
+			for k := j + 1; k < c.k; k += 5 {
+				_, out := c.Decode(d^(1<<uint(i))^(1<<uint(j))^(1<<uint(k)), check, data)
+				switch out {
+				case Miscorrected:
+					mis++
+				case Detected:
+					det++
+				default:
+					t.Fatalf("triple (%d,%d,%d): outcome %v", i, j, k, out)
+				}
+			}
+		}
+	}
+	if mis == 0 {
+		t.Fatal("no triple miscorrected: SDC mechanism missing")
+	}
+	if det == 0 {
+		t.Fatal("no triple detected: decoder too permissive")
+	}
+}
+
+func TestSECDEDNeverOKWithFlips(t *testing.T) {
+	c := NewSECDED3932()
+	f := func(data uint32, mask uint32) bool {
+		if mask == 0 {
+			return c.Classify(uint64(data), 0) == OK
+		}
+		out := c.Classify(uint64(data), uint64(mask))
+		if bits.OnesCount32(mask) == 1 {
+			return out == Corrected
+		}
+		if bits.OnesCount32(mask) == 2 {
+			return out == Detected
+		}
+		return out != OK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSECDED7264(t *testing.T) {
+	c := NewSECDED7264()
+	data := uint64(0x0123456789ABCDEF)
+	d, check := c.Encode(data)
+	if s := c.Syndrome(d, check); s != 0 {
+		t.Fatalf("clean syndrome %x", s)
+	}
+	for _, i := range []int{0, 17, 63, 64, 71} {
+		fd, fc := d, check
+		if i < 64 {
+			fd ^= 1 << uint(i)
+		} else {
+			fc ^= 1 << uint(i-64)
+		}
+		if got, out := c.Decode(fd, fc, data); out != Corrected || got != data {
+			t.Fatalf("72,64 single flip at %d: %v", i, out)
+		}
+	}
+	if _, out := c.Decode(d^3, check, data); out != Detected {
+		t.Fatalf("72,64 double flip: %v", out)
+	}
+}
+
+func TestChipkillCorrectsAnySingleSymbol(t *testing.T) {
+	ck := NewChipkill()
+	words := []uint32{0, 0xFFFFFFFF, 0xDEADBEEF, 0x00000001}
+	for _, w := range words {
+		for sym := 0; sym < 8; sym++ {
+			for pat := uint32(1); pat < 16; pat++ {
+				mask := pat << (4 * sym)
+				out := ck.Classify(w, mask)
+				if out != Corrected {
+					t.Fatalf("word %08x, symbol %d, pattern %x: %v (chipkill must fix any single device)",
+						w, sym, pat, out)
+				}
+			}
+		}
+	}
+}
+
+func TestChipkillDetectsDoubleSymbols(t *testing.T) {
+	ck := NewChipkill()
+	rnd := rand.New(rand.NewPCG(5, 6))
+	silent := 0
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		w := rnd.Uint32()
+		s1 := rnd.IntN(8)
+		s2 := rnd.IntN(8)
+		for s2 == s1 {
+			s2 = rnd.IntN(8)
+		}
+		p1 := uint32(1 + rnd.IntN(15))
+		p2 := uint32(1 + rnd.IntN(15))
+		mask := p1<<(4*s1) | p2<<(4*s2)
+		out := ck.Classify(w, mask)
+		if out == Corrected || out == OK {
+			t.Fatalf("double-symbol corruption silently accepted: %v", out)
+		}
+		if out.Silent() {
+			silent++
+		}
+	}
+	// SSC-DSD guarantees detection of any two symbol errors.
+	if silent != 0 {
+		t.Fatalf("%d/%d double-symbol errors were silent", silent, trials)
+	}
+}
+
+func TestChipkillVsSECDEDOnAdjacentQuad(t *testing.T) {
+	// A 4-bit burst inside one device: chipkill corrects, SECDED can go
+	// silent or detect but never correct — the §IV comparison in one case.
+	ck := NewChipkill()
+	sec := NewSECDED3932()
+	word := uint32(0xFFFFFFFF)
+	mask := uint32(0xF) << 8 // all 4 bits of device 2
+	if out := ck.Classify(word, mask); out != Corrected {
+		t.Fatalf("chipkill on intra-device quad: %v", out)
+	}
+	if out := sec.Classify(uint64(word), uint64(mask)); out == Corrected || out == OK {
+		t.Fatalf("SECDED transparently passed an intra-device quad: %v", out)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	if OK.String() != "ok" || Corrected.String() != "corrected" ||
+		Detected.String() != "detected" || Miscorrected.String() != "miscorrected" ||
+		Undetected.String() != "undetected" {
+		t.Fatal("outcome strings")
+	}
+	if !Miscorrected.Silent() || !Undetected.Silent() || Detected.Silent() {
+		t.Fatal("silent classification")
+	}
+}
+
+func TestGF16Axioms(t *testing.T) {
+	for a := byte(0); a < 16; a++ {
+		if gfMul(a, 1) != a || gfMul(1, a) != a {
+			t.Fatal("multiplicative identity")
+		}
+		if gfMul(a, 0) != 0 {
+			t.Fatal("zero annihilates")
+		}
+		for b := byte(0); b < 16; b++ {
+			if gfMul(a, b) != gfMul(b, a) {
+				t.Fatal("commutativity")
+			}
+			if b != 0 {
+				if gfDiv(gfMul(a, b), b) != a {
+					t.Fatal("division inverts multiplication")
+				}
+			}
+			for c := byte(0); c < 16; c++ {
+				if gfMul(a, gfMul(b, c)) != gfMul(gfMul(a, b), c) {
+					t.Fatal("associativity")
+				}
+				if gfMul(a, b^c) != gfMul(a, b)^gfMul(a, c) {
+					t.Fatal("distributivity")
+				}
+			}
+		}
+	}
+}
+
+func TestRunAudit(t *testing.T) {
+	pairs := [][2]uint32{
+		{0xFFFFFFFF, 0x1},      // single: corrected
+		{0xFFFFFFFF, 0x3},      // double: detected
+		{0xFFFFFFFF, 0x0},      // clean
+		{0x12345678, 0x10101},  // triple
+		{0xABCDEF01, 0xF0F0F0}, // 12 bits
+	}
+	a := RunAudit(SECDED32{C: NewSECDED3932()}, pairs)
+	if a.Total != 5 {
+		t.Fatalf("total %d", a.Total)
+	}
+	if a.ByOutcome[Corrected] != 1 || a.ByOutcome[Detected] < 1 || a.ByOutcome[OK] != 1 {
+		t.Fatalf("outcomes %v", a.ByOutcome)
+	}
+	if a.Uncorrected() != a.Total-a.ByOutcome[Corrected]-a.ByOutcome[OK] {
+		t.Fatal("uncorrected arithmetic")
+	}
+}

@@ -1,0 +1,30 @@
+package ecc_test
+
+import (
+	"fmt"
+
+	"unprotected/internal/ecc"
+)
+
+// A single-bit flip is transparently corrected; a double-bit flip is
+// detected (machine check); some ≥3-bit flips are silently miscorrected —
+// the SDC mechanism behind the paper's §III-D events.
+func ExampleSECDED_Classify() {
+	code := ecc.NewSECDED3932()
+	fmt.Println("1 bit: ", code.Classify(0xFFFFFFFF, 1<<7))
+	fmt.Println("2 bits:", code.Classify(0xFFFFFFFF, 1<<7|1<<19))
+	// Output:
+	// 1 bit:  corrected
+	// 2 bits: detected
+}
+
+// Chipkill corrects any corruption confined to one x4 device, even all
+// four of its bits at once.
+func ExampleChipkill_Classify() {
+	ck := ecc.NewChipkill()
+	fmt.Println("whole device:", ck.Classify(0xDEADBEEF, 0xF<<12))
+	fmt.Println("two devices: ", ck.Classify(0xDEADBEEF, 1<<0|1<<31))
+	// Output:
+	// whole device: corrected
+	// two devices:  detected
+}

@@ -1,0 +1,58 @@
+package ecc
+
+// GF(16) arithmetic for the chipkill code: the field GF(2^4) with the
+// primitive polynomial x^4 + x + 1 (0x13). Elements are 4-bit nibbles;
+// exp/log tables make multiplication and inversion O(1).
+
+const (
+	gfPoly  = 0x13
+	gfOrder = 15 // multiplicative group order
+)
+
+var (
+	gfExp [2 * gfOrder]byte
+	gfLog [16]byte
+)
+
+func init() {
+	x := byte(1)
+	for i := 0; i < gfOrder; i++ {
+		gfExp[i] = x
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x10 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := gfOrder; i < 2*gfOrder; i++ {
+		gfExp[i] = gfExp[i-gfOrder]
+	}
+}
+
+// gfMul multiplies two GF(16) elements.
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfDiv divides a by b (b != 0).
+func gfDiv(a, b byte) byte {
+	if a == 0 {
+		return 0
+	}
+	if b == 0 {
+		panic("ecc: division by zero in GF(16)")
+	}
+	return gfExp[(int(gfLog[a])-int(gfLog[b])+gfOrder)%gfOrder]
+}
+
+// gfPow returns alpha^e for the primitive element alpha = 2.
+func gfPow(e int) byte {
+	e %= gfOrder
+	if e < 0 {
+		e += gfOrder
+	}
+	return gfExp[e]
+}

@@ -1,0 +1,188 @@
+// Package ecc implements the error-correcting codes the prototype lacked,
+// so the study can classify every observed corruption by what protected
+// hardware *would* have done with it (§III-C, §III-D):
+//
+//   - Hsiao SECDED codes — (39,32) for the scanner's 32-bit words and
+//     (72,64) as deployed on DDR DIMMs: single-bit errors are corrected,
+//     double-bit errors detected, and ≥3-bit errors may be miscorrected or
+//     pass entirely undetected (silent data corruption);
+//   - a chipkill-style single-symbol-correct / double-symbol-detect code
+//     over GF(16), which survives any corruption confined to one 4-bit
+//     device but not the scattered multi-device patterns the paper found
+//     dominant.
+//
+// All codecs are real encoders/decoders (syndrome computation, correction,
+// aliasing), not outcome tables.
+package ecc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Outcome classifies what an ECC would do with a corruption.
+type Outcome uint8
+
+const (
+	// OK: no corruption present.
+	OK Outcome = iota
+	// Corrected: the decoder repaired the word exactly.
+	Corrected
+	// Detected: the decoder flagged an uncorrectable error (machine check;
+	// typically a crash, but no silent corruption).
+	Detected
+	// Miscorrected: the decoder "repaired" the word into a *different*
+	// wrong value — silent data corruption with extra damage.
+	Miscorrected
+	// Undetected: the corrupted word passed the check unnoticed — silent
+	// data corruption.
+	Undetected
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case Detected:
+		return "detected"
+	case Miscorrected:
+		return "miscorrected"
+	case Undetected:
+		return "undetected"
+	default:
+		return fmt.Sprintf("Outcome(%d)", uint8(o))
+	}
+}
+
+// Silent reports whether the outcome is silent data corruption.
+func (o Outcome) Silent() bool { return o == Miscorrected || o == Undetected }
+
+// SECDED is an Hsiao single-error-correct double-error-detect code with k
+// data bits and r check bits. Columns of the parity-check matrix are
+// distinct odd-weight r-bit vectors, which guarantees:
+//   - single errors produce a syndrome equal to their column (correctable);
+//   - double errors produce an even-weight nonzero syndrome (detected,
+//     never confused with a single error);
+//   - triple errors produce odd-weight syndromes and are miscorrected if
+//     the syndrome collides with a column, detected otherwise;
+//   - some ≥4-bit errors alias to syndrome zero and pass undetected.
+type SECDED struct {
+	k, r    int
+	columns []uint32 // column (syndrome) of each codeword bit, data first then check
+	colIdx  map[uint32]int
+}
+
+// NewSECDED3932 returns the (39,32) code protecting 32-bit words.
+func NewSECDED3932() *SECDED { return newSECDED(32, 7) }
+
+// NewSECDED7264 returns the (72,64) code used on ECC DIMMs.
+func NewSECDED7264() *SECDED { return newSECDED(64, 8) }
+
+func newSECDED(k, r int) *SECDED {
+	c := &SECDED{k: k, r: r, colIdx: make(map[uint32]int)}
+	// Data columns: odd-weight vectors of weight >= 3, ascending.
+	var dataCols []uint32
+	for w := 3; w <= r && len(dataCols) < k; w += 2 {
+		for v := uint32(1); v < 1<<uint(r) && len(dataCols) < k; v++ {
+			if bits.OnesCount32(v) == w {
+				dataCols = append(dataCols, v)
+			}
+		}
+	}
+	if len(dataCols) < k {
+		panic(fmt.Sprintf("ecc: cannot build Hsiao code (%d,%d)", k+r, k))
+	}
+	c.columns = append(c.columns, dataCols...)
+	// Check-bit columns: weight-1 vectors.
+	for i := 0; i < r; i++ {
+		c.columns = append(c.columns, 1<<uint(i))
+	}
+	for i, col := range c.columns {
+		c.colIdx[col] = i
+	}
+	return c
+}
+
+// N returns the codeword length in bits.
+func (c *SECDED) N() int { return c.k + c.r }
+
+// K returns the data length in bits.
+func (c *SECDED) K() int { return c.k }
+
+// dataMask masks stored values to the code's data width.
+func (c *SECDED) dataMask() uint64 {
+	if c.k == 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(c.k) - 1
+}
+
+// Encode computes the check bits for up to 64 data bits (LSB-first). The
+// codeword is the pair (data, check) — a (72,64) codeword does not fit in
+// one machine word, so the two parts stay separate.
+func (c *SECDED) Encode(data uint64) (uint64, uint32) {
+	data &= c.dataMask()
+	var check uint32
+	for i := 0; i < c.k; i++ {
+		if data&(1<<uint(i)) != 0 {
+			check ^= c.columns[i]
+		}
+	}
+	return data, check
+}
+
+// Syndrome computes the syndrome of a (possibly corrupted) codeword.
+func (c *SECDED) Syndrome(data uint64, check uint32) uint32 {
+	var s uint32
+	for i := 0; i < c.k; i++ {
+		if data&(1<<uint(i)) != 0 {
+			s ^= c.columns[i]
+		}
+	}
+	// Check-bit columns are weight-1 unit vectors: XOR the check value in.
+	return s ^ check
+}
+
+// Decode inspects a codeword and returns the decoder's view: the
+// (possibly "repaired") data and the outcome relative to original data.
+// original is the data value that was encoded; the decoder itself never
+// sees it — it is used only to classify miscorrection vs correction.
+func (c *SECDED) Decode(data uint64, check uint32, original uint64) (uint64, Outcome) {
+	original &= c.dataMask()
+	s := c.Syndrome(data, check)
+	if s == 0 {
+		if data == original {
+			return data, OK
+		}
+		return data, Undetected
+	}
+	if bits.OnesCount32(s)%2 == 1 {
+		// Odd syndrome: the decoder assumes a single-bit error.
+		if i, ok := c.colIdx[s]; ok {
+			repaired := data
+			if i < c.k {
+				repaired = data ^ (1 << uint(i))
+			}
+			// i >= k repairs a check bit: data is untouched.
+			if repaired == original {
+				return repaired, Corrected
+			}
+			return repaired, Miscorrected
+		}
+		// Odd syndrome matching no column: uncorrectable.
+		return data, Detected
+	}
+	// Even nonzero syndrome: double (or even-weight) error, uncorrectable.
+	return data, Detected
+}
+
+// Classify runs the full encode→corrupt→decode path for a data word and a
+// corruption mask applied to its *data bits* (the scanner only observes
+// data corruption; check bits lived in the stripped ECC device).
+func (c *SECDED) Classify(original uint64, flipMask uint64) Outcome {
+	data, check := c.Encode(original)
+	_, out := c.Decode(data^(flipMask&c.dataMask()), check, original)
+	return out
+}

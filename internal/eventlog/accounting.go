@@ -1,0 +1,115 @@
+package eventlog
+
+import (
+	"time"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/timebase"
+	"unprotected/internal/units"
+)
+
+// Session is one reconstructed scanner run on a node: from a START record
+// to the matching END.
+type Session struct {
+	Host       cluster.NodeID
+	From, To   timebase.T
+	AllocBytes int64
+	// Truncated marks sessions whose END was never logged (hard reboot).
+	// Per §II-B these contribute zero monitored time: "we took a
+	// conservative approach and we assumed 0 hours of memory monitoring".
+	Truncated bool
+}
+
+// Duration returns the monitored time, zero for truncated sessions.
+func (s Session) Duration() time.Duration {
+	if s.Truncated || s.To <= s.From {
+		return 0
+	}
+	return s.To.Sub(s.From)
+}
+
+// TBh returns the memory-time scanned by the session.
+func (s Session) TBh() units.TBh {
+	return units.TBhOf(s.AllocBytes, s.Duration())
+}
+
+// Accounting reconstructs sessions and accumulates monitored hours and
+// terabyte-hours per node from an ordered record stream. Records of
+// different hosts may be interleaved; records of one host must be in time
+// order (as they are in per-node log files).
+type Accounting struct {
+	open     map[cluster.NodeID]*Session
+	Sessions []Session
+}
+
+// NewAccounting returns an empty accumulator.
+func NewAccounting() *Accounting {
+	return &Accounting{open: make(map[cluster.NodeID]*Session)}
+}
+
+// Observe consumes one record.
+func (a *Accounting) Observe(r Record) {
+	switch r.Kind {
+	case KindStart:
+		if prev, ok := a.open[r.Host]; ok {
+			// START after START: the node was hard-rebooted and the END
+			// lost. Close the previous session as truncated (0 hours).
+			prev.Truncated = true
+			a.Sessions = append(a.Sessions, *prev)
+		}
+		a.open[r.Host] = &Session{Host: r.Host, From: r.At, AllocBytes: r.AllocBytes}
+	case KindEnd:
+		if s, ok := a.open[r.Host]; ok {
+			s.To = r.At
+			a.Sessions = append(a.Sessions, *s)
+			delete(a.open, r.Host)
+		}
+		// An END without a START is dropped: nothing can be accounted.
+	}
+}
+
+// Finish closes still-open sessions as truncated and returns all sessions.
+func (a *Accounting) Finish() []Session {
+	for _, s := range a.open {
+		s.Truncated = true
+		a.Sessions = append(a.Sessions, *s)
+	}
+	a.open = make(map[cluster.NodeID]*Session)
+	return a.Sessions
+}
+
+// HoursByNode sums monitored hours per node.
+func (a *Accounting) HoursByNode() map[cluster.NodeID]float64 {
+	out := make(map[cluster.NodeID]float64)
+	for _, s := range a.Sessions {
+		out[s.Host] += s.Duration().Hours()
+	}
+	return out
+}
+
+// TBhByNode sums scanned terabyte-hours per node.
+func (a *Accounting) TBhByNode() map[cluster.NodeID]units.TBh {
+	out := make(map[cluster.NodeID]units.TBh)
+	for _, s := range a.Sessions {
+		out[s.Host] += s.TBh()
+	}
+	return out
+}
+
+// TotalNodeHours sums monitored time across all nodes.
+func (a *Accounting) TotalNodeHours() units.NodeHours {
+	var total float64
+	for _, s := range a.Sessions {
+		total += s.Duration().Hours()
+	}
+	return units.NodeHours(total)
+}
+
+// TotalTBh sums scanned memory-time across all nodes.
+func (a *Accounting) TotalTBh() units.TBh {
+	var total units.TBh
+	for _, s := range a.Sessions {
+		total += s.TBh()
+	}
+	return total
+}

@@ -1,0 +1,266 @@
+// Package eventlog defines the memory scanner's log records and their text
+// format, mirroring §II-B of the paper:
+//
+//   - START: timestamp, allocated bytes, host name, node temperature
+//   - ERROR: timestamp, host, virtual address, actual value, expected
+//     value, temperature, physical page address
+//   - END: timestamp, host, temperature
+//   - ALLOCFAIL: timestamp, host (kept in a separate file on the real
+//     system; here a record kind)
+//
+// It also implements the paper's conservative node-hour accounting: a START
+// followed by another START (hard reboot, END lost) contributes zero
+// monitored hours.
+package eventlog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/thermal"
+	"unprotected/internal/timebase"
+)
+
+// Kind discriminates log records.
+type Kind uint8
+
+const (
+	KindStart Kind = iota
+	KindError
+	KindEnd
+	KindAllocFail
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindStart:
+		return "START"
+	case KindError:
+		return "ERROR"
+	case KindEnd:
+		return "END"
+	case KindAllocFail:
+		return "ALLOCFAIL"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Record is one scanner log entry. Unused fields are zero; TempC is
+// thermal.NoReading when the node had no temperature telemetry.
+type Record struct {
+	Kind       Kind
+	At         timebase.T
+	Host       cluster.NodeID
+	AllocBytes int64   // START only
+	TempC      float64 // START, ERROR, END
+	VAddr      uint64  // ERROR only
+	Actual     uint32  // ERROR only
+	Expected   uint32  // ERROR only
+	PhysPage   uint64  // ERROR only
+}
+
+// tsLayout is the timestamp format in log files.
+const tsLayout = "2006-01-02T15:04:05Z"
+
+// AppendText renders the record in the canonical line format (no trailing
+// newline) and returns the extended buffer.
+func (r Record) AppendText(b []byte) []byte {
+	b = append(b, r.Kind.String()...)
+	b = append(b, " ts="...)
+	b = r.At.Time().AppendFormat(b, tsLayout)
+	b = append(b, " host="...)
+	b = append(b, r.Host.String()...)
+	switch r.Kind {
+	case KindStart:
+		b = append(b, " alloc="...)
+		b = strconv.AppendInt(b, r.AllocBytes, 10)
+		b = appendTemp(b, r.TempC)
+	case KindError:
+		b = append(b, " vaddr=0x"...)
+		b = strconv.AppendUint(b, r.VAddr, 16)
+		b = append(b, " actual=0x"...)
+		b = appendHex32(b, r.Actual)
+		b = append(b, " expected=0x"...)
+		b = appendHex32(b, r.Expected)
+		b = appendTemp(b, r.TempC)
+		b = append(b, " ppage=0x"...)
+		b = strconv.AppendUint(b, r.PhysPage, 16)
+	case KindEnd:
+		b = appendTemp(b, r.TempC)
+	}
+	return b
+}
+
+func appendHex32(b []byte, v uint32) []byte {
+	const digits = "0123456789abcdef"
+	for shift := 28; shift >= 0; shift -= 4 {
+		b = append(b, digits[(v>>uint(shift))&0xf])
+	}
+	return b
+}
+
+func appendTemp(b []byte, t float64) []byte {
+	b = append(b, " temp="...)
+	if !thermal.HasReading(t) {
+		return append(b, "NA"...)
+	}
+	return strconv.AppendFloat(b, t, 'f', 1, 64)
+}
+
+// String renders the canonical line.
+func (r Record) String() string { return string(r.AppendText(nil)) }
+
+// Parse parses one canonical log line.
+func Parse(line string) (Record, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return Record{}, fmt.Errorf("eventlog: empty line")
+	}
+	var rec Record
+	switch fields[0] {
+	case "START":
+		rec.Kind = KindStart
+	case "ERROR":
+		rec.Kind = KindError
+	case "END":
+		rec.Kind = KindEnd
+	case "ALLOCFAIL":
+		rec.Kind = KindAllocFail
+	default:
+		return Record{}, fmt.Errorf("eventlog: unknown record kind %q", fields[0])
+	}
+	rec.TempC = thermal.NoReading
+	var sawTS, sawHost bool
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return Record{}, fmt.Errorf("eventlog: malformed field %q", f)
+		}
+		var err error
+		switch k {
+		case "ts":
+			var t time.Time
+			t, err = time.Parse(tsLayout, v)
+			rec.At = timebase.FromTime(t)
+			sawTS = true
+		case "host":
+			rec.Host, err = cluster.ParseNodeID(v)
+			sawHost = true
+		case "alloc":
+			rec.AllocBytes, err = strconv.ParseInt(v, 10, 64)
+		case "temp":
+			if v != "NA" {
+				rec.TempC, err = strconv.ParseFloat(v, 64)
+			}
+		case "vaddr":
+			rec.VAddr, err = parseHex(v)
+		case "actual":
+			var u uint64
+			u, err = parseHex(v)
+			rec.Actual = uint32(u)
+		case "expected":
+			var u uint64
+			u, err = parseHex(v)
+			rec.Expected = uint32(u)
+		case "ppage":
+			rec.PhysPage, err = parseHex(v)
+		default:
+			return Record{}, fmt.Errorf("eventlog: unknown field %q", k)
+		}
+		if err != nil {
+			return Record{}, fmt.Errorf("eventlog: field %q: %w", f, err)
+		}
+	}
+	if !sawTS || !sawHost {
+		return Record{}, fmt.Errorf("eventlog: record missing mandatory ts/host fields: %q", line)
+	}
+	return rec, nil
+}
+
+func parseHex(s string) (uint64, error) {
+	s = strings.TrimPrefix(s, "0x")
+	return strconv.ParseUint(s, 16, 64)
+}
+
+// Writer streams records as text lines.
+type Writer struct {
+	w   *bufio.Writer
+	buf []byte
+	n   int
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Write emits one record line.
+func (lw *Writer) Write(r Record) error {
+	lw.buf = r.AppendText(lw.buf[:0])
+	lw.buf = append(lw.buf, '\n')
+	lw.n++
+	_, err := lw.w.Write(lw.buf)
+	return err
+}
+
+// Count returns how many records were written.
+func (lw *Writer) Count() int { return lw.n }
+
+// Flush flushes buffered output.
+func (lw *Writer) Flush() error { return lw.w.Flush() }
+
+// Reader streams records from text lines, skipping blank lines. Malformed
+// lines abort with a positioned error: silent log corruption must never
+// skew a reliability study.
+type Reader struct {
+	s    *bufio.Scanner
+	line int
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 64*1024), 1024*1024)
+	return &Reader{s: s}
+}
+
+// Next returns the next record, io.EOF at end of input.
+func (lr *Reader) Next() (Record, error) {
+	for lr.s.Scan() {
+		lr.line++
+		text := strings.TrimSpace(lr.s.Text())
+		if text == "" {
+			continue
+		}
+		rec, err := Parse(text)
+		if err != nil {
+			return Record{}, fmt.Errorf("line %d: %w", lr.line, err)
+		}
+		return rec, nil
+	}
+	if err := lr.s.Err(); err != nil {
+		return Record{}, err
+	}
+	return Record{}, io.EOF
+}
+
+// ReadAll consumes the stream into a slice (small logs only; the campaign
+// pipeline streams instead).
+func ReadAll(r io.Reader) ([]Record, error) {
+	lr := NewReader(r)
+	var out []Record
+	for {
+		rec, err := lr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,87 @@
+package eventlog
+
+import (
+	"strings"
+	"testing"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/thermal"
+	"unprotected/internal/timebase"
+)
+
+// FuzzParse hammers the log-line parser: it must never panic and must
+// reject or round-trip — a reliability study cannot afford a log reader
+// that silently mangles its input.
+func FuzzParse(f *testing.F) {
+	for _, rec := range sampleRecords() {
+		f.Add(rec.String())
+	}
+	f.Add("START ts=2015-02-01T00:00:00Z host=01-01 alloc=0 temp=NA")
+	f.Add("ERROR ts=2015-12-31T23:59:59Z host=72-15 vaddr=0x0 actual=0x0 expected=0x0 temp=-5.0 ppage=0x0")
+	f.Add("")
+	f.Add("ERROR ts= host=")
+	f.Add(strings.Repeat("a=b ", 100))
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := Parse(line)
+		if err != nil {
+			return
+		}
+		// Anything accepted must render and re-parse stably.
+		again, err := Parse(rec.String())
+		if err != nil {
+			t.Fatalf("accepted %q but re-parse of %q failed: %v", line, rec.String(), err)
+		}
+		if again.String() != rec.String() {
+			t.Fatalf("canonical form unstable:\n1: %s\n2: %s", rec.String(), again.String())
+		}
+	})
+}
+
+// FuzzRecordRender drives the renderer with arbitrary field values: every
+// rendered record must parse back with identity fields intact.
+func FuzzRecordRender(f *testing.F) {
+	f.Add(uint8(0), int64(0), 1, 1, int64(0), uint32(0), uint32(0), 0.0, uint64(0))
+	f.Add(uint8(1), int64(1000), 2, 4, int64(3<<30), uint32(0xffffffff), uint32(0xffff7bff), 35.5, uint64(0x12345))
+	f.Add(uint8(2), int64(999999), 72, 15, int64(1), uint32(1), uint32(2), -10.0, uint64(1))
+	f.Fuzz(func(t *testing.T, kind uint8, at int64, blade, soc int, alloc int64,
+		expected, actual uint32, temp float64, page uint64) {
+		if at < 0 {
+			at = -at
+		}
+		if alloc < 0 {
+			alloc = -alloc
+		}
+		if blade < 0 {
+			blade = -blade
+		}
+		if soc < 0 {
+			soc = -soc
+		}
+		rec := Record{
+			Kind:       Kind(kind % 4),
+			At:         timebase.T(at % (400 * 86400)),
+			Host:       cluster.NodeID{Blade: blade%cluster.TotalBlades + 1, SoC: soc%cluster.SoCsPerBlade + 1},
+			AllocBytes: alloc,
+			Expected:   expected,
+			Actual:     actual,
+			TempC:      temp,
+			PhysPage:   page,
+			VAddr:      0x7f2a_0000_0000 + (page%1000)*4,
+		}
+		// Normalize unrenderable temperatures to the sentinel, as the
+		// thermal model does, then quantize to the renderer's precision.
+		if rec.TempC < -200 || rec.TempC > 1000 || rec.TempC != rec.TempC {
+			rec.TempC = thermal.NoReading
+		}
+		if thermal.HasReading(rec.TempC) {
+			rec.TempC = float64(int(rec.TempC*10)) / 10
+		}
+		back, err := Parse(rec.String())
+		if err != nil {
+			t.Fatalf("rendered record failed to parse: %v\n%s", err, rec.String())
+		}
+		if back.Kind != rec.Kind || back.Host != rec.Host || back.At != rec.At {
+			t.Fatalf("identity fields mangled: %+v vs %+v", back, rec)
+		}
+	})
+}

@@ -1,0 +1,34 @@
+package extract_test
+
+import (
+	"fmt"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/dram"
+	"unprotected/internal/eventlog"
+	"unprotected/internal/extract"
+	"unprotected/internal/timebase"
+)
+
+// Three consecutive ERROR records at the same cell collapse into one
+// independent fault (§II-C): "even if such a fault produced many incorrect
+// values for thousands of consecutive iterations, we count this as one
+// single memory error".
+func ExampleCollapser() {
+	host := cluster.NodeID{Blade: 2, SoC: 4}
+	c := extract.NewCollapser()
+	for i := 0; i < 3; i++ {
+		c.Observe(eventlog.Record{
+			Kind: eventlog.KindError, At: timebase.T(100 + 11*i), Host: host,
+			VAddr: dram.VirtAddr(7), Expected: 0xFFFFFFFF, Actual: 0xFFFF7BFF,
+		})
+	}
+	runs, raw := c.Close()
+	fault := extract.Classify(runs[0])
+	fmt.Printf("%d raw records -> %d fault(s)\n", raw, len(runs))
+	fmt.Printf("corrupted bits: %v (multi-bit: %v, consecutive: %v)\n",
+		fault.Bits, fault.MultiBit(), fault.Bits.Consecutive())
+	// Output:
+	// 3 raw records -> 1 fault(s)
+	// corrupted bits: {10,15} (multi-bit: true, consecutive: false)
+}

@@ -1,0 +1,294 @@
+// Package extract implements the error-extraction methodology of §II-C.
+//
+// The scanner logs every mismatch it sees, so one faulty cell showing the
+// same wrong value for thousands of consecutive passes produces thousands
+// of ERROR records that all share a single root cause. Extraction collapses
+// such consecutive records (same node, address and corruption pattern,
+// small time gap) into one *independent memory fault* — the unit every
+// analysis in the paper counts.
+//
+// Extraction also performs the simultaneity grouping of §III-C: faults
+// first observed in the same scan iteration of the same node are treated as
+// one multi-region event (the per-node notion of a multi-bit error), which
+// is how the paper discovered that single-bit ECC counters would badly
+// misrepresent failure structure.
+package extract
+
+import (
+	"sort"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/dram"
+	"unprotected/internal/eventlog"
+	"unprotected/internal/thermal"
+	"unprotected/internal/timebase"
+)
+
+// RawRun is a maximal run of consecutive ERROR records sharing one root
+// cause: same node, same address, same corruption pattern, adjacent in
+// time. The campaign's fast-forward session simulator produces runs
+// directly; real scanner logs are collapsed into runs by Collapser.
+type RawRun struct {
+	Node     cluster.NodeID
+	Addr     dram.Addr
+	FirstAt  timebase.T
+	LastAt   timebase.T
+	Logs     int // raw ERROR records in the run
+	Expected uint32
+	Actual   uint32
+	TempC    float64 // temperature at first observation (NoReading if none)
+}
+
+// Fault is one independent memory error with its derived classification.
+type Fault struct {
+	RawRun
+	// Bits is the set of corrupted logical bit positions.
+	Bits dram.BitSet
+	// Ones2Zeros/Zeros2Ones split Bits by flip direction.
+	Ones2Zeros dram.BitSet
+	Zeros2Ones dram.BitSet
+}
+
+// Classify derives the fault view of a run.
+func Classify(r RawRun) Fault {
+	diff := r.Expected ^ r.Actual
+	return Fault{
+		RawRun:     r,
+		Bits:       dram.BitSet(diff),
+		Ones2Zeros: dram.BitSet(r.Expected & diff),
+		Zeros2Ones: dram.BitSet(r.Actual & diff),
+	}
+}
+
+// BitCount returns the number of corrupted bits in the word.
+func (f Fault) BitCount() int { return f.Bits.Count() }
+
+// MultiBit reports whether the fault corrupts more than one bit of the
+// word (the paper's standard definition of a multi-bit error).
+func (f Fault) MultiBit() bool { return f.BitCount() > 1 }
+
+// HasTemp reports whether the fault carries temperature telemetry.
+func (f Fault) HasTemp() bool { return thermal.HasReading(f.TempC) }
+
+// DefaultGap is the time tolerance for collapsing records into a run. The
+// scanner only observes a persistent discharge on pattern phases matching
+// the stuck state, so "consecutive" manifestations can be one or two scan
+// iterations apart; 60 s covers several iterations of a 3 GB scan.
+const DefaultGap = 60 // seconds
+
+// Collapser streams eventlog records into runs. Feed records of a single
+// node in time order (per-node log files guarantee this); Close flushes
+// still-open runs.
+type Collapser struct {
+	Gap  timebase.T // maximum FirstAt..next gap within a run, seconds
+	open map[dram.Addr]*RawRun
+	done []RawRun
+	raw  int64
+}
+
+// NewCollapser returns a collapser with the default gap tolerance.
+func NewCollapser() *Collapser {
+	return &Collapser{Gap: DefaultGap, open: make(map[dram.Addr]*RawRun)}
+}
+
+// Observe consumes one record; non-ERROR records are ignored.
+func (c *Collapser) Observe(rec eventlog.Record) {
+	if rec.Kind != eventlog.KindError {
+		return
+	}
+	c.raw++
+	addr, err := dram.AddrOfVirt(rec.VAddr)
+	if err != nil {
+		// Unmappable addresses cannot be grouped; count them as their own
+		// single-record runs keyed by a synthesized address.
+		addr = dram.Addr(rec.VAddr & 0x7fffffff)
+	}
+	run, ok := c.open[addr]
+	samePattern := ok && run.Expected^run.Actual == rec.Expected^rec.Actual
+	if ok && samePattern && rec.At-run.LastAt <= c.Gap {
+		run.LastAt = rec.At
+		run.Logs++
+		return
+	}
+	if ok {
+		c.done = append(c.done, *run)
+	}
+	c.open[addr] = &RawRun{
+		Node: rec.Host, Addr: addr, FirstAt: rec.At, LastAt: rec.At, Logs: 1,
+		Expected: rec.Expected, Actual: rec.Actual, TempC: rec.TempC,
+	}
+}
+
+// Close flushes open runs and returns every run in first-seen order along
+// with the raw record count.
+func (c *Collapser) Close() ([]RawRun, int64) {
+	for _, run := range c.open {
+		c.done = append(c.done, *run)
+	}
+	c.open = make(map[dram.Addr]*RawRun)
+	sort.Slice(c.done, func(i, j int) bool {
+		if c.done[i].FirstAt != c.done[j].FirstAt {
+			return c.done[i].FirstAt < c.done[j].FirstAt
+		}
+		return c.done[i].Addr < c.done[j].Addr
+	})
+	return c.done, c.raw
+}
+
+// Faults classifies a slice of runs.
+func Faults(runs []RawRun) []Fault {
+	out := make([]Fault, len(runs))
+	for i, r := range runs {
+		out[i] = Classify(r)
+	}
+	return out
+}
+
+// SortFaults orders faults by (time, node, address, pattern, extent) — a
+// total order over every field so the canonical order is identical no
+// matter how parallel simulation interleaved the input (two glitches can
+// corrupt the same address in the same iteration with different patterns,
+// so the key must go all the way down).
+func SortFaults(fs []Fault) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := &fs[i], &fs[j]
+		switch {
+		case a.FirstAt != b.FirstAt:
+			return a.FirstAt < b.FirstAt
+		case a.Node != b.Node:
+			return a.Node.Index() < b.Node.Index()
+		case a.Addr != b.Addr:
+			return a.Addr < b.Addr
+		case a.Expected != b.Expected:
+			return a.Expected < b.Expected
+		case a.Actual != b.Actual:
+			return a.Actual < b.Actual
+		case a.LastAt != b.LastAt:
+			return a.LastAt < b.LastAt
+		default:
+			return a.Logs < b.Logs
+		}
+	})
+}
+
+// Group is a set of faults first observed in the same scan iteration of
+// the same node — the paper's "simultaneous corruptions" (§III-C).
+type Group struct {
+	Node   cluster.NodeID
+	At     timebase.T
+	Faults []Fault
+}
+
+// TotalBits returns the number of corrupted bits across the whole group
+// (the paper saw one event corrupt 36 bits across different words).
+func (g Group) TotalBits() int {
+	total := 0
+	for _, f := range g.Faults {
+		total += f.BitCount()
+	}
+	return total
+}
+
+// MaxWordBits returns the largest per-word bit count in the group.
+func (g Group) MaxWordBits() int {
+	max := 0
+	for _, f := range g.Faults {
+		if n := f.BitCount(); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Groups buckets faults into simultaneity groups. Faults must not be
+// mutated afterwards; group membership shares the input slice's values.
+func Groups(fs []Fault) []Group {
+	type key struct {
+		node cluster.NodeID
+		at   timebase.T
+	}
+	idx := make(map[key]int)
+	var out []Group
+	for _, f := range fs {
+		k := key{f.Node, f.FirstAt}
+		i, ok := idx[k]
+		if !ok {
+			i = len(out)
+			idx[k] = i
+			out = append(out, Group{Node: f.Node, At: f.FirstAt})
+		}
+		out[i].Faults = append(out[i].Faults, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Node.Index() < out[j].Node.Index()
+	})
+	return out
+}
+
+// SimultaneityStats are the §III-C aggregates.
+type SimultaneityStats struct {
+	// FaultsInGroups counts faults that co-occurred with at least one
+	// other fault on the same node (paper: >26,000).
+	FaultsInGroups int
+	// SingleBitOnly counts co-occurring faults where every member of the
+	// group is single-bit (paper: >99.9% of the above).
+	SingleBitOnly int
+	// DoubleWithSingle counts double-bit faults co-occurring with a
+	// single-bit fault elsewhere (paper: 44).
+	DoubleWithSingle int
+	// TripleWithSingle counts triple-bit faults co-occurring with a
+	// single-bit fault (paper: 2).
+	TripleWithSingle int
+	// DoubleDoublePairs counts groups containing two double-bit faults
+	// (paper: 1).
+	DoubleDoublePairs int
+	// MaxGroupBits is the largest total corrupted bits in one group
+	// (paper: 36).
+	MaxGroupBits int
+}
+
+// Simultaneity computes the §III-C aggregates over groups.
+func Simultaneity(groups []Group) SimultaneityStats {
+	var s SimultaneityStats
+	for _, g := range groups {
+		if tb := g.TotalBits(); tb > s.MaxGroupBits {
+			s.MaxGroupBits = tb
+		}
+		if len(g.Faults) < 2 {
+			continue
+		}
+		s.FaultsInGroups += len(g.Faults)
+		allSingle := true
+		singles, doubles, triples := 0, 0, 0
+		for _, f := range g.Faults {
+			switch f.BitCount() {
+			case 1:
+				singles++
+			case 2:
+				doubles++
+				allSingle = false
+			case 3:
+				triples++
+				allSingle = false
+			default:
+				allSingle = false
+			}
+		}
+		if allSingle {
+			s.SingleBitOnly += len(g.Faults)
+		}
+		if doubles > 0 && singles > 0 {
+			s.DoubleWithSingle += doubles
+		}
+		if triples > 0 && singles > 0 {
+			s.TripleWithSingle += triples
+		}
+		if doubles >= 2 {
+			s.DoubleDoublePairs += doubles / 2
+		}
+	}
+	return s
+}

@@ -1,0 +1,87 @@
+package faults
+
+import (
+	"unprotected/internal/dram"
+	"unprotected/internal/extract"
+	"unprotected/internal/radiation"
+)
+
+// Ambient is the radiation-driven background every scanned node sees:
+// occasional transient strikes, overwhelmingly single-cell, occasionally a
+// multi-cell event. Multi-cell strikes follow DRAM layout: adjacent cells
+// in a row belong to *different* logical words (column interleaving), so a
+// shower manifests as several simultaneous single-bit errors in different
+// memory regions; only the rare intra-column burst corrupts multiple bits
+// of one word.
+type Ambient struct {
+	Gen *radiation.Generator
+	// ColumnBurstProb is the chance a multi-cell strike lands within one
+	// word's cells instead of across words.
+	ColumnBurstProb float64
+	// AddrStride spaces the words hit by a row-run shower; adjacent row
+	// cells map to addresses far apart in the scanner's address space.
+	AddrStride int64
+}
+
+// NewAmbient builds the background source with the study's geometry mix.
+func NewAmbient(gen *radiation.Generator) *Ambient {
+	return &Ambient{Gen: gen, ColumnBurstProb: 0.05, AddrStride: 797}
+}
+
+// Emit samples strikes in the window and materializes the observable ones.
+// A strike is absorbed silently when every struck cell was already in its
+// discharged state for the current scan phase — raw error rate studies see
+// only the observable fraction.
+func (a *Ambient) Emit(ctx *SessionCtx, out *[]extract.RawRun) int64 {
+	events := a.Gen.Window(ctx.Window.From, ctx.Window.To, ctx.Rng)
+	var raw int64
+	node := uint64(ctx.Node.Index())
+	for _, ev := range events {
+		k := ctx.iterAt(ev.At)
+		detect := ctx.detectAt(k)
+		if detect < 0 {
+			continue
+		}
+		stored := ctx.storedAt(k)
+		switch {
+		case ev.Cells == 1:
+			addr := dram.Addr(ctx.Rng.Int64N(ctx.Words))
+			phys := ctx.Rng.IntN(dram.WordBits)
+			cells := dram.BitSetOf(ctx.Scrambler.ToLogical(phys))
+			pol := ctx.Polarity.WordPolarity(node, addr)
+			corrupted, o2z, z2o := dram.DischargeObserved(stored, cells, pol)
+			if o2z|z2o == 0 {
+				continue
+			}
+			*out = append(*out, ctx.run(addr, detect, detect, 1, stored, corrupted))
+			raw++
+		case ctx.Rng.Bernoulli(a.ColumnBurstProb):
+			// Intra-word burst: contiguous physical cells of one word.
+			addr := dram.Addr(ctx.Rng.Int64N(ctx.Words))
+			cells := ctx.Scrambler.PhysRun(ctx.Rng.IntN(dram.WordBits), ev.Cells)
+			pol := ctx.Polarity.WordPolarity(node, addr)
+			corrupted, o2z, z2o := dram.DischargeObserved(stored, cells, pol)
+			if o2z|z2o == 0 {
+				continue
+			}
+			*out = append(*out, ctx.run(addr, detect, detect, 1, stored, corrupted))
+			raw++
+		default:
+			// Row-run shower: one cell in each of ev.Cells different words.
+			base := ctx.Rng.Int64N(ctx.Words)
+			for i := 0; i < ev.Cells; i++ {
+				addr := dram.Addr((base + int64(i)*a.AddrStride) % ctx.Words)
+				phys := ctx.Rng.IntN(dram.WordBits)
+				cells := dram.BitSetOf(ctx.Scrambler.ToLogical(phys))
+				pol := ctx.Polarity.WordPolarity(node, addr)
+				corrupted, o2z, z2o := dram.DischargeObserved(stored, cells, pol)
+				if o2z|z2o == 0 {
+					continue
+				}
+				*out = append(*out, ctx.run(addr, detect, detect, 1, stored, corrupted))
+				raw++
+			}
+		}
+	}
+	return raw
+}

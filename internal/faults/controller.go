@@ -1,0 +1,249 @@
+package faults
+
+import (
+	"unprotected/internal/dram"
+	"unprotected/internal/extract"
+	"unprotected/internal/timebase"
+)
+
+// Pattern is one of the node's recurring single-bit corruption shapes.
+// Node 02-04 exhibited "almost 30 different corruption patterns, with the
+// vast majority of them corresponding to single bit-flips switching from
+// 1 to 0" (§III-H).
+type Pattern struct {
+	Bit      int
+	OneToZro bool // true: observable in the 0xFFFFFFFF phase as 1→0
+}
+
+// Controller models the degraded node 02-04: a component fault outside the
+// DRAM array (the paper suspects a loose DIMM connection, capacitive noise
+// or another failing component) that corrupts many unrelated addresses in
+// the same scan pass. Error "glitches" arrive as a Poisson process whose
+// rate ramps as the node degrades; each glitch corrupts several addresses
+// simultaneously, which is the engine behind the paper's 26,000
+// simultaneous corruptions and the per-node multi-bit counts of Fig 4.
+type Controller struct {
+	// Active bounds the degradation period (02-04: late August onward).
+	Active Burst
+	// PeakRate is the glitch arrival rate (per hour) at full degradation.
+	PeakRate float64
+	// RampUntil is when the linear ramp from 0 reaches PeakRate.
+	RampUntil timebase.T
+	// AddrPool is the set of affected addresses (~11,000 on 02-04).
+	AddrPool []dram.Addr
+	// Patterns is the palette of single-bit corruption shapes.
+	Patterns []Pattern
+	// MeanAddrs is the mean number of addresses hit by one glitch.
+	MeanAddrs float64
+	// SingleProb is the chance a glitch hits exactly one address.
+	SingleProb float64
+	// MeanRunChecks is the mean number of consecutive observable checks a
+	// corrupted address keeps failing before the contact recovers.
+	MeanRunChecks float64
+	// MaxBurstAddrs caps a single glitch; the paper's largest simultaneous
+	// event corrupted 36 bits across different words.
+	MaxBurstAddrs int
+	// BigBurstAt, if nonzero, schedules exactly one maximal glitch.
+	BigBurstAt timebase.T
+	// ScheduledMulti are word-level multi-bit corruptions that fire during
+	// glitch activity: the paper's two triple-bit-with-single events and
+	// the one simultaneous double-double (§III-C).
+	ScheduledMulti []*ScheduledMulti
+
+	bigDone bool
+}
+
+// ScheduledMulti is a scheduled word-level multi-bit corruption riding the
+// node's glitch activity, with companion single-bit errors in the same
+// scan iteration.
+type ScheduledMulti struct {
+	At timebase.T
+	// Masks are the corrupted-bit masks, one word per mask (two masks
+	// model the double+double event).
+	Masks []dram.BitSet
+	// Addrs receive the corruptions (parallel to Masks).
+	Addrs []dram.Addr
+	// Companions is how many single-bit glitch errors accompany the event.
+	Companions int
+
+	done bool
+}
+
+// rate returns the glitch rate at t in events/hour.
+func (c *Controller) rate(t timebase.T) float64 {
+	if t < c.Active.From || t >= c.Active.To {
+		return 0
+	}
+	if t >= c.RampUntil {
+		return c.PeakRate * 0.85
+	}
+	frac := float64(t-c.Active.From) / float64(c.RampUntil-c.Active.From)
+	return c.PeakRate * (0.05 + 0.95*frac)
+}
+
+// StressFactor exposes the degradation level in [0,1] at t; recurring
+// multi-bit sites on the same node scale their susceptibility with it
+// (noise margins shrink while the component misbehaves), which produces
+// Fig 11's November multi-bit burst.
+func (c *Controller) StressFactor(t timebase.T) float64 {
+	if c.PeakRate == 0 {
+		return 0
+	}
+	return c.rate(t) / c.PeakRate
+}
+
+// Emit samples glitches over the session window by thinning.
+func (c *Controller) Emit(ctx *SessionCtx, out *[]extract.RawRun) int64 {
+	from, to := ctx.Window.From, ctx.Window.To
+	if to <= c.Active.From || from >= c.Active.To {
+		return 0
+	}
+	maxRate := c.PeakRate / 3600 // per second
+	if maxRate <= 0 {
+		return 0
+	}
+	var raw int64
+	t := float64(from)
+	for {
+		t += ctx.Rng.Exp(maxRate)
+		if t >= float64(to) {
+			break
+		}
+		at := timebase.T(t)
+		if !ctx.Rng.Bernoulli(c.rate(at) / c.PeakRate) {
+			continue
+		}
+		n := c.sampleAddrs(ctx)
+		raw += c.EmitGlitch(ctx, at, n, out)
+	}
+	// The one scheduled maximal event (36 corrupted bits across words).
+	// Scheduled events that land while the node is busy carry forward to
+	// the next scan session, like any corruption of idle DRAM.
+	if !c.bigDone && c.BigBurstAt != 0 && c.BigBurstAt < to {
+		c.bigDone = true
+		at := c.BigBurstAt
+		if at < from {
+			at = from
+		}
+		raw += c.emitGlitch(ctx, at, c.MaxBurstAddrs, true, out)
+	}
+	for _, sm := range c.ScheduledMulti {
+		if sm.done || sm.At >= to {
+			continue
+		}
+		sm.done = true
+		if sm.At < from {
+			sm.At = from
+		}
+		k := ctx.iterAt(sm.At)
+		detect := ctx.detectAt(k)
+		if detect < 0 {
+			continue
+		}
+		expected := ctx.Mode.Expected(k + 1)
+		for i, mask := range sm.Masks {
+			addr := sm.Addrs[i]
+			if int64(addr) >= ctx.Words {
+				continue
+			}
+			actual := expected ^ uint32(mask)
+			*out = append(*out, ctx.run(addr, detect, detect, 1, expected, actual))
+			raw++
+		}
+		if sm.Companions > 0 {
+			raw += c.emitGlitch(ctx, sm.At, sm.Companions, true, out)
+		}
+	}
+	return raw
+}
+
+func (c *Controller) sampleAddrs(ctx *SessionCtx) int {
+	if ctx.Rng.Bernoulli(c.SingleProb) {
+		return 1
+	}
+	n := 1 + ctx.Rng.Geometric(1/c.MeanAddrs)
+	if n > c.MaxBurstAddrs {
+		n = c.MaxBurstAddrs
+	}
+	return n
+}
+
+// EmitGlitch corrupts n distinct pool addresses at the iteration containing
+// "at"; all runs share the detection timestamp (they are simultaneous in
+// the log). Returns raw log records emitted. Exposed so recurring sites on
+// the same node can spawn companion singles in their own firing iteration.
+func (c *Controller) EmitGlitch(ctx *SessionCtx, at timebase.T, n int, out *[]extract.RawRun) int64 {
+	return c.emitGlitch(ctx, at, n, false, out)
+}
+
+// emitGlitch implements EmitGlitch. When force is set, every address
+// manifests regardless of scan phase (direction is chosen to match the
+// stored bit) — used for the one maximal 36-bit event so its full size is
+// observed, as in the paper's log.
+func (c *Controller) emitGlitch(ctx *SessionCtx, at timebase.T, n int, force bool, out *[]extract.RawRun) int64 {
+	k := ctx.iterAt(at)
+	detect := ctx.detectAt(k)
+	if detect < 0 {
+		return 0
+	}
+	var raw int64
+	picks := ctx.Rng.PickN(n, len(c.AddrPool))
+	for _, pi := range picks {
+		addr := c.AddrPool[pi]
+		if int64(addr) >= ctx.Words {
+			if !force {
+				continue
+			}
+			// The forced maximal event must land all its corruptions even
+			// when a leaky session shrank the scanned range.
+			addr = dram.Addr(int64(addr) % ctx.Words)
+		}
+		pat := c.Patterns[ctx.Rng.IntN(len(c.Patterns))]
+		if force {
+			stored := ctx.Mode.Expected(k+1)&(1<<uint(pat.Bit)) != 0
+			pat.OneToZro = stored
+		}
+		expected, actual, ok := pat.materialize(ctx, k)
+		if !ok {
+			continue
+		}
+		checks := ctx.Rng.Geometric(1 / c.MeanRunChecks)
+		lastAt := detect + timebase.T(int64(checks-1)*2*int64(ctx.IterDur))
+		*out = append(*out, ctx.run(addr, detect, lastAt, checks, expected, actual))
+		raw += int64(checks)
+	}
+	return raw
+}
+
+// materialize computes the expected/actual pair for a single-bit pattern
+// under the session's scan phase at iteration k, reporting whether the
+// corruption is observable in that phase.
+func (p Pattern) materialize(ctx *SessionCtx, k int64) (expected, actual uint32, ok bool) {
+	expected = ctx.Mode.Expected(k + 1)
+	mask := uint32(1) << uint(p.Bit)
+	stored := expected&mask != 0
+	if p.OneToZro {
+		if !stored {
+			return 0, 0, false
+		}
+		return expected, expected &^ mask, true
+	}
+	if stored {
+		return 0, 0, false
+	}
+	return expected, expected | mask, true
+}
+
+// DefaultPatterns builds the ~30-pattern palette: mostly 1→0 across spread
+// bit positions, a few 0→1.
+func DefaultPatterns() []Pattern {
+	var out []Pattern
+	bits := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 15, 17, 19, 21, 22, 24, 26, 28, 30, 31}
+	for _, b := range bits {
+		out = append(out, Pattern{Bit: b, OneToZro: true})
+	}
+	for _, b := range []int{2, 9, 25} {
+		out = append(out, Pattern{Bit: b, OneToZro: false})
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+// Package faults implements the fault taxonomy the paper's data implies,
+// as generative models that emit extract.RawRun streams during scan
+// sessions:
+//
+//   - WeakBit (§III-H): a manufacturing-variability cell that leaks charge
+//     intermittently, in bursts — nodes 04-05 and 58-02, whose thousands of
+//     errors were all the identical bit flip;
+//   - Controller (§III-H): a node-level electrical fault (loose DIMM,
+//     capacitive noise, or a failing component outside the DRAM itself)
+//     that corrupts many unrelated addresses at once — node 02-04, >50,000
+//     errors over 11,000 addresses with ~30 corruption patterns;
+//   - Pathological (§III-B): the node producing 98% of all raw logs, a
+//     classic replace-on-failure case, excluded from characterization;
+//   - RecurringSite (Table I): a word with a pair of strike-susceptible
+//     cells that repeatedly produces the same multi-bit corruption;
+//   - IsolatedStrike (§III-D): scheduled high-energy events corrupting >3
+//     bits of one word on otherwise error-free nodes — the silent-data-
+//     corruption cases;
+//   - Ambient strikes: the radiation-driven background of transient
+//     single-bit (and rare multi-word shower) upsets on healthy nodes.
+package faults
+
+import (
+	"time"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/dram"
+	"unprotected/internal/extract"
+	"unprotected/internal/rng"
+	"unprotected/internal/scanner"
+	"unprotected/internal/sched"
+	"unprotected/internal/timebase"
+)
+
+// SessionCtx is everything a fault source needs to materialize errors
+// during one scan session.
+type SessionCtx struct {
+	Node    cluster.NodeID
+	Window  sched.Window
+	Alloc   int64
+	Mode    scanner.Mode
+	IterDur timebase.T
+	Words   int64
+	Rng     *rng.Stream
+	// Temp returns the logged node temperature at an instant.
+	Temp func(at timebase.T) float64
+	// Polarity resolves cell polarity for observability decisions.
+	Polarity *dram.PolarityMap
+	// Scrambler maps physical cell runs to logical bit sets.
+	Scrambler *dram.Scrambler
+}
+
+// iterAt returns the scan iteration containing t.
+func (c *SessionCtx) iterAt(t timebase.T) int64 {
+	if t < c.Window.From {
+		return 0
+	}
+	return int64(t-c.Window.From) / int64(c.IterDur)
+}
+
+// detectAt returns the timestamp at which iteration k's corruption is
+// detected (the check of iteration k+1), or a negative value when the
+// session ends first.
+func (c *SessionCtx) detectAt(k int64) timebase.T {
+	at := c.Window.From + timebase.T(k+1)*c.IterDur
+	if at >= c.Window.To {
+		return -1
+	}
+	return at
+}
+
+// storedAt returns the pattern value held in memory during iteration k
+// (the value written by iteration k, checked by iteration k+1).
+func (c *SessionCtx) storedAt(k int64) uint32 { return c.Mode.Write(k) }
+
+// run emits a RawRun for a corruption first detected at "at".
+func (c *SessionCtx) run(addr dram.Addr, at, lastAt timebase.T, logs int, expected, actual uint32) extract.RawRun {
+	if lastAt < at {
+		lastAt = at
+	}
+	if lastAt >= c.Window.To {
+		lastAt = c.Window.To - 1
+	}
+	return extract.RawRun{
+		Node: c.Node, Addr: addr, FirstAt: at, LastAt: lastAt, Logs: logs,
+		Expected: expected, Actual: actual, TempC: c.Temp(at),
+	}
+}
+
+// Source generates error runs for one node during a session.
+type Source interface {
+	// Emit appends runs observed during the session and returns the number
+	// of raw ERROR log records they represent.
+	Emit(ctx *SessionCtx, out *[]extract.RawRun) int64
+}
+
+// Plan is the complete fault assignment of one node.
+type Plan struct {
+	Node    *cluster.Node
+	Sources []Source
+	// Pathological, when set, replaces characterized output with bulk raw
+	// logging (the node is excluded from the study's error analyses).
+	Pathological *Pathological
+}
+
+// StudyT converts a calendar date to study time; a convenience for
+// profiles placing scheduled events.
+func StudyT(year int, month time.Month, day, hour, min int) timebase.T {
+	return timebase.FromTime(time.Date(year, month, day, hour, min, 0, 0, time.UTC))
+}

@@ -1,0 +1,309 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/dram"
+	"unprotected/internal/extract"
+	"unprotected/internal/radiation"
+	"unprotected/internal/rng"
+	"unprotected/internal/scanner"
+	"unprotected/internal/sched"
+	"unprotected/internal/solar"
+	"unprotected/internal/thermal"
+	"unprotected/internal/timebase"
+)
+
+// testCtx builds a session context over [from, from+hours h).
+func testCtx(from timebase.T, hours int, mode scanner.Mode, seed uint64) *SessionCtx {
+	alloc := int64(3 << 30)
+	return &SessionCtx{
+		Node:      cluster.NodeID{Blade: 2, SoC: 4},
+		Window:    sched.Window{From: from, To: from + timebase.T(hours*3600)},
+		Alloc:     alloc,
+		Mode:      mode,
+		IterDur:   scanner.IterDuration(alloc),
+		Words:     alloc / 4,
+		Rng:       rng.New(seed),
+		Temp:      func(at timebase.T) float64 { return thermal.NoReading },
+		Polarity:  dram.NewPolarityMap(1),
+		Scrambler: dram.NewScrambler(),
+	}
+}
+
+func TestWeakBitEmission(t *testing.T) {
+	w := &WeakBit{
+		Addr: 100, Bit: 13, LeakPerCheck: 0.05,
+		Bursts: []Burst{{From: 0, To: 48 * 3600}},
+	}
+	ctx := testCtx(0, 48, scanner.FlipMode, 1)
+	var runs []extract.RawRun
+	raw := w.Emit(ctx, &runs)
+	if len(runs) == 0 {
+		t.Fatal("no leaks in a 48h burst at 5%/check")
+	}
+	if raw < int64(len(runs)) {
+		t.Fatal("raw logs below run count")
+	}
+	for _, r := range runs {
+		if r.Expected != 0xFFFFFFFF || r.Actual != 0xFFFFFFFF&^(1<<13) {
+			t.Fatalf("weak bit pattern wrong: %08x -> %08x", r.Expected, r.Actual)
+		}
+		if r.FirstAt < ctx.Window.From || r.FirstAt >= ctx.Window.To {
+			t.Fatal("run outside window")
+		}
+		f := extract.Classify(r)
+		if f.BitCount() != 1 || f.Ones2Zeros.Count() != 1 {
+			t.Fatal("weak bit must be a single 1->0 flip")
+		}
+	}
+}
+
+func TestWeakBitIgnoresCounterMode(t *testing.T) {
+	w := &WeakBit{Addr: 1, Bit: 2, LeakPerCheck: 1, Bursts: []Burst{{From: 0, To: 1e6}}}
+	ctx := testCtx(0, 100, scanner.CounterMode, 2)
+	var runs []extract.RawRun
+	if w.Emit(ctx, &runs) != 0 || len(runs) != 0 {
+		t.Fatal("weak bit fired in counter mode")
+	}
+}
+
+func TestWeakBitOutsideBurstQuiet(t *testing.T) {
+	w := &WeakBit{Addr: 1, Bit: 2, LeakPerCheck: 1,
+		Bursts: []Burst{{From: 1000 * 86400, To: 1001 * 86400}}}
+	ctx := testCtx(0, 100, scanner.FlipMode, 3)
+	var runs []extract.RawRun
+	if w.Emit(ctx, &runs); len(runs) != 0 {
+		t.Fatal("weak bit fired outside its bursts")
+	}
+}
+
+func newTestController(from, rampAt timebase.T) *Controller {
+	pool := make([]dram.Addr, 500)
+	for i := range pool {
+		pool[i] = dram.Addr(i * 1000)
+	}
+	return &Controller{
+		Active:        Burst{From: from, To: timebase.T(timebase.StudySeconds)},
+		PeakRate:      50,
+		RampUntil:     rampAt,
+		AddrPool:      pool,
+		Patterns:      DefaultPatterns(),
+		MeanAddrs:     3,
+		SingleProb:    0.5,
+		MeanRunChecks: 2,
+		MaxBurstAddrs: 36,
+	}
+}
+
+func TestControllerGlitchSimultaneity(t *testing.T) {
+	c := newTestController(0, 1) // at peak immediately
+	ctx := testCtx(3600, 24, scanner.FlipMode, 4)
+	var runs []extract.RawRun
+	raw := c.Emit(ctx, &runs)
+	if len(runs) < 100 {
+		t.Fatalf("only %d runs from a 24h degraded session", len(runs))
+	}
+	if raw < int64(len(runs)) {
+		t.Fatal("raw below run count")
+	}
+	// Glitches hitting several addresses share detection timestamps.
+	groups := extract.Groups(extract.Faults(runs))
+	multi := 0
+	for _, g := range groups {
+		if len(g.Faults) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no simultaneous multi-address glitches")
+	}
+}
+
+func TestControllerInactiveBeforeOnset(t *testing.T) {
+	onset := timebase.T(200 * 86400)
+	c := newTestController(onset, onset+86400)
+	ctx := testCtx(0, 48, scanner.FlipMode, 5)
+	var runs []extract.RawRun
+	if c.Emit(ctx, &runs); len(runs) != 0 {
+		t.Fatal("controller fired before degradation onset")
+	}
+	if c.StressFactor(0) != 0 {
+		t.Fatal("stress should be 0 before onset")
+	}
+	if c.StressFactor(onset+2*86400) <= 0 {
+		t.Fatal("stress should be positive after onset")
+	}
+}
+
+func TestControllerBigBurst(t *testing.T) {
+	c := newTestController(0, 1)
+	c.PeakRate = 0.0001 // keep background quiet
+	c.BigBurstAt = 7200
+	ctx := testCtx(0, 24, scanner.FlipMode, 6)
+	var runs []extract.RawRun
+	c.Emit(ctx, &runs)
+	groups := extract.Groups(extract.Faults(runs))
+	var biggest int
+	for _, g := range groups {
+		if tb := g.TotalBits(); tb > biggest {
+			biggest = tb
+		}
+	}
+	if biggest != 36 {
+		t.Fatalf("big burst produced %d bits, want 36 (forced observability)", biggest)
+	}
+	// Fires exactly once across sessions.
+	var more []extract.RawRun
+	c.Emit(testCtx(90000, 24, scanner.FlipMode, 7), &more)
+	for _, r := range more {
+		_ = r
+	}
+	if c.bigDone != true {
+		t.Fatal("big burst not latched")
+	}
+}
+
+func TestScheduledMultiCarryForward(t *testing.T) {
+	c := newTestController(0, 1)
+	c.PeakRate = 0.0001
+	sm := &ScheduledMulti{
+		At:         1000, // before the session starts
+		Masks:      []dram.BitSet{dram.BitSetOf(3, 9, 14)},
+		Addrs:      []dram.Addr{77},
+		Companions: 1,
+	}
+	c.ScheduledMulti = []*ScheduledMulti{sm}
+	ctx := testCtx(50000, 24, scanner.FlipMode, 8)
+	var runs []extract.RawRun
+	c.Emit(ctx, &runs)
+	if !sm.done {
+		t.Fatal("scheduled event should have carried into the session")
+	}
+	var triple *extract.RawRun
+	for i := range runs {
+		if f := extract.Classify(runs[i]); f.BitCount() == 3 {
+			triple = &runs[i]
+		}
+	}
+	if triple == nil {
+		t.Fatal("no triple-bit corruption emitted")
+	}
+	// Its companion single shares the timestamp.
+	foundCompanion := false
+	for _, r := range runs {
+		if r.Addr != triple.Addr && r.FirstAt == triple.FirstAt {
+			foundCompanion = true
+		}
+	}
+	if !foundCompanion {
+		t.Fatal("triple lacks a simultaneous companion single")
+	}
+}
+
+func TestPathologicalRawVolume(t *testing.T) {
+	p := &Pathological{Active: Burst{From: 0, To: 1e9}, AddrsPerIter: 20}
+	ctx := testCtx(0, 24, scanner.FlipMode, 9)
+	var runs []extract.RawRun
+	raw := p.Emit(ctx, &runs)
+	if len(runs) != 0 {
+		t.Fatal("pathological node must not emit characterized runs")
+	}
+	iters := int64(24*3600) / int64(ctx.IterDur)
+	want := float64(iters) * 20
+	if float64(raw) < want*0.95 || float64(raw) > want*1.05 {
+		t.Fatalf("raw volume %d, want ~%.0f", raw, want)
+	}
+	ws := p.ContinuousWindows(1000)
+	if len(ws) != 1 || ws[0].From != 0 || ws[0].To != 1000 {
+		t.Fatalf("continuous windows %v", ws)
+	}
+}
+
+func TestIsolatedStrikeExactBits(t *testing.T) {
+	for _, bits := range []int{4, 5, 6, 8, 9} {
+		s := &IsolatedStrike{At: 5000, BitCount: bits, Addr: 999, PhysStart: 7}
+		ctx := testCtx(0, 24, scanner.FlipMode, uint64(bits))
+		var runs []extract.RawRun
+		if raw := s.Emit(ctx, &runs); raw != 1 || len(runs) != 1 {
+			t.Fatalf("strike emission: raw=%d runs=%d", raw, len(runs))
+		}
+		f := extract.Classify(runs[0])
+		if f.BitCount() != bits {
+			t.Fatalf("strike bit count %d, want %d", f.BitCount(), bits)
+		}
+		if !s.Consumed() {
+			t.Fatal("strike not consumed")
+		}
+		// Never fires twice.
+		var again []extract.RawRun
+		if s.Emit(ctx, &again); len(again) != 0 {
+			t.Fatal("strike fired twice")
+		}
+	}
+}
+
+func TestIsolatedStrikeCarriesToNextSession(t *testing.T) {
+	s := &IsolatedStrike{At: 100, BitCount: 4, Addr: 10, PhysStart: 3}
+	late := testCtx(10000, 2, scanner.FlipMode, 11)
+	var runs []extract.RawRun
+	s.Emit(late, &runs)
+	if len(runs) != 1 || runs[0].FirstAt < late.Window.From {
+		t.Fatalf("carry-forward failed: %+v", runs)
+	}
+}
+
+func TestRecurringSiteModeAffinity(t *testing.T) {
+	flux := radiation.NewFlux(solar.Barcelona)
+	site := &RecurringSite{
+		Addr: 500, Cells: dram.BitSetOf(9, 11), ModeAffinity: scanner.FlipMode,
+		RatePerHour: 5, Flux: flux,
+	}
+	ctx := testCtx(0, 48, scanner.CounterMode, 12)
+	var runs []extract.RawRun
+	if site.Emit(ctx, &runs); len(runs) != 0 {
+		t.Fatal("flip-affine site fired in counter mode")
+	}
+	ctx = testCtx(0, 48, scanner.FlipMode, 13)
+	site.Emit(ctx, &runs)
+	if len(runs) == 0 {
+		t.Fatal("site never fired at 5/hour over 48h")
+	}
+	for _, r := range runs {
+		f := extract.Classify(r)
+		if f.BitCount() != 2 || r.Expected != 0xFFFFFFFF {
+			t.Fatalf("site pattern: %08x -> %08x", r.Expected, r.Actual)
+		}
+	}
+}
+
+func TestRecurringCounterSiteLowBits(t *testing.T) {
+	flux := radiation.NewFlux(solar.Barcelona)
+	site := &RecurringSite{
+		Addr: 500, Cells: dram.BitSetOf(0, 1), ModeAffinity: scanner.CounterMode,
+		RatePerHour: 10, Flux: flux, CounterLowBits: true,
+	}
+	ctx := testCtx(0, 48, scanner.CounterMode, 14)
+	var runs []extract.RawRun
+	site.Emit(ctx, &runs)
+	if len(runs) == 0 {
+		t.Fatal("counter site never fired")
+	}
+	for _, r := range runs {
+		if r.Expected > 0xFFFF {
+			t.Fatalf("counter site fired at large expected %x", r.Expected)
+		}
+		if extract.Classify(r).BitCount() != 2 {
+			t.Fatal("counter site should flip its two cells")
+		}
+	}
+}
+
+func TestStudyT(t *testing.T) {
+	ts := StudyT(2015, time.November, 14, 13, 0)
+	if ts.Time() != time.Date(2015, time.November, 14, 13, 0, 0, 0, time.UTC) {
+		t.Fatalf("StudyT mapping: %v", ts.Time())
+	}
+}

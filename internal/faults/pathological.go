@@ -1,0 +1,54 @@
+package faults
+
+import (
+	"unprotected/internal/extract"
+	"unprotected/internal/timebase"
+)
+
+// Pathological models the node responsible for over 98% of the 25 million
+// raw error logs (§III-B): a component failure so severe that dozens of
+// addresses fail on every scan pass, continuously, for months. Production
+// systems replace such nodes; the paper removed it from the error
+// characterization, so this source contributes raw log volume (and
+// scanning hours) but no characterized faults.
+type Pathological struct {
+	// Active is the failure period.
+	Active Burst
+	// AddrsPerIter is the mean number of addresses failing each pass.
+	AddrsPerIter float64
+}
+
+// Emit counts the raw logs the scanner would produce during the session.
+// No runs are appended: the node is excluded from characterization before
+// extraction, exactly as in the paper.
+func (p *Pathological) Emit(ctx *SessionCtx, out *[]extract.RawRun) int64 {
+	from, to := ctx.Window.From, ctx.Window.To
+	if from < p.Active.From {
+		from = p.Active.From
+	}
+	if to > p.Active.To {
+		to = p.Active.To
+	}
+	if to <= from {
+		return 0
+	}
+	iters := int64(to-from) / int64(ctx.IterDur)
+	// Per-iteration failing-address count fluctuates mildly around the mean.
+	jitter := 0.98 + 0.04*ctx.Rng.Float64()
+	return int64(float64(iters) * p.AddrsPerIter * jitter)
+}
+
+// ContinuousWindows returns full-availability scan windows for the node
+// once it failed: it was removed from the job scheduler pool, so the
+// epilogue-started scanner simply never got SIGTERMed again. The campaign
+// substitutes these windows for scheduler-generated ones during the active
+// period.
+func (p *Pathological) ContinuousWindows(upTo timebase.T) []Burst {
+	if p.Active.To < upTo {
+		upTo = p.Active.To
+	}
+	if upTo <= p.Active.From {
+		return nil
+	}
+	return []Burst{{From: p.Active.From, To: upTo}}
+}

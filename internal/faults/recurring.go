@@ -1,0 +1,112 @@
+package faults
+
+import (
+	"unprotected/internal/dram"
+	"unprotected/internal/extract"
+	"unprotected/internal/radiation"
+	"unprotected/internal/scanner"
+	"unprotected/internal/timebase"
+)
+
+// RecurringSite is a word containing two (occasionally three) strike-
+// susceptible cells that repeatedly fail together, producing the recurring
+// multi-bit patterns of Table I (the 0xffff7bff pattern fired 36 times).
+//
+// Firing is radiation-driven — the site's susceptibility multiplies the
+// diurnal neutron flux, which gives Fig 6 its noon bell — and, when the
+// site lives on a node with a degrading component (02-04), it additionally
+// scales with the node's stress factor, reproducing Fig 11's November
+// multi-bit burst and the §III-C co-occurrence of double-bit errors with
+// simultaneous singles.
+type RecurringSite struct {
+	Addr dram.Addr
+	// Cells are the logical bit positions that discharge together.
+	Cells dram.BitSet
+	// ModeAffinity is the scan mode under which the cells are observable.
+	ModeAffinity scanner.Mode
+	// RatePerHour is the base firing rate while scanning (before flux and
+	// stress modulation), calibrated per site to its Table I occurrences.
+	RatePerHour float64
+	// Flux modulates firing with solar elevation.
+	Flux *radiation.Flux
+	// Stress, when non-nil, scales susceptibility with node degradation
+	// and spawns companion glitch singles in the firing iteration.
+	Stress *Controller
+	// CompanionProb is the chance a firing under stress is accompanied by
+	// glitch singles at other addresses in the same iteration.
+	CompanionProb float64
+	// CounterLowBits constrains counter-affine sites: their cells sit in
+	// the low bits so small counter values exercise them (Table I's
+	// 0x000003c1 → 0x000003c2).
+	CounterLowBits bool
+}
+
+// Emit samples firings over the session by thinning against the maximum
+// modulation, then materializes the word pattern under the session phase.
+func (s *RecurringSite) Emit(ctx *SessionCtx, out *[]extract.RawRun) int64 {
+	if ctx.Mode != s.ModeAffinity || s.RatePerHour <= 0 {
+		return 0
+	}
+	if int64(s.Addr) >= ctx.Words {
+		return 0
+	}
+	maxMult := s.Flux.MaxMultiplier()
+	stressMax := 1.0
+	maxRate := s.RatePerHour * maxMult * stressMax / 3600
+	var raw int64
+	t := float64(ctx.Window.From)
+	for {
+		t += ctx.Rng.Exp(maxRate)
+		if t >= float64(ctx.Window.To) {
+			return raw
+		}
+		at := timebase.T(t)
+		accept := s.Flux.Multiplier(at) / maxMult
+		if s.Stress != nil {
+			accept *= s.Stress.StressFactor(at)
+		}
+		if !ctx.Rng.Bernoulli(accept) {
+			continue
+		}
+		k := ctx.iterAt(at)
+		expected, actual, ok := s.materialize(ctx, k)
+		if !ok {
+			continue
+		}
+		detect := ctx.detectAt(k)
+		if detect < 0 {
+			return raw
+		}
+		*out = append(*out, ctx.run(s.Addr, detect, detect, 1, expected, actual))
+		raw++
+		if s.Stress != nil && ctx.Rng.Bernoulli(s.CompanionProb) {
+			n := 1 + ctx.Rng.IntN(3)
+			raw += s.Stress.EmitGlitch(ctx, at, n, out)
+		}
+	}
+}
+
+// materialize renders the multi-bit discharge under the phase of iteration
+// k. In flip mode the cells only show in the 0xFFFFFFFF phase (all 1→0);
+// iteration parity is adjusted to the next observable check. In counter
+// mode every selected cell flips against the stored counter value.
+func (s *RecurringSite) materialize(ctx *SessionCtx, k int64) (expected, actual uint32, ok bool) {
+	mask := uint32(s.Cells)
+	switch s.ModeAffinity {
+	case scanner.FlipMode:
+		expected = ctx.Mode.Expected(k + 1)
+		if expected != 0xFFFFFFFF {
+			return 0, 0, false // cells discharged invisibly in the zero phase
+		}
+		return expected, expected &^ mask, true
+	default: // CounterMode
+		expected = ctx.Mode.Expected(k + 1)
+		if s.CounterLowBits && expected > 0xFFFF {
+			// Long sessions push the counter beyond the low-bit regime the
+			// site exercises; treat as unobservable to keep Table I's
+			// small expected values.
+			return 0, 0, false
+		}
+		return expected, expected ^ mask, expected != expected^mask
+	}
+}

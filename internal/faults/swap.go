@@ -1,0 +1,55 @@
+package faults
+
+import (
+	"sync"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/extract"
+	"unprotected/internal/timebase"
+)
+
+// Swapped implements the paper's second §VI proposal: "swap some
+// components from the most faulty nodes with some healthy nodes to further
+// improve the memory error characterization". The wrapped fault source
+// represents a physical component (a DIMM, a regulator); before the swap
+// instant it manifests on the Before node, afterwards on the After node.
+// If the errors follow the component, the root cause is the component; if
+// they had stayed with the chassis position, it would have been
+// environmental — exactly the attribution experiment the authors propose.
+type Swapped struct {
+	At     timebase.T
+	Before cluster.NodeID
+	After  cluster.NodeID
+	Inner  Source
+
+	// mu serializes Emit: both nodes' simulations share this one
+	// component and may run on different workers.
+	mu sync.Mutex
+}
+
+// Emit clips the session window to the half of the study during which the
+// component lives in this session's node, then delegates.
+func (s *Swapped) Emit(ctx *SessionCtx, out *[]extract.RawRun) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	clipped := *ctx
+	switch ctx.Node {
+	case s.Before:
+		if ctx.Window.From >= s.At {
+			return 0
+		}
+		if clipped.Window.To > s.At {
+			clipped.Window.To = s.At
+		}
+	case s.After:
+		if ctx.Window.To <= s.At {
+			return 0
+		}
+		if clipped.Window.From < s.At {
+			clipped.Window.From = s.At
+		}
+	default:
+		return 0
+	}
+	return s.Inner.Emit(&clipped, out)
+}

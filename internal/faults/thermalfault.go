@@ -1,0 +1,88 @@
+package faults
+
+import (
+	"math"
+
+	"unprotected/internal/dram"
+	"unprotected/internal/extract"
+	"unprotected/internal/timebase"
+)
+
+// ThermalRetention models temperature-accelerated retention failures for
+// the paper's §VI stress-test proposal ("turning on the nodes with heating
+// issues and monitoring them as well as their neighbors"). DRAM retention
+// time roughly halves every ~10°C, so the fault rate follows an
+// Arrhenius-style doubling law above a reference temperature. At nominal
+// scanner temperatures (30–40°C) the source is negligible — consistent
+// with §III-F finding no temperature correlation — but an always-powered
+// SoC-12 position running >60°C accumulates observable retention errors.
+type ThermalRetention struct {
+	// BaseRatePerHour is the observable fault rate at RefTempC.
+	BaseRatePerHour float64
+	// RefTempC anchors the doubling law.
+	RefTempC float64
+	// DoublingC is the temperature increase that doubles the rate.
+	DoublingC float64
+	// MaxTempC bounds the thinning envelope (the thermal model never
+	// exceeds it).
+	MaxTempC float64
+}
+
+// NewThermalRetention returns the stress-test calibration: ~0.02
+// observable faults per hour at 65°C, halving every 10°C below.
+func NewThermalRetention() *ThermalRetention {
+	return &ThermalRetention{
+		BaseRatePerHour: 0.02,
+		RefTempC:        65,
+		DoublingC:       10,
+		MaxTempC:        80,
+	}
+}
+
+// rateAt converts a temperature to the instantaneous rate per hour.
+func (tr *ThermalRetention) rateAt(tempC float64) float64 {
+	if tempC <= 0 {
+		return 0
+	}
+	return tr.BaseRatePerHour * math.Pow(2, (tempC-tr.RefTempC)/tr.DoublingC)
+}
+
+// Emit samples retention failures over the session by thinning against
+// the maximum-temperature envelope. Each failure discharges one cell; the
+// polarity/phase rules decide observability like every other source.
+func (tr *ThermalRetention) Emit(ctx *SessionCtx, out *[]extract.RawRun) int64 {
+	maxRate := tr.rateAt(tr.MaxTempC) / 3600
+	if maxRate <= 0 {
+		return 0
+	}
+	var raw int64
+	t := float64(ctx.Window.From)
+	node := uint64(ctx.Node.Index())
+	for {
+		t += ctx.Rng.Exp(maxRate)
+		if t >= float64(ctx.Window.To) {
+			return raw
+		}
+		at := timebase.T(t)
+		temp := ctx.Temp(at)
+		accept := tr.rateAt(temp) / tr.rateAt(tr.MaxTempC)
+		if !ctx.Rng.Bernoulli(accept) {
+			continue
+		}
+		k := ctx.iterAt(at)
+		detect := ctx.detectAt(k)
+		if detect < 0 {
+			return raw
+		}
+		stored := ctx.storedAt(k)
+		addr := dram.Addr(ctx.Rng.Int64N(ctx.Words))
+		cells := dram.BitSetOf(ctx.Scrambler.ToLogical(ctx.Rng.IntN(dram.WordBits)))
+		pol := ctx.Polarity.WordPolarity(node, addr)
+		corrupted, o2z, z2o := dram.DischargeObserved(stored, cells, pol)
+		if o2z|z2o == 0 {
+			continue
+		}
+		*out = append(*out, ctx.run(addr, detect, detect, 1, stored, corrupted))
+		raw++
+	}
+}

@@ -1,0 +1,72 @@
+package logstore
+
+import (
+	"testing"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/eventlog"
+	"unprotected/internal/thermal"
+	"unprotected/internal/timebase"
+)
+
+// TestFDCapEviction interleaves appends across many more nodes than the
+// descriptor budget allows: eviction + O_APPEND reopen must lose nothing.
+func TestFDCapEviction(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.SetMaxOpenFiles(3)
+
+	const nodes = 20
+	const rounds = 5
+	for round := 0; round < rounds; round++ {
+		for n := 0; n < nodes; n++ {
+			host := cluster.NodeID{Blade: n/15 + 1, SoC: n%15 + 1}
+			rec := eventlog.Record{
+				Kind: eventlog.KindStart,
+				At:   timebase.T(round*1000 + n),
+				Host: host, AllocBytes: 1 << 30, TempC: thermal.NoReading,
+			}
+			if err := store.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+			rec.Kind = eventlog.KindEnd
+			rec.At += 100
+			rec.AllocBytes = 0
+			if err := store.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if store.NodeCount() != nodes {
+		t.Fatalf("distinct nodes %d, want %d", store.NodeCount(), nodes)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != nodes {
+		t.Fatalf("files on disk for %d nodes, want %d", len(res.Nodes), nodes)
+	}
+	if len(res.Sessions) != nodes*rounds {
+		t.Fatalf("sessions %d, want %d (eviction lost records)", len(res.Sessions), nodes*rounds)
+	}
+}
+
+func TestSetMaxOpenFilesFloor(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.SetMaxOpenFiles(-5)
+	if store.maxOpen != 1 {
+		t.Fatalf("floor not applied: %d", store.maxOpen)
+	}
+}

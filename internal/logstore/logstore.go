@@ -1,0 +1,220 @@
+// Package logstore manages the study's on-disk log layout: one log file
+// per node, exactly as the prototype's tooling kept them ("log entries are
+// stored in log files with each node having a separate log file", §II-B).
+// It writes canonical eventlog lines and reads whole directories back into
+// the extraction pipeline, so every analysis can run from files rather
+// than from an in-memory campaign — the paper's actual workflow.
+package logstore
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/eventlog"
+	"unprotected/internal/extract"
+)
+
+// FileName returns the per-node log file name ("node-02-04.log").
+func FileName(id cluster.NodeID) string {
+	return fmt.Sprintf("node-%s.log", id)
+}
+
+// nodeOfFile inverts FileName.
+func nodeOfFile(name string) (cluster.NodeID, bool) {
+	base := strings.TrimSuffix(filepath.Base(name), ".log")
+	s, ok := strings.CutPrefix(base, "node-")
+	if !ok {
+		return cluster.NodeID{}, false
+	}
+	id, err := cluster.ParseNodeID(s)
+	return id, err == nil
+}
+
+// DefaultMaxOpenFiles bounds the store's simultaneously open node files:
+// a full campaign has 923 nodes, which would flirt with common descriptor
+// limits if every file stayed open. Evicted files are reopened with
+// O_APPEND on the next write, so callers never notice.
+const DefaultMaxOpenFiles = 128
+
+// Store writes per-node log files under a directory.
+type Store struct {
+	dir     string
+	maxOpen int
+	writers map[cluster.NodeID]*nodeFile
+	seen    map[cluster.NodeID]bool
+}
+
+type nodeFile struct {
+	f *os.File
+	w *eventlog.Writer
+}
+
+// NewStore creates (or reuses) the directory.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("logstore: %w", err)
+	}
+	return &Store{
+		dir:     dir,
+		maxOpen: DefaultMaxOpenFiles,
+		writers: make(map[cluster.NodeID]*nodeFile),
+		seen:    make(map[cluster.NodeID]bool),
+	}, nil
+}
+
+// SetMaxOpenFiles adjusts the descriptor budget (minimum 1).
+func (s *Store) SetMaxOpenFiles(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.maxOpen = n
+}
+
+// Append writes a record to its node's file, creating it on first use.
+// Records of one node must arrive in time order (scanner order).
+func (s *Store) Append(rec eventlog.Record) error {
+	nf, ok := s.writers[rec.Host]
+	if !ok {
+		if len(s.writers) >= s.maxOpen {
+			if err := s.evictOne(); err != nil {
+				return err
+			}
+		}
+		f, err := os.OpenFile(filepath.Join(s.dir, FileName(rec.Host)),
+			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("logstore: %w", err)
+		}
+		nf = &nodeFile{f: f, w: eventlog.NewWriter(f)}
+		s.writers[rec.Host] = nf
+		s.seen[rec.Host] = true
+	}
+	return nf.w.Write(rec)
+}
+
+// evictOne flushes and closes one open file to stay under the budget.
+func (s *Store) evictOne() error {
+	for id, nf := range s.writers {
+		if err := nf.w.Flush(); err != nil {
+			return fmt.Errorf("logstore: %w", err)
+		}
+		if err := nf.f.Close(); err != nil {
+			return fmt.Errorf("logstore: %w", err)
+		}
+		delete(s.writers, id)
+		return nil
+	}
+	return nil
+}
+
+// Close flushes and closes every node file.
+func (s *Store) Close() error {
+	var firstErr error
+	for _, nf := range s.writers {
+		if err := nf.w.Flush(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := nf.f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.writers = make(map[cluster.NodeID]*nodeFile)
+	return firstErr
+}
+
+// NodeCount reports how many distinct node files the store has written.
+func (s *Store) NodeCount() int { return len(s.seen) }
+
+// ListNodeFiles returns the node log files under dir, sorted by node.
+func ListNodeFiles(dir string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			if _, ok := nodeOfFile(path); ok {
+				out = append(out, path)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("logstore: %w", err)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// LoadResult is a directory read back through the §II-C pipeline.
+type LoadResult struct {
+	// Runs are the collapsed error runs of every node.
+	Runs []extract.RawRun
+	// RawLogs counts the ERROR records consumed.
+	RawLogs int64
+	// Sessions reconstructed from START/END records, with the
+	// conservative truncation rule applied.
+	Sessions []eventlog.Session
+	// Nodes lists the nodes found, sorted.
+	Nodes []cluster.NodeID
+}
+
+// Load reads every node file under dir, collapses consecutive ERROR
+// records into runs and reconstructs sessions.
+func Load(dir string) (*LoadResult, error) {
+	files, err := ListNodeFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	res := &LoadResult{}
+	acct := eventlog.NewAccounting()
+	for _, path := range files {
+		id, _ := nodeOfFile(path)
+		res.Nodes = append(res.Nodes, id)
+		if err := loadFile(path, acct, res); err != nil {
+			return nil, fmt.Errorf("logstore: %s: %w", path, err)
+		}
+	}
+	res.Sessions = acct.Finish()
+	sort.Slice(res.Runs, func(i, j int) bool {
+		if res.Runs[i].FirstAt != res.Runs[j].FirstAt {
+			return res.Runs[i].FirstAt < res.Runs[j].FirstAt
+		}
+		if res.Runs[i].Node != res.Runs[j].Node {
+			return res.Runs[i].Node.Index() < res.Runs[j].Node.Index()
+		}
+		return res.Runs[i].Addr < res.Runs[j].Addr
+	})
+	return res, nil
+}
+
+func loadFile(path string, acct *eventlog.Accounting, res *LoadResult) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	collapser := extract.NewCollapser()
+	r := eventlog.NewReader(f)
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		acct.Observe(rec)
+		collapser.Observe(rec)
+	}
+	runs, raw := collapser.Close()
+	res.Runs = append(res.Runs, runs...)
+	res.RawLogs += raw
+	return nil
+}

@@ -1,0 +1,143 @@
+package logstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/dram"
+	"unprotected/internal/eventlog"
+	"unprotected/internal/rng"
+	"unprotected/internal/scanner"
+	"unprotected/internal/thermal"
+	"unprotected/internal/timebase"
+)
+
+func TestFileNameRoundTrip(t *testing.T) {
+	id := cluster.NodeID{Blade: 2, SoC: 4}
+	name := FileName(id)
+	if name != "node-02-04.log" {
+		t.Fatalf("name %q", name)
+	}
+	back, ok := nodeOfFile("/some/dir/" + name)
+	if !ok || back != id {
+		t.Fatalf("inversion: %v %v", back, ok)
+	}
+	if _, ok := nodeOfFile("random.txt"); ok {
+		t.Fatal("non-log file accepted")
+	}
+}
+
+func TestStoreWriteLoad(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostA := cluster.NodeID{Blade: 1, SoC: 2}
+	hostB := cluster.NodeID{Blade: 3, SoC: 4}
+	recs := []eventlog.Record{
+		{Kind: eventlog.KindStart, At: 0, Host: hostA, AllocBytes: 3 << 30, TempC: thermal.NoReading},
+		{Kind: eventlog.KindError, At: 11, Host: hostA, VAddr: dram.VirtAddr(7),
+			Expected: 0xFFFFFFFF, Actual: 0xFFFFFFFE, TempC: thermal.NoReading},
+		{Kind: eventlog.KindError, At: 22, Host: hostA, VAddr: dram.VirtAddr(7),
+			Expected: 0xFFFFFFFF, Actual: 0xFFFFFFFE, TempC: thermal.NoReading},
+		{Kind: eventlog.KindEnd, At: 3600, Host: hostA, TempC: thermal.NoReading},
+		{Kind: eventlog.KindStart, At: 50, Host: hostB, AllocBytes: 2 << 30, TempC: thermal.NoReading},
+		// hostB never logs an END: hard reboot, 0 hours.
+	}
+	for _, r := range recs {
+		if err := store.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if store.NodeCount() != 2 {
+		t.Fatalf("node files %d", store.NodeCount())
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RawLogs != 2 {
+		t.Fatalf("raw logs %d", res.RawLogs)
+	}
+	// The two consecutive ERROR records collapse into one run.
+	if len(res.Runs) != 1 || res.Runs[0].Logs != 2 {
+		t.Fatalf("runs %+v", res.Runs)
+	}
+	if len(res.Nodes) != 2 {
+		t.Fatalf("nodes %v", res.Nodes)
+	}
+	// Session accounting: hostA 1h, hostB truncated (0h).
+	var hours float64
+	for _, s := range res.Sessions {
+		hours += s.Duration().Hours()
+	}
+	if hours != 1 {
+		t.Fatalf("monitored hours %v, want 1 (truncation rule)", hours)
+	}
+}
+
+func TestLoadRejectsCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, FileName(cluster.NodeID{Blade: 5, SoC: 5}))
+	if err := os.WriteFile(path, []byte("GARBAGE LINE\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("corrupt log accepted")
+	}
+}
+
+func TestEndToEndScannerToStoreToExtraction(t *testing.T) {
+	// The real scanner writes a node log file; Load reproduces the exact
+	// fault the injector planted.
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := cluster.NodeID{Blade: 7, SoC: 3}
+	dev := dram.NewDevice(uint64(host.Index()), 4096, nil)
+	bit := -1
+	for b := 0; b < dram.WordBits; b++ {
+		if dev.Polarity.IsTrueCell(uint64(host.Index()), 123, b) {
+			bit = b
+			break
+		}
+	}
+	dev.AddWeakCell(&dram.WeakCell{Addr: 123, Bit: bit, LeakProb: 1, Active: true})
+	s := scanner.New(host, dev, scanner.FlipMode, func(rec eventlog.Record) {
+		if err := store.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}, rng.New(9))
+	s.Run(timebase.T(100*86400), 8, nil)
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) == 0 {
+		t.Fatal("no faults recovered from disk")
+	}
+	for _, run := range res.Runs {
+		if run.Addr != 123 {
+			t.Fatalf("fault at %d, want 123", run.Addr)
+		}
+		if run.Expected != 0xFFFFFFFF || run.Actual != 0xFFFFFFFF&^(1<<uint(bit)) {
+			t.Fatalf("pattern %08x->%08x", run.Expected, run.Actual)
+		}
+	}
+	if res.RawLogs != 4 { // observable on the 4 FF-phase checks of 8 passes
+		t.Fatalf("raw logs %d, want 4", res.RawLogs)
+	}
+}

@@ -1,0 +1,93 @@
+package pageretire
+
+import (
+	"testing"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/dram"
+	"unprotected/internal/extract"
+	"unprotected/internal/timebase"
+)
+
+var node = cluster.NodeID{Blade: 4, SoC: 5}
+
+func mk(addr dram.Addr, at timebase.T) extract.Fault {
+	return extract.Classify(extract.RawRun{
+		Node: node, Addr: addr, FirstAt: at, LastAt: at, Logs: 1,
+		Expected: 0xFFFFFFFF, Actual: 0xFFFFFFFE,
+	})
+}
+
+func TestWeakBitRetired(t *testing.T) {
+	// The same cell failing 20 times: after the threshold the page is
+	// retired and the rest are prevented.
+	var faults []extract.Fault
+	for i := 0; i < 20; i++ {
+		faults = append(faults, mk(0x1000, timebase.T(i*1000)))
+	}
+	res := Simulate(faults, Policy{Threshold: 3})
+	if res.PagesRetired != 1 {
+		t.Fatalf("pages retired %d", res.PagesRetired)
+	}
+	if res.Errors != 3 || res.Prevented != 17 {
+		t.Fatalf("errors=%d prevented=%d", res.Errors, res.Prevented)
+	}
+	if res.PreventionRate() != 17.0/20 {
+		t.Fatalf("rate %v", res.PreventionRate())
+	}
+}
+
+func TestScatteredNotPrevented(t *testing.T) {
+	// Faults on all-different pages: retirement never engages usefully.
+	var faults []extract.Fault
+	for i := 0; i < 20; i++ {
+		faults = append(faults, mk(dram.Addr(i*dram.WordsPerPage*7), timebase.T(i*1000)))
+	}
+	res := Simulate(faults, Policy{Threshold: 3})
+	if res.Prevented != 0 {
+		t.Fatalf("scattered corruption prevented %d (should be 0)", res.Prevented)
+	}
+}
+
+func TestBudgetCapsRetirement(t *testing.T) {
+	var faults []extract.Fault
+	// Two hot pages on one node, budget of one retirement.
+	for i := 0; i < 10; i++ {
+		faults = append(faults, mk(0x1000, timebase.T(i*1000)))
+		faults = append(faults, mk(0x1000+dram.WordsPerPage*3, timebase.T(i*1000+5)))
+	}
+	res := Simulate(faults, Policy{Threshold: 2, Budget: 1})
+	if res.PagesRetired != 1 {
+		t.Fatalf("budget ignored: %d pages", res.PagesRetired)
+	}
+}
+
+func TestByCauseSplit(t *testing.T) {
+	var faults []extract.Fault
+	// A weak bit (same address recurring)...
+	for i := 0; i < 10; i++ {
+		faults = append(faults, mk(0x2000, timebase.T(i*1000)))
+	}
+	// ...and scattered one-off addresses on the same page.
+	for i := 0; i < 6; i++ {
+		faults = append(faults, mk(0x2000+dram.Addr(i+1), timebase.T(100000+i*1000)))
+	}
+	weak, scattered := ByCause(faults, Policy{Threshold: 3})
+	if weak == 0 {
+		t.Fatal("weak-bit prevention not attributed")
+	}
+	if scattered == 0 {
+		t.Fatal("scattered prevention not attributed")
+	}
+	if weak <= scattered {
+		t.Fatalf("weak=%d should dominate scattered=%d here", weak, scattered)
+	}
+}
+
+func TestZeroThresholdNeverRetires(t *testing.T) {
+	faults := []extract.Fault{mk(1, 0), mk(1, 10), mk(1, 20)}
+	res := Simulate(faults, Policy{})
+	if res.PagesRetired != 0 || res.Prevented != 0 {
+		t.Fatalf("zero threshold: %+v", res)
+	}
+}

@@ -1,0 +1,90 @@
+package quarantine
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/dram"
+	"unprotected/internal/extract"
+	"unprotected/internal/timebase"
+)
+
+// TestConservationProperty: for any fault stream and any policy,
+// errors + prevented == total, and node-days equals entries × period.
+func TestConservationProperty(t *testing.T) {
+	f := func(gaps []uint16, nodes []uint8, periodDays uint8) bool {
+		n := len(gaps)
+		if len(nodes) < n {
+			n = len(nodes)
+		}
+		var faults []extract.Fault
+		at := timebase.T(0)
+		for i := 0; i < n; i++ {
+			at += timebase.T(gaps[i])
+			faults = append(faults, extract.Classify(extract.RawRun{
+				Node:    cluster.NodeID{Blade: int(nodes[i])%8 + 1, SoC: 1},
+				Addr:    dram.Addr(i),
+				FirstAt: at, LastAt: at, Logs: 1,
+				Expected: 0xFFFFFFFF, Actual: 0xFFFFFFFE,
+			}))
+		}
+		p := DefaultTrigger(time.Duration(periodDays%31) * 24 * time.Hour)
+		res := Simulate(faults, p)
+		if res.Errors+res.Prevented != n {
+			return false
+		}
+		wantDays := float64(res.Entries) * float64(periodDays%31)
+		return res.NodeDaysQuarantined == wantDays
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPreventionNeedsPeriod: with a zero period nothing is ever prevented,
+// whatever the stream looks like.
+func TestPreventionNeedsPeriod(t *testing.T) {
+	f := func(gaps []uint8) bool {
+		var faults []extract.Fault
+		at := timebase.T(0)
+		for i, g := range gaps {
+			at += timebase.T(g)
+			faults = append(faults, extract.Classify(extract.RawRun{
+				Node: cluster.NodeID{Blade: 1, SoC: 1}, Addr: dram.Addr(i),
+				FirstAt: at, LastAt: at, Logs: 1,
+				Expected: 0xFFFFFFFF, Actual: 0xFFFFFFFE,
+			}))
+		}
+		res := Simulate(faults, DefaultTrigger(0))
+		return res.Prevented == 0 && res.Errors == len(faults)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDenseBurstMostlyPrevented: a dense enough burst is almost entirely
+// absorbed regardless of its exact shape.
+func TestDenseBurstMostlyPrevented(t *testing.T) {
+	f := func(seed uint8) bool {
+		var faults []extract.Fault
+		at := timebase.T(int(seed) * 1000)
+		for i := 0; i < 200; i++ {
+			at += timebase.T(600 + int(seed)%60) // ~10 min apart
+			faults = append(faults, extract.Classify(extract.RawRun{
+				Node: cluster.NodeID{Blade: 2, SoC: 2}, Addr: dram.Addr(i),
+				FirstAt: at, LastAt: at, Logs: 1,
+				Expected: 0xFFFFFFFF, Actual: 0xFFFFFFFE,
+			}))
+		}
+		res := Simulate(faults, DefaultTrigger(10*24*time.Hour))
+		// The trigger fires on the 4th error within 24h; everything after
+		// is inside one long quarantine.
+		return res.Errors <= 4 && res.Prevented >= 196
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

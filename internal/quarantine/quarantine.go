@@ -1,0 +1,121 @@
+// Package quarantine implements §IV's failure-avoidance proposal: put a
+// node in quarantine as soon as it shows an abnormally high error rate,
+// instead of waiting for a long failure history. The simulator replays the
+// study's independent-error log; errors on quarantined nodes are prevented
+// (the node would not have been running jobs). Table II sweeps the
+// quarantine period from 0 to 30 days: 30-day quarantine raised system
+// MTBF from 2.1 h to 156.9 h at a cost of 180 node-days (<0.1% of node
+// availability).
+package quarantine
+
+import (
+	"sort"
+	"time"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/extract"
+	"unprotected/internal/timebase"
+)
+
+// Policy parameterizes the quarantine trigger.
+type Policy struct {
+	// Period is how long a node stays quarantined.
+	Period time.Duration
+	// TriggerCount errors within TriggerWindow send a node to quarantine
+	// ("abnormally high error rate"; the paper classifies >3 errors/day as
+	// degraded).
+	TriggerCount  int
+	TriggerWindow time.Duration
+}
+
+// DefaultTrigger matches the paper's degraded-day rule: a fourth error
+// within 24 hours is abnormal.
+func DefaultTrigger(period time.Duration) Policy {
+	return Policy{Period: period, TriggerCount: 4, TriggerWindow: 24 * time.Hour}
+}
+
+// Result summarizes one simulated policy (one row of Table II).
+type Result struct {
+	Policy Policy
+	// Errors is how many errors still occurred (outside quarantine).
+	Errors int
+	// Prevented is how many errors fell inside quarantine windows.
+	Prevented int
+	// NodeDaysQuarantined is the availability cost.
+	NodeDaysQuarantined float64
+	// MTBFHours is study wall-clock hours per surviving error.
+	MTBFHours float64
+	// Entries counts quarantine activations.
+	Entries int
+}
+
+// nodeState tracks the rolling trigger window and quarantine status.
+type nodeState struct {
+	recent         []timebase.T
+	quarantinedTil timebase.T
+}
+
+// Simulate replays faults (must be time-ordered) under the policy.
+// Faults of excluded nodes (the permanently failed 02-04) are skipped, as
+// in the paper's Table II.
+func Simulate(faults []extract.Fault, p Policy, exclude ...cluster.NodeID) Result {
+	skip := make(map[cluster.NodeID]bool, len(exclude))
+	for _, id := range exclude {
+		skip[id] = true
+	}
+	states := make(map[cluster.NodeID]*nodeState)
+	res := Result{Policy: p}
+	period := timebase.T(p.Period / time.Second)
+	window := timebase.T(p.TriggerWindow / time.Second)
+	for _, f := range faults {
+		if skip[f.Node] {
+			continue
+		}
+		st, ok := states[f.Node]
+		if !ok {
+			st = &nodeState{}
+			states[f.Node] = st
+		}
+		if f.FirstAt < st.quarantinedTil {
+			res.Prevented++
+			continue
+		}
+		res.Errors++
+		if period <= 0 {
+			continue
+		}
+		// Slide the trigger window (exclusive at the trailing edge: an
+		// error exactly TriggerWindow ago no longer counts).
+		st.recent = append(st.recent, f.FirstAt)
+		cut := 0
+		for cut < len(st.recent) && st.recent[cut] <= f.FirstAt-window {
+			cut++
+		}
+		st.recent = st.recent[cut:]
+		if len(st.recent) >= p.TriggerCount {
+			st.quarantinedTil = f.FirstAt + period
+			st.recent = st.recent[:0]
+			res.Entries++
+			res.NodeDaysQuarantined += float64(period) / 86400
+		}
+	}
+	if res.Errors > 0 {
+		res.MTBFHours = float64(timebase.StudySeconds) / 3600 / float64(res.Errors)
+	}
+	return res
+}
+
+// Sweep runs Table II: one simulation per quarantine period (days).
+func Sweep(faults []extract.Fault, periodsDays []int, exclude ...cluster.NodeID) []Result {
+	ordered := append([]extract.Fault(nil), faults...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].FirstAt < ordered[j].FirstAt })
+	out := make([]Result, 0, len(periodsDays))
+	for _, days := range periodsDays {
+		p := DefaultTrigger(time.Duration(days) * 24 * time.Hour)
+		out = append(out, Simulate(ordered, p, exclude...))
+	}
+	return out
+}
+
+// PaperPeriods are Table II's quarantine periods in days.
+var PaperPeriods = []int{0, 5, 10, 15, 20, 25, 30}

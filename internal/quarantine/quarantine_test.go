@@ -1,0 +1,118 @@
+package quarantine
+
+import (
+	"testing"
+	"time"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/dram"
+	"unprotected/internal/extract"
+	"unprotected/internal/timebase"
+)
+
+var (
+	burstNode = cluster.NodeID{Blade: 4, SoC: 5}
+	quietNode = cluster.NodeID{Blade: 9, SoC: 9}
+)
+
+func mk(node cluster.NodeID, at timebase.T) extract.Fault {
+	return extract.Classify(extract.RawRun{
+		Node: node, Addr: dram.Addr(at % 1000), FirstAt: at, LastAt: at,
+		Logs: 1, Expected: 0xFFFFFFFF, Actual: 0xFFFFFFFE,
+	})
+}
+
+// burstFixture: a 10-day burst of 20 errors/day on one node, plus 3
+// scattered errors on another.
+func burstFixture() []extract.Fault {
+	var out []extract.Fault
+	day := timebase.T(86400)
+	for d := 0; d < 10; d++ {
+		for e := 0; e < 20; e++ {
+			out = append(out, mk(burstNode, timebase.T(100*86400)+timebase.T(d)*day+timebase.T(e)*3000))
+		}
+	}
+	out = append(out,
+		mk(quietNode, 5*day),
+		mk(quietNode, 150*day),
+		mk(quietNode, 300*day),
+	)
+	extract.SortFaults(out)
+	return out
+}
+
+func TestZeroPeriodIsPassThrough(t *testing.T) {
+	faults := burstFixture()
+	res := Simulate(faults, DefaultTrigger(0))
+	if res.Errors != len(faults) || res.Prevented != 0 {
+		t.Fatalf("P=0: %+v", res)
+	}
+	if res.NodeDaysQuarantined != 0 {
+		t.Fatal("no quarantine at P=0")
+	}
+}
+
+func TestQuarantineAbsorbsBurst(t *testing.T) {
+	faults := burstFixture()
+	res := Simulate(faults, DefaultTrigger(5*24*time.Hour))
+	// Trigger on the 4th error of day one; the 5-day quarantine absorbs
+	// days 1-5; re-trigger absorbs the rest.
+	if res.Errors >= 30 {
+		t.Fatalf("quarantine left %d errors of %d", res.Errors, len(faults))
+	}
+	if res.Prevented+res.Errors != len(faults) {
+		t.Fatal("errors + prevented must equal total")
+	}
+	if res.Entries < 1 || res.NodeDaysQuarantined < 5 {
+		t.Fatalf("entries=%d days=%v", res.Entries, res.NodeDaysQuarantined)
+	}
+	// Scattered errors never trigger.
+	res30 := Simulate(faults, DefaultTrigger(30*24*time.Hour))
+	if res30.Errors < 3 {
+		t.Fatal("quiet node errors should survive (never quarantined)")
+	}
+}
+
+func TestLongerPeriodsNeverWorseOnBursts(t *testing.T) {
+	faults := burstFixture()
+	results := Sweep(faults, PaperPeriods)
+	if len(results) != len(PaperPeriods) {
+		t.Fatal("sweep size")
+	}
+	if results[0].Errors != len(faults) {
+		t.Fatal("P=0 baseline")
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Errors > results[0].Errors {
+			t.Fatalf("quarantine increased errors: %+v", results[i])
+		}
+	}
+	// MTBF improves by orders of magnitude at P=30 on this fixture.
+	if results[len(results)-1].MTBFHours < 10*results[0].MTBFHours {
+		t.Fatalf("MTBF gain too small: %v -> %v",
+			results[0].MTBFHours, results[len(results)-1].MTBFHours)
+	}
+}
+
+func TestExclusion(t *testing.T) {
+	faults := burstFixture()
+	res := Simulate(faults, DefaultTrigger(0), burstNode)
+	if res.Errors != 3 {
+		t.Fatalf("excluding the burst node should leave 3, got %d", res.Errors)
+	}
+}
+
+func TestTriggerWindowSlides(t *testing.T) {
+	// 3 errors per day never reach the 4-in-24h trigger.
+	var faults []extract.Fault
+	day := timebase.T(86400)
+	for d := 0; d < 30; d++ {
+		for e := 0; e < 3; e++ {
+			faults = append(faults, mk(burstNode, timebase.T(d)*day+timebase.T(e)*20000))
+		}
+	}
+	res := Simulate(faults, DefaultTrigger(10*24*time.Hour))
+	if res.Entries != 0 {
+		t.Fatalf("sub-threshold rate triggered quarantine %d times", res.Entries)
+	}
+}

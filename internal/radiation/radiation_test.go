@@ -1,0 +1,139 @@
+package radiation
+
+import (
+	"math"
+	"testing"
+
+	"unprotected/internal/rng"
+	"unprotected/internal/solar"
+	"unprotected/internal/timebase"
+)
+
+func TestMultiplierBounds(t *testing.T) {
+	f := NewFlux(solar.Barcelona)
+	max := f.MaxMultiplier()
+	for sec := int64(0); sec < timebase.StudySeconds; sec += 13 * 3600 {
+		m := f.Multiplier(timebase.T(sec))
+		if m < f.AltitudeFactor-1e-9 || m > max+1e-9 {
+			t.Fatalf("multiplier %v outside [%v, %v]", m, f.AltitudeFactor, max)
+		}
+	}
+}
+
+func TestDayNightRatioCalibration(t *testing.T) {
+	// Fig 6: multi-bit errors are about twice as frequent 7am-6pm.
+	f := NewFlux(solar.Barcelona)
+	r := f.DayNightRatio()
+	if r < 1.7 || r < 0 || r > 2.6 {
+		t.Fatalf("day/night flux ratio %v, want ~2 (1.7-2.6)", r)
+	}
+}
+
+func TestAltitudeScaling(t *testing.T) {
+	sea := altitudeScale(0)
+	if math.Abs(sea-1) > 1e-12 {
+		t.Fatalf("sea level scale %v", sea)
+	}
+	high := altitudeScale(3000)
+	if high < 3 || high > 4.5 {
+		t.Fatalf("3000m scale %v, want roughly 4x sea level", high)
+	}
+	if altitudeScale(1500) <= altitudeScale(100) {
+		t.Fatal("flux must increase with altitude")
+	}
+}
+
+func TestWindowMatchesExpectedCount(t *testing.T) {
+	f := NewFlux(solar.Barcelona)
+	gen := NewGenerator(f, 0.001) // high rate for statistics
+	r := rng.New(11)
+	from, to := timebase.T(0), timebase.T(30*86400)
+	want := gen.ExpectedCount(from, to)
+	const trials = 60
+	var total int
+	for i := 0; i < trials; i++ {
+		total += len(gen.Window(from, to, r))
+	}
+	got := float64(total) / trials
+	if math.Abs(got-want) > want*0.1 {
+		t.Fatalf("thinning mean %v, analytic %v", got, want)
+	}
+}
+
+func TestWindowEventsOrderedAndInRange(t *testing.T) {
+	f := NewFlux(solar.Barcelona)
+	gen := NewGenerator(f, 0.01)
+	r := rng.New(12)
+	from, to := timebase.T(5000), timebase.T(5000+10*86400)
+	evs := gen.Window(from, to, r)
+	if len(evs) == 0 {
+		t.Fatal("expected events at this rate")
+	}
+	last := from
+	for _, ev := range evs {
+		if ev.At < from || ev.At >= to {
+			t.Fatalf("event at %v outside window", ev.At)
+		}
+		if ev.At < last {
+			t.Fatal("events out of order")
+		}
+		if ev.Cells < 1 || ev.Cells > 36 {
+			t.Fatalf("cells %d out of range", ev.Cells)
+		}
+		last = ev.At
+	}
+}
+
+func TestWindowDegenerate(t *testing.T) {
+	f := NewFlux(solar.Barcelona)
+	gen := NewGenerator(f, 0.01)
+	r := rng.New(13)
+	if evs := gen.Window(100, 100, r); evs != nil {
+		t.Fatal("empty window should yield nil")
+	}
+	gen.BaseRatePerHour = 0
+	if evs := gen.Window(0, 1e6, r); evs != nil {
+		t.Fatal("zero rate should yield nil")
+	}
+}
+
+func TestSizeDistShape(t *testing.T) {
+	d := DefaultSizeDist()
+	r := rng.New(14)
+	counts := make(map[int]int)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[d.Sample(r)]++
+	}
+	single := float64(counts[1]) / n
+	if single < 0.94 || single > 0.99 {
+		t.Fatalf("single-cell fraction %v, want ~0.965", single)
+	}
+	multi := 0
+	for k, c := range counts {
+		if k >= 2 {
+			multi += c
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no multi-cell strikes sampled")
+	}
+}
+
+func TestDiurnalPeakNearSolarNoon(t *testing.T) {
+	// The multiplier's daily maximum must fall near local solar noon
+	// (the paper: multi-bit peak when the sun is highest).
+	f := NewFlux(solar.Barcelona)
+	day := timebase.T(150 * 86400) // mid-study, late June
+	bestHour, bestVal := 0, 0.0
+	for h := 0; h < 24; h++ {
+		m := f.Multiplier(day + timebase.T(h*3600))
+		if m > bestVal {
+			bestVal, bestHour = m, h
+		}
+	}
+	local := (day + timebase.T(bestHour*3600)).HourOfDay()
+	if local < 11 || local > 15 {
+		t.Fatalf("peak multiplier at local hour %d, want near solar noon", local)
+	}
+}

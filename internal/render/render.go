@@ -1,0 +1,242 @@
+// Package render turns analysis results into terminal artifacts: node heat
+// maps (the paper's Figs 1–3), bar and line charts (Figs 4–12), regime
+// strips (Fig 13), aligned tables (Tables I–II) and CSV for external
+// plotting.
+package render
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// heatRamp maps a normalized [0,1] value to a character, dark to bright.
+var heatRamp = []rune(" .:-=+*#%@")
+
+// HeatCell renders v normalized against max using the ramp; zero values
+// render as blank ("white" in the paper's maps).
+func HeatCell(v, max float64) rune {
+	if v <= 0 || max <= 0 {
+		return ' '
+	}
+	idx := int(v / max * float64(len(heatRamp)-1))
+	if idx < 1 {
+		idx = 1
+	}
+	if idx >= len(heatRamp) {
+		idx = len(heatRamp) - 1
+	}
+	return heatRamp[idx]
+}
+
+// HeatCellLog renders with a log scale (Fig 3 uses one because node error
+// counts span orders of magnitude).
+func HeatCellLog(v, max float64) rune {
+	if v <= 0 || max <= 0 {
+		return ' '
+	}
+	return HeatCell(math.Log1p(v), math.Log1p(max))
+}
+
+// Grid is a labeled 2-D field (rows = blades, cols = SoC positions).
+type Grid struct {
+	Title     string
+	RowLabels []string
+	ColLabels []string
+	Values    [][]float64 // [row][col]
+	Log       bool
+}
+
+// Max returns the largest value in the grid.
+func (g *Grid) Max() float64 {
+	max := 0.0
+	for _, row := range g.Values {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// Render writes the heat map.
+func (g *Grid) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s (max=%.6g)\n", g.Title, g.Max())
+	max := g.Max()
+	cell := HeatCell
+	if g.Log {
+		cell = HeatCellLog
+	}
+	// Column header.
+	fmt.Fprintf(w, "%8s ", "")
+	for _, c := range g.ColLabels {
+		fmt.Fprintf(w, "%2s", lastN(c, 2))
+	}
+	fmt.Fprintln(w)
+	for i, row := range g.Values {
+		fmt.Fprintf(w, "%8s ", g.RowLabels[i])
+		for _, v := range row {
+			fmt.Fprintf(w, " %c", cell(v, max))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func lastN(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[len(s)-n:]
+}
+
+// Series is a labeled sequence for bar/line charts.
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// BarChart renders horizontal bars for one or more series sharing X
+// labels (e.g. hour of day, bit-count class).
+type BarChart struct {
+	Title   string
+	XLabels []string
+	Series  []Series
+	Width   int // bar width in characters; default 50
+	LogY    bool
+}
+
+// Render writes the chart, one block per series.
+func (b *BarChart) Render(w io.Writer) {
+	width := b.Width
+	if width <= 0 {
+		width = 50
+	}
+	fmt.Fprintln(w, b.Title)
+	for _, s := range b.Series {
+		max := 0.0
+		for _, v := range s.Values {
+			m := v
+			if b.LogY {
+				m = math.Log1p(v)
+			}
+			if m > max {
+				max = m
+			}
+		}
+		fmt.Fprintf(w, "-- %s\n", s.Label)
+		for i, v := range s.Values {
+			lbl := ""
+			if i < len(b.XLabels) {
+				lbl = b.XLabels[i]
+			}
+			m := v
+			if b.LogY {
+				m = math.Log1p(v)
+			}
+			n := 0
+			if max > 0 {
+				n = int(m / max * float64(width))
+			}
+			fmt.Fprintf(w, "%10s |%s %.6g\n", lbl, strings.Repeat("█", n), v)
+		}
+	}
+}
+
+// Table renders aligned rows.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table with column alignment.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i >= len(widths) {
+				break
+			}
+			fmt.Fprintf(w, "%-*s  ", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// CSV writes rows as comma-separated values with minimal quoting.
+func CSV(w io.Writer, headers []string, rows [][]string) error {
+	write := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := write(headers); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := write(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Strip renders a boolean-per-day strip (Fig 13's normal/degraded view),
+// 30 days per line.
+func Strip(w io.Writer, title string, days []bool, onGlyph, offGlyph rune) {
+	fmt.Fprintln(w, title)
+	for i := 0; i < len(days); i += 30 {
+		end := i + 30
+		if end > len(days) {
+			end = len(days)
+		}
+		var sb strings.Builder
+		for _, d := range days[i:end] {
+			if d {
+				sb.WriteRune(onGlyph)
+			} else {
+				sb.WriteRune(offGlyph)
+			}
+		}
+		fmt.Fprintf(w, "day %3d-%3d %s\n", i, end-1, sb.String())
+	}
+}

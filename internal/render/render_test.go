@@ -1,0 +1,128 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHeatCell(t *testing.T) {
+	if HeatCell(0, 10) != ' ' {
+		t.Fatal("zero must be blank")
+	}
+	if HeatCell(10, 10) != '@' {
+		t.Fatal("max must be brightest")
+	}
+	if HeatCell(0.01, 10) == ' ' {
+		t.Fatal("tiny non-zero must be visible")
+	}
+	if HeatCellLog(0, 100) != ' ' || HeatCellLog(100, 100) != '@' {
+		t.Fatal("log cell extremes")
+	}
+	// Log scale compresses: mid value renders brighter (further along the
+	// ramp) than linear. Compare ramp positions, not code points.
+	ramp := " .:-=+*#%@"
+	logIdx := strings.IndexRune(ramp, HeatCellLog(10, 1000))
+	linIdx := strings.IndexRune(ramp, HeatCell(10, 1000))
+	if logIdx <= linIdx {
+		t.Fatalf("log scale should brighten small values: log=%d lin=%d", logIdx, linIdx)
+	}
+}
+
+func TestGridRender(t *testing.T) {
+	g := &Grid{
+		Title:     "test grid",
+		RowLabels: []string{"r1", "r2"},
+		ColLabels: []string{"1", "2", "3"},
+		Values:    [][]float64{{0, 1, 2}, {3, 4, 5}},
+	}
+	if g.Max() != 5 {
+		t.Fatalf("max %v", g.Max())
+	}
+	var buf bytes.Buffer
+	g.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "test grid") || !strings.Contains(out, "r1") {
+		t.Fatalf("render output: %q", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 4 { // title + header + 2 rows
+		t.Fatalf("unexpected line count: %q", out)
+	}
+}
+
+func TestBarChartRender(t *testing.T) {
+	c := &BarChart{
+		Title:   "chart",
+		XLabels: []string{"a", "b"},
+		Series:  []Series{{Label: "s1", Values: []float64{1, 10}}},
+		Width:   20,
+	}
+	var buf bytes.Buffer
+	c.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "chart") || !strings.Contains(out, "s1") {
+		t.Fatal("chart missing labels")
+	}
+	// The larger bar must be longer.
+	lines := strings.Split(out, "\n")
+	var aBar, bBar int
+	for _, l := range lines {
+		if strings.Contains(l, "a |") {
+			aBar = strings.Count(l, "█")
+		}
+		if strings.Contains(l, "b |") {
+			bBar = strings.Count(l, "█")
+		}
+	}
+	if bBar <= aBar {
+		t.Fatalf("bars not proportional: a=%d b=%d", aBar, bBar)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{Title: "T", Headers: []string{"col1", "c2"}}
+	tbl.AddRow("a", "bb")
+	tbl.AddRow("longvalue", "x")
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"T", "col1", "longvalue", "----"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	var buf bytes.Buffer
+	err := CSV(&buf, []string{"a", "b"}, [][]string{
+		{"plain", `has "quotes", and comma`},
+		{"multi\nline", "x"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"has ""quotes"", and comma"`) {
+		t.Fatalf("quoting: %q", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Fatalf("header: %q", out)
+	}
+}
+
+func TestStrip(t *testing.T) {
+	days := make([]bool, 65)
+	days[0] = true
+	days[64] = true
+	var buf bytes.Buffer
+	Strip(&buf, "regimes", days, 'X', '.')
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title + 3 strips of 30/30/5
+		t.Fatalf("strip lines: %d", len(lines))
+	}
+	if !strings.Contains(lines[1], "X") || !strings.Contains(lines[3], "X") {
+		t.Fatalf("markers missing: %q", out)
+	}
+}

@@ -1,0 +1,175 @@
+// Package rng provides deterministic, splittable random number streams.
+//
+// The campaign simulator runs one simulation per node on a worker pool.
+// Reproducibility regardless of scheduling requires every node to own an
+// independent stream whose seed depends only on (campaign seed, node index).
+// Streams are derived with splitmix64, the standard seed-expansion mixer,
+// and backed by math/rand/v2's PCG generator.
+package rng
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Stream is a deterministic random stream. It embeds *rand.Rand so all the
+// usual draw methods (Uint64, Float64, IntN, ...) are available, and adds
+// the distribution samplers the fault models need.
+type Stream struct {
+	*rand.Rand
+}
+
+// splitmix64 advances the state and returns the next mixed output.
+// Reference: Steele, Lea & Flood, "Fast Splittable Pseudorandom Number
+// Generators" (OOPSLA'14).
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns the root stream for a campaign seed.
+func New(seed uint64) *Stream {
+	s := seed
+	a := splitmix64(&s)
+	b := splitmix64(&s)
+	return &Stream{rand.New(rand.NewPCG(a, b))}
+}
+
+// Derive returns an independent stream identified by index, deterministic in
+// (seed, index) and uncorrelated with sibling streams.
+func Derive(seed uint64, index uint64) *Stream {
+	s := seed ^ (index * 0xd1342543de82ef95)
+	a := splitmix64(&s)
+	b := splitmix64(&s)
+	return &Stream{rand.New(rand.NewPCG(a, b))}
+}
+
+// Bernoulli returns true with probability p.
+func (s *Stream) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Exp samples an exponential variate with the given rate (events per unit
+// time). Used for inter-arrival times in Poisson processes.
+func (s *Stream) Exp(rate float64) float64 {
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return s.ExpFloat64() / rate
+}
+
+// Poisson samples a Poisson variate with mean lambda. For small lambda it
+// uses Knuth multiplication; for large lambda the PTRS transformed-rejection
+// method would be overkill here, so a normal approximation is used — the
+// fault models only need counts, not tail-exact distributions.
+func (s *Stream) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		l := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= s.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	// Normal approximation with continuity correction.
+	v := s.NormFloat64()*math.Sqrt(lambda) + lambda + 0.5
+	if v < 0 {
+		return 0
+	}
+	return int(v)
+}
+
+// Geometric samples the number of Bernoulli(p) trials up to and including
+// the first success (support {1, 2, ...}, mean 1/p).
+func (s *Stream) Geometric(p float64) int {
+	if p >= 1 {
+		return 1
+	}
+	if p <= 0 {
+		return math.MaxInt32
+	}
+	// Inversion: ceil(ln(U) / ln(1-p)).
+	u := s.Float64()
+	for u == 0 {
+		u = s.Float64()
+	}
+	k := int(math.Ceil(math.Log(u) / math.Log(1-p)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// LogNormal samples exp(N(mu, sigma)).
+func (s *Stream) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.NormFloat64()*sigma + mu)
+}
+
+// Normal samples N(mu, sigma).
+func (s *Stream) Normal(mu, sigma float64) float64 {
+	return s.NormFloat64()*sigma + mu
+}
+
+// WeightedIndex samples an index proportionally to weights. Weights must be
+// non-negative with a positive sum; otherwise it returns 0.
+func (s *Stream) WeightedIndex(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	x := s.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// PickN samples n distinct ints from [0, m) without replacement. If n >= m
+// it returns the full range in random order. The result is not sorted.
+func (s *Stream) PickN(n, m int) []int {
+	if n >= m {
+		out := s.Perm(m)
+		return out
+	}
+	// Floyd's algorithm: O(n) expected, no O(m) allocation.
+	chosen := make(map[int]struct{}, n)
+	out := make([]int, 0, n)
+	for j := m - n; j < m; j++ {
+		t := s.IntN(j + 1)
+		if _, ok := chosen[t]; ok {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	// Shuffle so ordering carries no bias from the insertion pattern.
+	s.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

@@ -1,0 +1,173 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	// Streams derived with different indices must differ immediately and
+	// be reproducible.
+	a1 := Derive(7, 1)
+	a2 := Derive(7, 2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a1.Uint64() == a2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("derived streams collided %d/100 draws", same)
+	}
+	b1 := Derive(7, 1)
+	c1 := Derive(7, 1)
+	for i := 0; i < 100; i++ {
+		if b1.Uint64() != c1.Uint64() {
+			t.Fatalf("Derive not deterministic at draw %d", i)
+		}
+	}
+}
+
+func TestBernoulliEdge(t *testing.T) {
+	s := New(1)
+	if s.Bernoulli(0) {
+		t.Fatal("Bernoulli(0) returned true")
+	}
+	if !s.Bernoulli(1) {
+		t.Fatal("Bernoulli(1) returned false")
+	}
+	n := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if s.Bernoulli(0.3) {
+			n++
+		}
+	}
+	p := float64(n) / trials
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) frequency %v", p)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(2)
+	const rate = 4.0
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Exp(rate)
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Fatalf("Exp(%v) mean %v, want %v", rate, mean, 1/rate)
+	}
+	if !math.IsInf(s.Exp(0), 1) {
+		t.Fatal("Exp(0) should be +Inf")
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	s := New(3)
+	for _, lambda := range []float64{0.5, 3, 12, 80} {
+		var sum float64
+		const n = 50000
+		for i := 0; i < n; i++ {
+			sum += float64(s.Poisson(lambda))
+		}
+		mean := sum / n
+		if math.Abs(mean-lambda) > lambda*0.05+0.05 {
+			t.Fatalf("Poisson(%v) mean %v", lambda, mean)
+		}
+	}
+	if s.Poisson(0) != 0 || s.Poisson(-1) != 0 {
+		t.Fatal("Poisson of non-positive lambda should be 0")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(4)
+	const p = 0.2
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		k := s.Geometric(p)
+		if k < 1 {
+			t.Fatalf("Geometric returned %d < 1", k)
+		}
+		sum += float64(k)
+	}
+	mean := sum / n
+	if math.Abs(mean-1/p) > 0.1 {
+		t.Fatalf("Geometric(%v) mean %v, want %v", p, mean, 1/p)
+	}
+	if s.Geometric(1) != 1 {
+		t.Fatal("Geometric(1) must be 1")
+	}
+}
+
+func TestWeightedIndex(t *testing.T) {
+	s := New(5)
+	w := []float64{0, 1, 3, 0}
+	counts := make([]int, 4)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.WeightedIndex(w)]++
+	}
+	if counts[0] != 0 || counts[3] != 0 {
+		t.Fatalf("zero-weight indices drawn: %v", counts)
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if math.Abs(ratio-3) > 0.2 {
+		t.Fatalf("weight ratio %v, want 3", ratio)
+	}
+	if got := s.WeightedIndex([]float64{0, 0}); got != 0 {
+		t.Fatalf("all-zero weights: %d", got)
+	}
+}
+
+func TestPickNProperty(t *testing.T) {
+	s := New(6)
+	f := func(nRaw, mRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		m := int(mRaw%30) + 1
+		out := s.PickN(n, m)
+		wantLen := n
+		if n >= m {
+			wantLen = m
+		}
+		if len(out) != wantLen {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, v := range out {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 1000; i++ {
+		if v := s.LogNormal(0, 1); v <= 0 {
+			t.Fatalf("LogNormal produced %v", v)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package scanner implements the memory error scanning tool of §II-B.
+//
+// The tool allocates as much memory as it can (3 GB target, backing off in
+// 10 MB steps when a leaky previous job left less), then loops forever:
+// every word is written with a pattern, and on the next pass each word is
+// checked against the expected value and rewritten with the next pattern.
+// Mismatches produce ERROR records carrying timestamp, host, virtual
+// address, actual and expected values, temperature and physical page.
+//
+// Two write-pattern strategies from the paper are implemented:
+//
+//   - FlipMode: 0x00000000 and 0xFFFFFFFF alternate each iteration,
+//     stressing every bit position equally (used for most of the study);
+//   - CounterMode: the value starts at 0x00000001 and increments by one
+//     each iteration, which concentrates 1-bits in the least significant
+//     bits (visible in Table I's small expected values).
+//
+// Scan runs against a real dram.Device: faults mutate real storage and the
+// scanner finds them by reading it back — the same code path as hardware.
+package scanner
+
+import (
+	"unprotected/internal/cluster"
+	"unprotected/internal/dram"
+	"unprotected/internal/eventlog"
+	"unprotected/internal/rng"
+	"unprotected/internal/thermal"
+	"unprotected/internal/timebase"
+)
+
+// Mode selects the write-pattern strategy.
+type Mode uint8
+
+const (
+	// FlipMode alternates 0x00000000 / 0xFFFFFFFF.
+	FlipMode Mode = iota
+	// CounterMode starts at 0x00000001 and increments every iteration.
+	CounterMode
+)
+
+func (m Mode) String() string {
+	if m == CounterMode {
+		return "counter"
+	}
+	return "flip"
+}
+
+// Expected returns the pattern value checked at iteration i (0-based): the
+// value written during iteration i-1 and verified at the start of i.
+func (m Mode) Expected(i int64) uint32 {
+	if m == CounterMode {
+		return uint32(i) // iteration 0 wrote 0x00000001 at i=1... see Write
+	}
+	if i%2 == 0 {
+		return 0x00000000
+	}
+	return 0xFFFFFFFF
+}
+
+// Write returns the pattern value written during iteration i.
+func (m Mode) Write(i int64) uint32 {
+	if m == CounterMode {
+		return uint32(i + 1)
+	}
+	return m.Expected(i + 1)
+}
+
+// AllocTarget is the scanner's first allocation attempt (3 GB), the largest
+// amount applications can allocate on a node.
+const AllocTarget = cluster.ScanTargetBytes
+
+// AllocStep is the backoff decrement (10 MB).
+const AllocStep = 10 << 20
+
+// Allocate models the backoff loop: the scanner asks for AllocTarget bytes
+// and retries 10 MB lower until it fits within available. Returns 0 when
+// even the smallest request fails (ALLOCFAIL).
+func Allocate(available int64) int64 {
+	if available <= 0 {
+		return 0
+	}
+	alloc := int64(AllocTarget)
+	for alloc > 0 && alloc > available {
+		alloc -= AllocStep
+	}
+	if alloc < 0 {
+		return 0
+	}
+	return alloc
+}
+
+// LeakModel samples how much memory a departing job leaked, shrinking what
+// the scanner can allocate. Calibrated so the mean allocation is ≈2.9 GB,
+// which together with ~4.2M node-hours yields the paper's ≈12,000 TBh.
+type LeakModel struct {
+	// LeakProb is the chance the previous job leaked at all.
+	LeakProb float64
+	// MeanSteps is the mean leak size in 10 MB steps when leaking.
+	MeanSteps float64
+	// AllocFailProb is the chance leakage consumed everything.
+	AllocFailProb float64
+}
+
+// DefaultLeakModel returns the calibrated model.
+func DefaultLeakModel() LeakModel {
+	return LeakModel{LeakProb: 0.30, MeanSteps: 28, AllocFailProb: 0.002}
+}
+
+// Available samples the allocatable bytes at session start.
+func (l LeakModel) Available(r *rng.Stream) int64 {
+	if r.Bernoulli(l.AllocFailProb) {
+		return 0
+	}
+	if !r.Bernoulli(l.LeakProb) {
+		return AllocTarget
+	}
+	steps := r.Geometric(1 / l.MeanSteps)
+	avail := int64(AllocTarget) - int64(steps)*AllocStep
+	if avail < 0 {
+		avail = 0
+	}
+	return avail
+}
+
+// ScanBandwidth is the sustained write+verify bandwidth of one SoC
+// (bytes/second). One full pass over 3 GB takes ≈11 s.
+const ScanBandwidth = 280 << 20
+
+// IterDuration returns the wall time of one scan iteration over alloc bytes.
+func IterDuration(alloc int64) timebase.T {
+	d := alloc / ScanBandwidth
+	if d < 1 {
+		d = 1
+	}
+	return timebase.T(d)
+}
+
+// Scanner runs the scan loop against a real device. It is the verbatim
+// tool: cmd/memscan wires it to a fault injector, tests assert on its logs.
+type Scanner struct {
+	Host    cluster.NodeID
+	Device  *dram.Device
+	Mode    Mode
+	Thermal *thermal.Model
+	// Soc12Powered reports the SoC-12 heating state for temperature logs.
+	Soc12Powered bool
+	// Emit receives every log record; must be non-nil.
+	Emit func(eventlog.Record)
+	// Perturb, if set, is called between iterations to inject faults
+	// (particle strikes etc.) into the device.
+	Perturb func(iter int64, at timebase.T, dev *dram.Device)
+
+	rng *rng.Stream
+}
+
+// New builds a scanner for a device.
+func New(host cluster.NodeID, dev *dram.Device, mode Mode, emit func(eventlog.Record), r *rng.Stream) *Scanner {
+	return &Scanner{
+		Host:    host,
+		Device:  dev,
+		Mode:    mode,
+		Thermal: thermal.New(),
+		Emit:    emit,
+		rng:     r,
+	}
+}
+
+func (s *Scanner) temp(at timebase.T) float64 {
+	return s.Thermal.NodeTemp(s.Host, at, s.Soc12Powered, s.rng)
+}
+
+// Run executes a session: START, then iterations of verify+rewrite until
+// stop is closed or maxIters is reached, then END. Simulated time advances
+// by IterDuration per pass starting from the session's start time. The
+// returned count is the number of ERROR records produced.
+func (s *Scanner) Run(start timebase.T, maxIters int64, stop <-chan struct{}) int {
+	alloc := int64(s.Device.Len()) * 4
+	s.Emit(eventlog.Record{
+		Kind: eventlog.KindStart, At: start, Host: s.Host,
+		AllocBytes: alloc, TempC: s.temp(start),
+	})
+	// Iteration 0's "previous write": initialize the device.
+	s.Device.Fill(s.Mode.Expected(0))
+	iterDur := IterDuration(alloc)
+	errs := 0
+	at := start
+	for iter := int64(0); maxIters <= 0 || iter < maxIters; iter++ {
+		select {
+		case <-stop:
+			s.Emit(eventlog.Record{Kind: eventlog.KindEnd, At: at, Host: s.Host, TempC: s.temp(at)})
+			return errs
+		default:
+		}
+		if s.Perturb != nil {
+			s.Perturb(iter, at, s.Device)
+		}
+		s.Device.Tick(s.rng)
+		expected := s.Mode.Expected(iter)
+		write := s.Mode.Write(iter)
+		for a := 0; a < s.Device.Len(); a++ {
+			addr := dram.Addr(a)
+			actual := s.Device.Read(addr)
+			if actual != expected {
+				errs++
+				s.Emit(eventlog.Record{
+					Kind: eventlog.KindError, At: at, Host: s.Host,
+					VAddr: dram.VirtAddr(addr), Actual: actual, Expected: expected,
+					TempC: s.temp(at), PhysPage: dram.PhysPage(uint64(s.Host.Index()), addr),
+				})
+			}
+			s.Device.Write(addr, write)
+		}
+		at += iterDur
+	}
+	s.Emit(eventlog.Record{Kind: eventlog.KindEnd, At: at, Host: s.Host, TempC: s.temp(at)})
+	return errs
+}

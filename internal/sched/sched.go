@@ -1,0 +1,168 @@
+// Package sched models the job scheduler that gates the memory scanner.
+//
+// The scanner only runs while a node is idle (§II-B): the scheduler's
+// epilogue script starts it when a job finishes and the prologue script
+// SIGTERMs it when a new job is placed. Scanning time therefore mirrors the
+// *complement* of machine utilization. The paper's Fig 9 shows intense
+// scanning during academic vacations (August, September, December) and
+// less from April to July — so the generative model here is a monthly
+// utilization calendar plus a per-node busy/idle renewal process.
+package sched
+
+import (
+	"time"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/rng"
+	"unprotected/internal/timebase"
+)
+
+// Window is a scanner session opportunity: a maximal idle interval on one
+// node, clipped against the node's outages.
+type Window struct {
+	From, To timebase.T
+	// HardReboot marks windows that ended with a manual reboot instead of
+	// a prologue SIGTERM, so the scanner's END record was never written.
+	HardReboot bool
+}
+
+// Duration returns the window length.
+func (w Window) Duration() time.Duration { return w.To.Sub(w.From) }
+
+// Profile is the workload calendar.
+type Profile struct {
+	// BusyFrac maps calendar months (time.January..) to the fraction of
+	// time a node spends running jobs in that month.
+	BusyFrac map[time.Month]float64
+	// CycleHours is the mean duration of one busy+idle cycle.
+	CycleHours float64
+	// HardRebootProb is the chance an idle window ends in a hard reboot.
+	HardRebootProb float64
+	// MinWindow drops idle windows too short for the scanner to even
+	// allocate memory.
+	MinWindow time.Duration
+}
+
+// PaperProfile reproduces the study's seasonality: vacations (Aug, Sep,
+// Dec) leave the machine mostly idle; the end of the academic year
+// (Apr–Jul) keeps it busy. Average idle fraction ≈ 0.48, matching the
+// ~4.2M node-hours over 923 nodes (≈4,500 h/node, "most nodes got about
+// 5000 hours").
+func PaperProfile() Profile {
+	return Profile{
+		BusyFrac: map[time.Month]float64{
+			time.January:   0.50,
+			time.February:  0.45,
+			time.March:     0.53,
+			time.April:     0.61,
+			time.May:       0.63,
+			time.June:      0.60,
+			time.July:      0.56,
+			time.August:    0.18,
+			time.September: 0.38,
+			time.October:   0.60,
+			time.November:  0.64,
+			time.December:  0.22,
+		},
+		CycleHours:     14,
+		HardRebootProb: 0.012,
+		MinWindow:      5 * time.Minute,
+	}
+}
+
+// busyFracAt returns the calendar utilization at t.
+func (p Profile) busyFracAt(t timebase.T) float64 {
+	f, ok := p.BusyFrac[t.Month()]
+	if !ok {
+		return 0.5
+	}
+	return f
+}
+
+// Generator produces idle windows for nodes.
+type Generator struct {
+	Profile Profile
+	From    timebase.T
+	To      timebase.T
+}
+
+// NewGenerator covers the whole study window with the given profile.
+func NewGenerator(p Profile) *Generator {
+	return &Generator{Profile: p, From: 0, To: timebase.T(timebase.StudySeconds)}
+}
+
+// NodeWindows simulates the busy/idle renewal process for one node and
+// returns its scanner windows in time order. Windows are clipped against
+// the node's outages; an outage interrupting a window truncates it (the
+// scanner dies with the power, logging no END — accounted as a hard
+// reboot, matching the paper's conservative 0-hour rule).
+func (g *Generator) NodeWindows(node *cluster.Node, r *rng.Stream) []Window {
+	if node.Role != cluster.Scanned {
+		return nil
+	}
+	var out []Window
+	t := g.From
+	// Desynchronize nodes: a random initial busy phase.
+	t += timebase.T(r.Float64() * g.Profile.CycleHours * 3600)
+	for t < g.To {
+		busy := g.Profile.busyFracAt(t)
+		cycle := g.Profile.CycleHours * 3600
+		busyDur := timebase.T(r.Exp(1 / (busy * cycle)))
+		idleDur := timebase.T(r.Exp(1 / ((1 - busy) * cycle)))
+		idleFrom := t + busyDur
+		idleTo := idleFrom + idleDur
+		if idleTo > g.To {
+			idleTo = g.To
+		}
+		if idleFrom >= g.To {
+			break
+		}
+		hard := r.Bernoulli(g.Profile.HardRebootProb)
+		out = append(out, clipWindow(node, Window{From: idleFrom, To: idleTo, HardReboot: hard}, g.Profile.MinWindow)...)
+		t = idleTo
+	}
+	return out
+}
+
+// clipWindow intersects a window with the node's availability, splitting
+// around outages. Segments cut short by an outage are marked HardReboot.
+func clipWindow(node *cluster.Node, w Window, minDur time.Duration) []Window {
+	segments := []Window{w}
+	for _, o := range node.Outages {
+		var next []Window
+		for _, s := range segments {
+			// No overlap.
+			if o.To <= s.From || o.From >= s.To {
+				next = append(next, s)
+				continue
+			}
+			if o.From > s.From {
+				// Leading segment survives but is killed by the outage.
+				next = append(next, Window{From: s.From, To: o.From, HardReboot: true})
+			}
+			if o.To < s.To {
+				next = append(next, Window{From: o.To, To: s.To, HardReboot: s.HardReboot})
+			}
+		}
+		segments = next
+	}
+	var out []Window
+	for _, s := range segments {
+		if s.Duration() >= minDur {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// IdleFraction estimates the profile's long-run idle fraction by averaging
+// the monthly calendar over the study window, weighted by days per month.
+func (p Profile) IdleFraction() float64 {
+	var idle, days float64
+	for d := 0; d < timebase.StudyDays; d++ {
+		m := timebase.MonthOfDay(d)
+		idle += 1 - p.BusyFrac[m]
+		days++
+	}
+	return idle / days
+}

@@ -1,0 +1,125 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/rng"
+	"unprotected/internal/timebase"
+)
+
+func TestNodeWindowsBasicInvariants(t *testing.T) {
+	topo := cluster.PaperTopology()
+	g := NewGenerator(PaperProfile())
+	node := topo.Node(cluster.NodeID{Blade: 20, SoC: 5})
+	ws := g.NodeWindows(node, rng.New(3))
+	if len(ws) < 100 {
+		t.Fatalf("only %d windows in 13 months", len(ws))
+	}
+	var last timebase.T
+	for _, w := range ws {
+		if w.From < 0 || w.To > timebase.T(timebase.StudySeconds) {
+			t.Fatalf("window [%v, %v] outside study", w.From, w.To)
+		}
+		if w.To <= w.From {
+			t.Fatal("empty window emitted")
+		}
+		if w.From < last {
+			t.Fatal("windows overlap or out of order")
+		}
+		if w.Duration() < PaperProfile().MinWindow {
+			t.Fatalf("window shorter than MinWindow: %v", w.Duration())
+		}
+		last = w.To
+	}
+}
+
+func TestIdleFractionMatchesCalendar(t *testing.T) {
+	p := PaperProfile()
+	idle := p.IdleFraction()
+	if idle < 0.40 || idle > 0.60 {
+		t.Fatalf("calendar idle fraction %v, want ~0.5", idle)
+	}
+	// Empirical idle time of one node should be near the calendar value.
+	topo := cluster.PaperTopology()
+	g := NewGenerator(p)
+	var total time.Duration
+	for seed := uint64(0); seed < 8; seed++ {
+		node := topo.Node(cluster.NodeID{Blade: 25, SoC: 5})
+		for _, w := range g.NodeWindows(node, rng.New(seed)) {
+			total += w.Duration()
+		}
+	}
+	frac := total.Hours() / 8 / (float64(timebase.StudySeconds) / 3600)
+	if frac < idle-0.07 || frac > idle+0.07 {
+		t.Fatalf("empirical idle %v vs calendar %v", frac, idle)
+	}
+}
+
+func TestWindowsRespectOutages(t *testing.T) {
+	topo := cluster.PaperTopology()
+	g := NewGenerator(PaperProfile())
+	// SoC 12 nodes are powered off from June 2015.
+	node := topo.Node(cluster.NodeID{Blade: 15, SoC: 12})
+	off := node.Outages[0]
+	ws := g.NodeWindows(node, rng.New(4))
+	for _, w := range ws {
+		if w.From < off.To && w.To > off.From {
+			t.Fatalf("window [%v,%v] overlaps outage [%v,%v]", w.From, w.To, off.From, off.To)
+		}
+	}
+}
+
+func TestOutageTruncationMarksHardReboot(t *testing.T) {
+	node := &cluster.Node{
+		ID:   cluster.NodeID{Blade: 1, SoC: 2},
+		Role: cluster.Scanned,
+		Outages: []cluster.Outage{
+			{From: 5000, To: 9000, Reason: "test"},
+		},
+	}
+	w := Window{From: 1000, To: 7000}
+	segs := clipWindow(node, w, time.Minute)
+	if len(segs) != 1 {
+		t.Fatalf("segments: %v", segs)
+	}
+	if segs[0].To != 5000 || !segs[0].HardReboot {
+		t.Fatalf("leading segment should end at outage and be a hard stop: %+v", segs[0])
+	}
+	// A window spanning the whole outage splits in two.
+	segs = clipWindow(node, Window{From: 1000, To: 12000}, time.Minute)
+	if len(segs) != 2 || segs[1].From != 9000 {
+		t.Fatalf("split segments: %+v", segs)
+	}
+}
+
+func TestNonScannedNodesGetNoWindows(t *testing.T) {
+	topo := cluster.PaperTopology()
+	g := NewGenerator(PaperProfile())
+	login := topo.Node(cluster.NodeID{Blade: 1, SoC: 1})
+	if ws := g.NodeWindows(login, rng.New(5)); ws != nil {
+		t.Fatal("login node scheduled for scanning")
+	}
+}
+
+func TestVacationMonthsScanMore(t *testing.T) {
+	topo := cluster.PaperTopology()
+	g := NewGenerator(PaperProfile())
+	node := topo.Node(cluster.NodeID{Blade: 30, SoC: 6})
+	perMonth := make(map[time.Month]float64)
+	for seed := uint64(10); seed < 20; seed++ {
+		for _, w := range g.NodeWindows(node, rng.New(seed)) {
+			// Attribute whole window to its start month (windows are short).
+			perMonth[w.From.Month()] += w.Duration().Hours()
+		}
+	}
+	if perMonth[time.August] <= perMonth[time.May] {
+		t.Fatalf("August scanning (%v h) should exceed May (%v h)",
+			perMonth[time.August], perMonth[time.May])
+	}
+	if perMonth[time.December] <= perMonth[time.November] {
+		t.Fatalf("December scanning (%v h) should exceed November (%v h)",
+			perMonth[time.December], perMonth[time.November])
+	}
+}

@@ -1,0 +1,165 @@
+// Package solar computes the position of the sun in the sky for a given
+// site and instant.
+//
+// The paper (§III-E) found that multi-bit DRAM errors are about twice as
+// frequent during the day, peaking when the sun is highest — the signature
+// of atmospheric-neutron showers whose local intensity tracks solar
+// elevation. The radiation substrate uses this package as the physical
+// driver for that diurnal modulation, so Fig 6's bell shape is produced by
+// the same mechanism the paper hypothesizes rather than a painted histogram.
+//
+// The implementation follows the NOAA Solar Position Algorithm (the
+// low-precision variant from Meeus, "Astronomical Algorithms"), accurate to
+// well under a degree of elevation — far more than the flux model needs.
+package solar
+
+import (
+	"math"
+	"time"
+)
+
+// Site is a geographic observation point.
+type Site struct {
+	Name      string
+	LatDeg    float64 // geographic latitude, degrees north
+	LonDeg    float64 // geographic longitude, degrees east
+	AltMeters float64 // altitude above sea level, meters
+}
+
+// Barcelona is the paper's site: the prototype machine is located in
+// Barcelona at roughly 100 m above sea level.
+var Barcelona = Site{Name: "Barcelona", LatDeg: 41.3874, LonDeg: 2.1686, AltMeters: 100}
+
+const deg2rad = math.Pi / 180
+
+// julianDay converts an instant to the Julian day number (UT).
+func julianDay(t time.Time) float64 {
+	t = t.UTC()
+	y := t.Year()
+	m := int(t.Month())
+	d := float64(t.Day()) + (float64(t.Hour())+float64(t.Minute())/60+float64(t.Second())/3600)/24
+	if m <= 2 {
+		y--
+		m += 12
+	}
+	a := y / 100
+	b := 2 - a + a/4
+	return math.Floor(365.25*float64(y+4716)) + math.Floor(30.6001*float64(m+1)) + d + float64(b) - 1524.5
+}
+
+// Position is the solar position at a site.
+type Position struct {
+	ElevationDeg   float64 // altitude above the horizon, degrees (negative: below)
+	AzimuthDeg     float64 // degrees clockwise from true north
+	DeclinationDeg float64
+	HourAngleDeg   float64
+}
+
+// PositionAt computes the solar position at the site and instant.
+func PositionAt(site Site, t time.Time) Position {
+	jd := julianDay(t)
+	// Julian centuries since J2000.0.
+	T := (jd - 2451545.0) / 36525
+
+	// Geometric mean longitude and anomaly of the sun (degrees).
+	L0 := math.Mod(280.46646+T*(36000.76983+T*0.0003032), 360)
+	M := 357.52911 + T*(35999.05029-0.0001537*T)
+	Mr := M * deg2rad
+
+	// Equation of center and true longitude.
+	C := (1.914602-T*(0.004817+0.000014*T))*math.Sin(Mr) +
+		(0.019993-0.000101*T)*math.Sin(2*Mr) +
+		0.000289*math.Sin(3*Mr)
+	trueLon := L0 + C
+
+	// Apparent longitude, corrected for nutation and aberration.
+	omega := 125.04 - 1934.136*T
+	lambda := trueLon - 0.00569 - 0.00478*math.Sin(omega*deg2rad)
+
+	// Obliquity of the ecliptic (corrected).
+	eps0 := 23 + (26+(21.448-T*(46.8150+T*(0.00059-T*0.001813)))/60)/60
+	eps := eps0 + 0.00256*math.Cos(omega*deg2rad)
+	epsR := eps * deg2rad
+
+	// Declination.
+	sinDec := math.Sin(epsR) * math.Sin(lambda*deg2rad)
+	dec := math.Asin(sinDec)
+
+	// Equation of time (minutes).
+	y := math.Tan(epsR/2) * math.Tan(epsR/2)
+	L0r := L0 * deg2rad
+	eot := 4 / deg2rad * (y*math.Sin(2*L0r) - 2*0.016708634*math.Sin(Mr) +
+		4*0.016708634*y*math.Sin(Mr)*math.Cos(2*L0r) -
+		0.5*y*y*math.Sin(4*L0r) - 1.25*0.016708634*0.016708634*math.Sin(2*Mr))
+
+	// True solar time (minutes) and hour angle (degrees).
+	ut := t.UTC()
+	minutes := float64(ut.Hour())*60 + float64(ut.Minute()) + float64(ut.Second())/60
+	tst := math.Mod(minutes+eot+4*site.LonDeg, 1440)
+	if tst < 0 {
+		tst += 1440
+	}
+	ha := tst/4 - 180
+	haR := ha * deg2rad
+
+	latR := site.LatDeg * deg2rad
+	sinEl := math.Sin(latR)*math.Sin(dec) + math.Cos(latR)*math.Cos(dec)*math.Cos(haR)
+	el := math.Asin(sinEl)
+
+	// Azimuth measured clockwise from north.
+	cosAz := (math.Sin(dec) - math.Sin(latR)*sinEl) / (math.Cos(latR) * math.Cos(el))
+	if cosAz > 1 {
+		cosAz = 1
+	}
+	if cosAz < -1 {
+		cosAz = -1
+	}
+	az := math.Acos(cosAz) / deg2rad
+	if ha > 0 {
+		az = 360 - az
+	}
+
+	return Position{
+		ElevationDeg:   el / deg2rad,
+		AzimuthDeg:     az,
+		DeclinationDeg: dec / deg2rad,
+		HourAngleDeg:   ha,
+	}
+}
+
+// Elevation returns just the solar elevation in degrees at the site.
+func Elevation(site Site, t time.Time) float64 { return PositionAt(site, t).ElevationDeg }
+
+// SolarNoonUTC returns the instant of local solar noon (hour angle zero) on
+// the UTC calendar day containing t, found by golden-section search over the
+// day — simple and robust, and called rarely (tests, figure annotations).
+func SolarNoonUTC(site Site, t time.Time) time.Time {
+	day := time.Date(t.UTC().Year(), t.UTC().Month(), t.UTC().Day(), 0, 0, 0, 0, time.UTC)
+	lo, hi := 0, 24*3600
+	for hi-lo > 30 {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		e1 := Elevation(site, day.Add(time.Duration(m1)*time.Second))
+		e2 := Elevation(site, day.Add(time.Duration(m2)*time.Second))
+		if e1 < e2 {
+			lo = m1
+		} else {
+			hi = m2
+		}
+	}
+	return day.Add(time.Duration((lo+hi)/2) * time.Second)
+}
+
+// DaylightFraction returns the fraction of the 24h UTC day containing t
+// during which the sun is above the horizon at the site, sampled at minute
+// resolution. Used by tests to sanity-check seasonal behaviour.
+func DaylightFraction(site Site, t time.Time) float64 {
+	day := time.Date(t.UTC().Year(), t.UTC().Month(), t.UTC().Day(), 0, 0, 0, 0, time.UTC)
+	up := 0
+	for m := 0; m < 1440; m++ {
+		if Elevation(site, day.Add(time.Duration(m)*time.Minute)) > 0 {
+			up++
+		}
+	}
+	return float64(up) / 1440
+}

@@ -1,0 +1,88 @@
+package solar
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestElevationBounds(t *testing.T) {
+	for day := 0; day < 365; day += 7 {
+		for h := 0; h < 24; h++ {
+			at := time.Date(2015, time.February, 1, h, 0, 0, 0, time.UTC).AddDate(0, 0, day)
+			el := Elevation(Barcelona, at)
+			if el < -90 || el > 90 {
+				t.Fatalf("elevation %v out of range at %v", el, at)
+			}
+		}
+	}
+}
+
+func TestNoonElevationSeasons(t *testing.T) {
+	// Solar elevation at local solar noon: latitude 41.39°N gives
+	// 90 - 41.39 + declination. Summer solstice: ~72°, winter: ~25°.
+	summer := SolarNoonUTC(Barcelona, time.Date(2015, time.June, 21, 12, 0, 0, 0, time.UTC))
+	if el := Elevation(Barcelona, summer); math.Abs(el-72.1) > 1.5 {
+		t.Fatalf("summer solstice noon elevation %v, want ~72", el)
+	}
+	winter := SolarNoonUTC(Barcelona, time.Date(2015, time.December, 21, 12, 0, 0, 0, time.UTC))
+	if el := Elevation(Barcelona, winter); math.Abs(el-25.2) > 1.5 {
+		t.Fatalf("winter solstice noon elevation %v, want ~25", el)
+	}
+}
+
+func TestSolarNoonTime(t *testing.T) {
+	// Barcelona at 2.17°E: solar noon is near 11:51 UTC ± equation of time
+	// (±16 min over the year).
+	for _, m := range []time.Month{time.January, time.April, time.July, time.October} {
+		noon := SolarNoonUTC(Barcelona, time.Date(2015, m, 15, 0, 0, 0, 0, time.UTC))
+		minutes := noon.Hour()*60 + noon.Minute()
+		want := 11*60 + 51
+		if math.Abs(float64(minutes-want)) > 20 {
+			t.Fatalf("solar noon in %v at %v, want ~11:51 UTC", m, noon)
+		}
+	}
+}
+
+func TestNightBelowHorizon(t *testing.T) {
+	// Local midnight: the sun must be below the horizon all year.
+	for day := 0; day < 365; day += 11 {
+		at := time.Date(2015, time.January, 3, 23, 0, 0, 0, time.UTC).AddDate(0, 0, day)
+		if el := Elevation(Barcelona, at); el > 0 {
+			t.Fatalf("sun above horizon (%v°) at %v", el, at)
+		}
+	}
+}
+
+func TestDaylightFractionSeasons(t *testing.T) {
+	summer := DaylightFraction(Barcelona, time.Date(2015, time.June, 21, 0, 0, 0, 0, time.UTC))
+	winter := DaylightFraction(Barcelona, time.Date(2015, time.December, 21, 0, 0, 0, 0, time.UTC))
+	if summer <= winter {
+		t.Fatalf("summer daylight %v <= winter %v", summer, winter)
+	}
+	// ~15h vs ~9.2h daylight.
+	if math.Abs(summer-15.2/24) > 0.03 || math.Abs(winter-9.2/24) > 0.03 {
+		t.Fatalf("daylight fractions summer=%v winter=%v", summer, winter)
+	}
+}
+
+func TestAzimuthAtNoonIsSouth(t *testing.T) {
+	noon := SolarNoonUTC(Barcelona, time.Date(2015, time.May, 10, 0, 0, 0, 0, time.UTC))
+	pos := PositionAt(Barcelona, noon)
+	if math.Abs(pos.AzimuthDeg-180) > 3 {
+		t.Fatalf("azimuth at solar noon %v, want ~180 (south)", pos.AzimuthDeg)
+	}
+	if math.Abs(pos.HourAngleDeg) > 1 {
+		t.Fatalf("hour angle at solar noon %v, want ~0", pos.HourAngleDeg)
+	}
+}
+
+func TestDeclinationRange(t *testing.T) {
+	for day := 0; day < 365; day += 3 {
+		at := time.Date(2015, time.January, 1, 12, 0, 0, 0, time.UTC).AddDate(0, 0, day)
+		dec := PositionAt(Barcelona, at).DeclinationDeg
+		if dec < -23.6 || dec > 23.6 {
+			t.Fatalf("declination %v out of tropic range at %v", dec, at)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-width binned counter over a closed range [Lo, Hi).
+// Values outside the range are clamped into the first/last bin so figure
+// code never silently drops observations.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []float64
+}
+
+// NewHistogram creates a histogram with n bins spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		n = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]float64, n)}
+}
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 { return (h.Hi - h.Lo) / float64(len(h.Counts)) }
+
+// BinIndex returns the bin an observation falls into, clamped.
+func (h *Histogram) BinIndex(x float64) int {
+	i := int(math.Floor((x - h.Lo) / h.BinWidth()))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	return i
+}
+
+// Add increments the bin containing x by w.
+func (h *Histogram) Add(x, w float64) { h.Counts[h.BinIndex(x)] += w }
+
+// Observe increments the bin containing x by one.
+func (h *Histogram) Observe(x float64) { h.Add(x, 1) }
+
+// Total returns the sum of all bin counts.
+func (h *Histogram) Total() float64 { return Sum(h.Counts) }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.BinWidth()
+}
+
+// MaxBin returns the index of the largest bin (first on ties).
+func (h *Histogram) MaxBin() int {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// String summarizes the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("hist[%g,%g) n=%d total=%g", h.Lo, h.Hi, len(h.Counts), h.Total())
+}
+
+// Bootstrap draws nResample bootstrap replicates of statistic f over xs and
+// returns the (lo, hi) percentile interval, e.g. 2.5/97.5 for a 95% CI.
+// The caller supplies the random source to keep determinism in their hands.
+func Bootstrap(xs []float64, nResample int, loPct, hiPct float64,
+	f func([]float64) float64, uniform func(n int) int) (lo, hi float64) {
+	if len(xs) == 0 || nResample <= 0 {
+		return 0, 0
+	}
+	reps := make([]float64, nResample)
+	sample := make([]float64, len(xs))
+	for r := 0; r < nResample; r++ {
+		for i := range sample {
+			sample[i] = xs[uniform(len(xs))]
+		}
+		reps[r] = f(sample)
+	}
+	return Percentile(reps, loPct), Percentile(reps, hiPct)
+}

@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	if w := h.BinWidth(); w != 2 {
+		t.Fatalf("bin width %v", w)
+	}
+	h.Observe(0)   // bin 0
+	h.Observe(1.9) // bin 0
+	h.Observe(2)   // bin 1
+	h.Observe(9.9) // bin 4
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("counts %v", h.Counts)
+	}
+	if h.Total() != 4 {
+		t.Fatalf("total %v", h.Total())
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Observe(-3)  // clamps to bin 0
+	h.Observe(100) // clamps to last bin
+	if h.Counts[0] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("clamped counts %v", h.Counts)
+	}
+}
+
+func TestHistogramCentersAndMax(t *testing.T) {
+	h := NewHistogram(10, 20, 5)
+	if c := h.BinCenter(0); c != 11 {
+		t.Fatalf("center %v", c)
+	}
+	h.Add(12, 3)
+	h.Add(18, 5)
+	if h.MaxBin() != 4 {
+		t.Fatalf("max bin %d", h.MaxBin())
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram(5, 5, 0) // forced to sane shape
+	h.Observe(5)
+	if h.Total() != 1 {
+		t.Fatal("degenerate histogram unusable")
+	}
+}
+
+func TestBootstrap(t *testing.T) {
+	rnd := rand.New(rand.NewPCG(3, 4))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rnd.NormFloat64() + 10
+	}
+	lo, hi := Bootstrap(xs, 500, 2.5, 97.5, Mean, func(n int) int { return rnd.IntN(n) })
+	if !(lo < 10 && 10 < hi) {
+		t.Fatalf("bootstrap CI [%v, %v] excludes true mean", lo, hi)
+	}
+	if hi-lo > 0.5 {
+		t.Fatalf("bootstrap CI too wide: [%v, %v]", lo, hi)
+	}
+	lo, hi = Bootstrap(nil, 100, 2.5, 97.5, Mean, func(n int) int { return 0 })
+	if lo != 0 || hi != 0 {
+		t.Fatal("empty input should yield zero CI")
+	}
+}

@@ -1,0 +1,107 @@
+// Package thermal models node temperature telemetry.
+//
+// The paper logs node temperature with every scanner event, but telemetry
+// only started in April 2015, so early errors carry no temperature (§III-F).
+// Observed behaviour to reproduce:
+//   - the machine room was held between 18°C and 26°C;
+//   - the scanner barely stresses the CPU, so most errors are logged at
+//     30–40°C node temperature;
+//   - a small set of errors occurred above 60°C (possibly temperature
+//     induced), none of them multi-bit;
+//   - SoC 12 of most blades overheats because of its position in the rack
+//     and was eventually powered off.
+package thermal
+
+import (
+	"math"
+	"time"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/rng"
+	"unprotected/internal/timebase"
+)
+
+// TelemetryStart is when temperature logging began (April 2015). Events
+// before this instant have no temperature attached.
+var TelemetryStart = timebase.FromTime(time.Date(2015, time.April, 15, 0, 0, 0, 0, time.UTC))
+
+// NoReading is the sentinel for "temperature unknown" (pre-telemetry).
+const NoReading = -273.0
+
+// Model computes node temperatures. The zero value is not useful; use New.
+type Model struct {
+	// RoomBase and RoomSwing bound the machine-room ambient temperature:
+	// ambient oscillates seasonally and diurnally within [18, 26]°C.
+	RoomBase, RoomSwing float64
+	// IdleDelta is the node-over-ambient delta while running only the
+	// scanner (low CPU stress).
+	IdleDelta float64
+	// SoC12Delta is the extra heating of the SoC-12 rack position.
+	SoC12Delta float64
+	// NeighborDelta is the extra heating of nodes adjacent to SoC 12
+	// while SoC 12 is powered (it "produces heat for other nodes").
+	NeighborDelta float64
+	// Noise is the standard deviation of per-reading jitter.
+	Noise float64
+	// TelemetryStart gates whether a reading exists.
+	TelemetryStart timebase.T
+}
+
+// New returns the model calibrated to the paper's observations.
+func New() *Model {
+	return &Model{
+		RoomBase:       22, // midpoint of the 18..26 band
+		RoomSwing:      3,
+		IdleDelta:      12, // idle node sits ~30-40°C
+		SoC12Delta:     26, // overheating position reaches >60°C
+		NeighborDelta:  5,
+		Noise:          2.2,
+		TelemetryStart: TelemetryStart,
+	}
+}
+
+// Ambient returns the machine-room temperature at t: a seasonal term plus a
+// small diurnal term, clamped to the [18, 26] control band.
+func (m *Model) Ambient(t timebase.T) float64 {
+	abs := t.Time()
+	// Seasonal phase: coldest early February, warmest early August.
+	yearFrac := float64(abs.YearDay()) / 365
+	seasonal := -math.Cos(2 * math.Pi * yearFrac)
+	// Diurnal phase: warmest mid-afternoon local time.
+	hour := float64(t.HourOfDay())
+	diurnal := math.Sin(2 * math.Pi * (hour - 9) / 24)
+	a := m.RoomBase + m.RoomSwing*0.8*seasonal + m.RoomSwing*0.25*diurnal
+	if a < 18 {
+		a = 18
+	}
+	if a > 26 {
+		a = 26
+	}
+	return a
+}
+
+// NodeTemp returns the temperature of a node at t while it is running the
+// scanner, or NoReading if telemetry had not started yet. soc12Powered says
+// whether the SoC-12 position of that blade is still powered at t (the
+// overheating deltas disappear once administrators turn those SoCs off).
+func (m *Model) NodeTemp(id cluster.NodeID, t timebase.T, soc12Powered bool, r *rng.Stream) float64 {
+	if t < m.TelemetryStart {
+		return NoReading
+	}
+	temp := m.Ambient(t) + m.IdleDelta
+	if soc12Powered {
+		switch {
+		case id.SoC == 12:
+			temp += m.SoC12Delta
+		case id.SoC == 11 || id.SoC == 13:
+			temp += m.NeighborDelta
+		}
+	}
+	if r != nil {
+		temp += r.Normal(0, m.Noise)
+	}
+	return temp
+}
+
+// HasReading reports whether a temperature value represents real telemetry.
+func HasReading(temp float64) bool { return temp > NoReading+1 }

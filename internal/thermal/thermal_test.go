@@ -1,0 +1,91 @@
+package thermal
+
+import (
+	"testing"
+	"time"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/rng"
+	"unprotected/internal/timebase"
+)
+
+func at(y int, m time.Month, d, hh int) timebase.T {
+	return timebase.FromTime(time.Date(y, m, d, hh, 0, 0, 0, time.UTC))
+}
+
+func TestAmbientBand(t *testing.T) {
+	m := New()
+	for day := 0; day < 394; day += 5 {
+		for _, hh := range []int{3, 9, 15, 21} {
+			ts := timebase.T(int64(day)*86400 + int64(hh)*3600)
+			a := m.Ambient(ts)
+			if a < 18 || a > 26 {
+				t.Fatalf("ambient %v outside the 18-26°C machine-room band", a)
+			}
+		}
+	}
+}
+
+func TestPreTelemetryNoReading(t *testing.T) {
+	m := New()
+	id := cluster.NodeID{Blade: 10, SoC: 5}
+	temp := m.NodeTemp(id, at(2015, time.March, 1, 12), true, nil)
+	if HasReading(temp) {
+		t.Fatalf("March 2015 reading should be absent, got %v", temp)
+	}
+	temp = m.NodeTemp(id, at(2015, time.May, 1, 12), true, nil)
+	if !HasReading(temp) {
+		t.Fatal("May 2015 reading should exist")
+	}
+}
+
+func TestNominalBand(t *testing.T) {
+	// The scanner barely stresses the node: most readings sit 30-40°C.
+	m := New()
+	r := rng.New(5)
+	id := cluster.NodeID{Blade: 20, SoC: 5}
+	in := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		ts := at(2015, time.June, 1, 0) + timebase.T(i*3600)
+		temp := m.NodeTemp(id, ts, false, r)
+		if temp >= 30 && temp <= 40 {
+			in++
+		}
+	}
+	if frac := float64(in) / n; frac < 0.80 {
+		t.Fatalf("only %v of readings in the nominal 30-40°C band", frac)
+	}
+}
+
+func TestSoC12Overheats(t *testing.T) {
+	m := New()
+	ts := at(2015, time.May, 10, 14)
+	hot := m.NodeTemp(cluster.NodeID{Blade: 20, SoC: 12}, ts, true, nil)
+	normal := m.NodeTemp(cluster.NodeID{Blade: 20, SoC: 5}, ts, true, nil)
+	if hot < 60 {
+		t.Fatalf("SoC 12 at %v°C, should exceed 60°C while powered", hot)
+	}
+	if hot <= normal {
+		t.Fatal("SoC 12 must run hotter than mid-blade SoCs")
+	}
+	// Neighbours pick up heat while SoC 12 is powered.
+	n11 := m.NodeTemp(cluster.NodeID{Blade: 20, SoC: 11}, ts, true, nil)
+	if n11 <= normal {
+		t.Fatal("SoC 11 should be warmer than mid-blade while SoC 12 powered")
+	}
+	// After the power-off, the deltas disappear.
+	off := m.NodeTemp(cluster.NodeID{Blade: 20, SoC: 11}, ts, false, nil)
+	if off >= n11 {
+		t.Fatal("SoC 11 should cool once SoC 12 is off")
+	}
+}
+
+func TestHasReadingSentinel(t *testing.T) {
+	if HasReading(NoReading) {
+		t.Fatal("NoReading must not count as a reading")
+	}
+	if !HasReading(35) {
+		t.Fatal("35°C is a reading")
+	}
+}

@@ -1,0 +1,122 @@
+// Package timebase defines the study clock.
+//
+// The study window is February 2015 through February 2016 (inclusive), at
+// the Barcelona Supercomputing Center. All simulation time is kept as
+// seconds since the study epoch (UTC); presentation-level analyses (hour of
+// day, day index) use local wall time under the CET/CEST rules, implemented
+// here directly so the library does not depend on a tzdata database being
+// installed.
+package timebase
+
+import (
+	"fmt"
+	"time"
+)
+
+// Epoch is the first instant of the study, 2015-02-01 00:00:00 UTC.
+var Epoch = time.Date(2015, time.February, 1, 0, 0, 0, 0, time.UTC)
+
+// End is the first instant after the study, 2016-03-01 00:00:00 UTC
+// ("February 2015 to February 2016 inclusive").
+var End = time.Date(2016, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+// StudyDays is the number of whole days in the window.
+var StudyDays = int(End.Sub(Epoch) / (24 * time.Hour))
+
+// StudySeconds is the window length in seconds.
+var StudySeconds = int64(End.Sub(Epoch) / time.Second)
+
+// T is simulation time: seconds since Epoch. Negative values are before the
+// study and never produced by the simulator.
+type T int64
+
+// FromTime converts an absolute time to study time.
+func FromTime(t time.Time) T { return T(t.Sub(Epoch) / time.Second) }
+
+// Time converts study time back to an absolute UTC time.
+func (t T) Time() time.Time { return Epoch.Add(time.Duration(t) * time.Second) }
+
+// Add returns the study time shifted by d.
+func (t T) Add(d time.Duration) T { return t + T(d/time.Second) }
+
+// Sub returns the duration t - u.
+func (t T) Sub(u T) time.Duration { return time.Duration(t-u) * time.Second }
+
+// Day returns the zero-based day index of t in local wall time.
+func (t T) Day() int {
+	lt := ToLocal(t.Time())
+	midnight := time.Date(2015, time.February, 1, 0, 0, 0, 0, time.UTC)
+	// Local calendar day relative to the local date of the epoch. The epoch
+	// is 2015-02-01 01:00 local (CET); day 0 covers the remainder of
+	// 2015-02-01 local.
+	y, m, d := lt.Date()
+	cur := time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+	return int(cur.Sub(midnight) / (24 * time.Hour))
+}
+
+// HourOfDay returns the local hour (0-23) of t.
+func (t T) HourOfDay() int { return ToLocal(t.Time()).Hour() }
+
+// SecondsIntoLocalDay returns how far t is into its local calendar day.
+func (t T) SecondsIntoLocalDay() int64 {
+	lt := ToLocal(t.Time())
+	return int64(lt.Hour())*3600 + int64(lt.Minute())*60 + int64(lt.Second())
+}
+
+// Month returns the local calendar month of t.
+func (t T) Month() time.Month { return ToLocal(t.Time()).Month() }
+
+// String renders as local wall-clock time.
+func (t T) String() string { return ToLocal(t.Time()).Format("2006-01-02 15:04:05") }
+
+// lastSunday returns the day-of-month of the last Sunday of (year, month).
+func lastSunday(year int, month time.Month) int {
+	// Day after the month's last day, step back to Sunday.
+	next := time.Date(year, month+1, 1, 0, 0, 0, 0, time.UTC)
+	last := next.AddDate(0, 0, -1)
+	off := int(last.Weekday()) // Sunday == 0
+	return last.Day() - off
+}
+
+// IsCEST reports whether the instant (UTC) falls in Central European Summer
+// Time: from 01:00 UTC on the last Sunday of March until 01:00 UTC on the
+// last Sunday of October.
+func IsCEST(t time.Time) bool {
+	t = t.UTC()
+	y := t.Year()
+	start := time.Date(y, time.March, lastSunday(y, time.March), 1, 0, 0, 0, time.UTC)
+	end := time.Date(y, time.October, lastSunday(y, time.October), 1, 0, 0, 0, time.UTC)
+	return !t.Before(start) && t.Before(end)
+}
+
+// ToLocal converts a UTC instant to Barcelona wall time (CET/CEST) using a
+// fixed-offset location, independent of the host tz database.
+func ToLocal(t time.Time) time.Time {
+	if IsCEST(t) {
+		return t.In(time.FixedZone("CEST", 2*3600))
+	}
+	return t.In(time.FixedZone("CET", 1*3600))
+}
+
+// DayLabel renders a zero-based study day index as a local date.
+func DayLabel(day int) string {
+	d := time.Date(2015, time.February, 1, 0, 0, 0, 0, time.UTC).AddDate(0, 0, day)
+	return d.Format("2006-01-02")
+}
+
+// MonthOfDay returns the local calendar month containing the given study day.
+func MonthOfDay(day int) time.Month {
+	d := time.Date(2015, time.February, 1, 0, 0, 0, 0, time.UTC).AddDate(0, 0, day)
+	return d.Month()
+}
+
+// Validate panics if the window constants are inconsistent; used by tests.
+func Validate() error {
+	if !End.After(Epoch) {
+		return fmt.Errorf("timebase: end %v not after epoch %v", End, Epoch)
+	}
+	if StudyDays < 300 || StudyDays > 500 {
+		return fmt.Errorf("timebase: suspicious study length %d days", StudyDays)
+	}
+	return nil
+}

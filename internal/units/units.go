@@ -1,0 +1,73 @@
+// Package units provides byte-size and terabyte-hour quantities shared by
+// the scanner, scheduler and analysis packages.
+//
+// The paper reports scanned memory in terabyte-hours (TBh): the integral of
+// allocated bytes over scan time. Quantities here are plain float64/int64
+// wrappers with explicit conversion helpers so call sites stay dimensionally
+// honest without a units framework.
+package units
+
+import (
+	"fmt"
+	"time"
+)
+
+// Byte sizes, in bytes.
+const (
+	KiB int64 = 1 << 10
+	MiB int64 = 1 << 20
+	GiB int64 = 1 << 30
+	TiB int64 = 1 << 40
+)
+
+// TBh is a quantity of memory-time: terabytes multiplied by hours.
+// The paper's headline figure is 12,135 TBh scanned.
+type TBh float64
+
+// TBhOf returns the terabyte-hours accrued by holding size bytes for d.
+func TBhOf(size int64, d time.Duration) TBh {
+	return TBh(float64(size) / float64(TiB) * d.Hours())
+}
+
+// Add returns t + u.
+func (t TBh) Add(u TBh) TBh { return t + u }
+
+// String renders with the customary two decimals.
+func (t TBh) String() string { return fmt.Sprintf("%.2f TBh", float64(t)) }
+
+// FormatBytes renders a byte count using binary prefixes (e.g. "3.00 GiB").
+func FormatBytes(n int64) string {
+	switch {
+	case n >= TiB:
+		return fmt.Sprintf("%.2f TiB", float64(n)/float64(TiB))
+	case n >= GiB:
+		return fmt.Sprintf("%.2f GiB", float64(n)/float64(GiB))
+	case n >= MiB:
+		return fmt.Sprintf("%.2f MiB", float64(n)/float64(MiB))
+	case n >= KiB:
+		return fmt.Sprintf("%.2f KiB", float64(n)/float64(KiB))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// NodeHours is accumulated monitoring time across nodes, in hours.
+// The study accumulated over 4.2 million node-hours.
+type NodeHours float64
+
+// String renders with thousands precision suitable for headlines.
+func (h NodeHours) String() string { return fmt.Sprintf("%.1f node-hours", float64(h)) }
+
+// HoursOf converts a duration to fractional hours.
+func HoursOf(d time.Duration) float64 { return d.Hours() }
+
+// ClampInt64 bounds v to [lo, hi].
+func ClampInt64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

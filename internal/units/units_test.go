@@ -1,0 +1,76 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestTBhOf(t *testing.T) {
+	// 1 TiB held for 1 hour is exactly 1 TBh.
+	got := TBhOf(TiB, time.Hour)
+	if math.Abs(float64(got)-1) > 1e-12 {
+		t.Fatalf("TBhOf(1TiB, 1h) = %v, want 1", got)
+	}
+	// 3 GiB for 2 hours.
+	want := 3.0 / 1024 * 2
+	got = TBhOf(3*GiB, 2*time.Hour)
+	if math.Abs(float64(got)-want) > 1e-12 {
+		t.Fatalf("TBhOf(3GiB, 2h) = %v, want %v", got, want)
+	}
+	if got := TBhOf(0, time.Hour); got != 0 {
+		t.Fatalf("TBhOf(0) = %v, want 0", got)
+	}
+}
+
+func TestTBhAddAndString(t *testing.T) {
+	a := TBh(1.5)
+	if got := a.Add(2.25); math.Abs(float64(got)-3.75) > 1e-12 {
+		t.Fatalf("Add = %v", got)
+	}
+	if s := TBh(12.345).String(); s != "12.35 TBh" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{512, "512 B"},
+		{2 * KiB, "2.00 KiB"},
+		{3 * MiB, "3.00 MiB"},
+		{3 * GiB, "3.00 GiB"},
+		{2 * TiB, "2.00 TiB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.in); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestClampInt64(t *testing.T) {
+	if got := ClampInt64(5, 0, 10); got != 5 {
+		t.Fatalf("in range: %d", got)
+	}
+	if got := ClampInt64(-3, 0, 10); got != 0 {
+		t.Fatalf("below: %d", got)
+	}
+	if got := ClampInt64(42, 0, 10); got != 10 {
+		t.Fatalf("above: %d", got)
+	}
+}
+
+func TestHoursOf(t *testing.T) {
+	if got := HoursOf(90 * time.Minute); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("HoursOf = %v", got)
+	}
+}
+
+func TestNodeHoursString(t *testing.T) {
+	if s := NodeHours(4200000.04).String(); s != "4200000.0 node-hours" {
+		t.Fatalf("String = %q", s)
+	}
+}
