@@ -317,10 +317,31 @@ func BenchmarkFullReport(b *testing.B) {
 // --- Substrate benchmarks ---
 
 func BenchmarkSubstrateCampaign(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		st := unprotected.RunStudy(unprotected.DefaultConfig(uint64(i + 1)))
 		if len(st.Dataset.Faults) == 0 {
 			b.Fatal("empty campaign")
+		}
+	}
+}
+
+// BenchmarkCampaignStream runs the same full-scale campaign as
+// BenchmarkSubstrateCampaign but consumes it through the streaming API
+// with a constant-memory consumer: the dataset is never materialized, so
+// the allocs/op delta against the collect-all benchmark is the cost of
+// buffering the merged slices. The delivered stream is byte-identical to
+// the collect-all dataset (TestStreamMatchesCollectAllAcrossWorkers).
+func BenchmarkCampaignStream(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var faults, sessions int
+		st := unprotected.StreamCampaign(unprotected.DefaultConfig(uint64(i+1)), unprotected.StreamHandler{
+			Fault:   func(unprotected.Fault) { faults++ },
+			Session: func(eventlog.Session) { sessions++ },
+		})
+		if faults == 0 || faults != st.Faults || sessions != st.Sessions {
+			b.Fatal("stream delivery disagrees with stats")
 		}
 	}
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	campaign [-seed N] [-faults FILE] [-sessions FILE] [-logdir DIR]
+//	campaign [-seed N] [-stream] [-faults FILE] [-sessions FILE] [-logdir DIR]
 //
 // -faults writes every independent memory fault as a canonical ERROR log
 // line (the §II-C extracted view, ~58k lines); -sessions writes START/END
@@ -12,14 +12,24 @@
 // Without flags a summary is printed. The raw 25M-record stream is not
 // materialized — it is counted during simulation exactly as the analysis
 // requires (see DESIGN.md).
+//
+// -stream writes the -faults / -sessions files directly off the campaign's
+// merged event stream: each fault and session is formatted as the k-way
+// merge emits it, so the merged dataset is never materialized (per-node
+// buffers still exist inside the engine) and the output is byte-identical
+// to the collect-all path. Streaming skips the headline analysis (which
+// needs the whole dataset) and is incompatible with -logdir (the per-node
+// layout regroups the stream by node).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"unprotected/internal/analysis"
+	"unprotected/internal/campaign"
 	"unprotected/internal/core"
 	"unprotected/internal/dram"
 	"unprotected/internal/eventlog"
@@ -33,10 +43,21 @@ func pageOf(f extract.Fault) uint64 { return dram.PhysPage(uint64(f.Node.Index()
 
 func main() {
 	seed := flag.Uint64("seed", 42, "campaign RNG seed")
+	stream := flag.Bool("stream", false, "write outputs off the event stream without materializing the dataset")
 	faultsPath := flag.String("faults", "", "write independent faults as ERROR log lines")
 	sessionsPath := flag.String("sessions", "", "write sessions as START/END log lines")
 	logDir := flag.String("logdir", "", "write per-node log files (the prototype's on-disk layout)")
 	flag.Parse()
+
+	if *stream {
+		if *logDir != "" {
+			fail(errors.New("-stream is incompatible with -logdir"))
+		}
+		if err := streamCampaign(*seed, *faultsPath, *sessionsPath); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	study := core.RunPaperStudy(*seed)
 	h := analysis.ComputeHeadline(study.Dataset)
@@ -68,6 +89,102 @@ func fail(err error) {
 	os.Exit(1)
 }
 
+// faultRecord renders a fault in the canonical ERROR line shape.
+func faultRecord(f extract.Fault) eventlog.Record {
+	return eventlog.Record{
+		Kind: eventlog.KindError, At: f.FirstAt, Host: f.Node,
+		VAddr: vaddrOf(f), Actual: f.Actual, Expected: f.Expected,
+		TempC: f.TempC, PhysPage: pageOf(f),
+	}
+}
+
+// writeSession emits a session's START/END pair (END omitted for hard
+// reboots, which never logged one).
+func writeSession(w *eventlog.Writer, s eventlog.Session) error {
+	if err := w.Write(eventlog.Record{
+		Kind: eventlog.KindStart, At: s.From, Host: s.Host, AllocBytes: s.AllocBytes,
+	}); err != nil {
+		return err
+	}
+	if s.Truncated {
+		return nil
+	}
+	return w.Write(eventlog.Record{Kind: eventlog.KindEnd, At: s.To, Host: s.Host})
+}
+
+// streamCampaign is the -stream path: faults and sessions go to disk as
+// the campaign's k-way merge emits them, one record at a time.
+func streamCampaign(seed uint64, faultsPath, sessionsPath string) (err error) {
+	var h campaign.StreamHandler
+	var closers []func() error
+	defer func() {
+		for _, closer := range closers {
+			err = errors.Join(err, closer())
+		}
+	}()
+	// Each sink tracks its own error, so a faults-file failure cannot
+	// silently truncate a healthy sessions file (and vice versa); the
+	// first error per sink is what the caller sees, joined.
+	newSink := func(path string, write func(w *eventlog.Writer, sinkErr *error)) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		w := eventlog.NewWriter(f)
+		var sinkErr error
+		write(w, &sinkErr)
+		closers = append(closers, func() error {
+			if err := w.Flush(); sinkErr == nil {
+				sinkErr = err
+			}
+			return errors.Join(sinkErr, f.Close())
+		})
+		return nil
+	}
+	if faultsPath != "" {
+		err := newSink(faultsPath, func(w *eventlog.Writer, sinkErr *error) {
+			h.Fault = func(fault extract.Fault) {
+				if *sinkErr == nil {
+					*sinkErr = w.Write(faultRecord(fault))
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if sessionsPath != "" {
+		err := newSink(sessionsPath, func(w *eventlog.Writer, sinkErr *error) {
+			h.Session = func(s eventlog.Session) {
+				if *sinkErr == nil {
+					*sinkErr = writeSession(w, s)
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	stats := campaign.Stream(campaign.DefaultConfig(seed), h)
+	for _, closer := range closers {
+		err = errors.Join(err, closer())
+	}
+	closers = nil
+	if err != nil {
+		return err
+	}
+	fmt.Printf("campaign complete (streamed): %d raw logs, %d independent faults, %d sessions, %d alloc failures\n",
+		stats.RawLogs, stats.Faults, stats.Sessions, stats.AllocFails)
+	if faultsPath != "" {
+		fmt.Println("faults streamed to", faultsPath)
+	}
+	if sessionsPath != "" {
+		fmt.Println("sessions streamed to", sessionsPath)
+	}
+	return nil
+}
+
 func writeFaults(study *core.Study, path string) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -76,12 +193,7 @@ func writeFaults(study *core.Study, path string) error {
 	defer f.Close()
 	w := eventlog.NewWriter(f)
 	for _, fault := range study.Dataset.Faults {
-		rec := eventlog.Record{
-			Kind: eventlog.KindError, At: fault.FirstAt, Host: fault.Node,
-			VAddr: vaddrOf(fault), Actual: fault.Actual, Expected: fault.Expected,
-			TempC: fault.TempC, PhysPage: pageOf(fault),
-		}
-		if err := w.Write(rec); err != nil {
+		if err := w.Write(faultRecord(fault)); err != nil {
 			return err
 		}
 	}
@@ -96,17 +208,7 @@ func writeSessions(study *core.Study, path string) error {
 	defer f.Close()
 	w := eventlog.NewWriter(f)
 	for _, s := range study.Dataset.Sessions {
-		if err := w.Write(eventlog.Record{
-			Kind: eventlog.KindStart, At: s.From, Host: s.Host, AllocBytes: s.AllocBytes,
-		}); err != nil {
-			return err
-		}
-		if s.Truncated {
-			continue // hard reboot: no END was ever logged
-		}
-		if err := w.Write(eventlog.Record{
-			Kind: eventlog.KindEnd, At: s.To, Host: s.Host,
-		}); err != nil {
+		if err := writeSession(w, s); err != nil {
 			return err
 		}
 	}

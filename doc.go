@@ -19,6 +19,13 @@
 //	study := unprotected.RunPaperStudy(42)
 //	study.FullReport(os.Stdout, unprotected.ReportOptions{Charts: true})
 //
+// Consumers that do not need the whole dataset in memory can stream it in
+// canonical order instead:
+//
+//	unprotected.StreamCampaign(unprotected.DefaultConfig(42), unprotected.StreamHandler{
+//		Fault: func(f unprotected.Fault) { /* one fault at a time */ },
+//	})
+//
 // The public API re-exports the core types; the substrates live under
 // internal/ and are documented in DESIGN.md.
 package unprotected
@@ -26,6 +33,8 @@ package unprotected
 import (
 	"unprotected/internal/campaign"
 	"unprotected/internal/core"
+	"unprotected/internal/eventlog"
+	"unprotected/internal/extract"
 )
 
 // Study is one executed campaign with its analysis-ready dataset.
@@ -48,3 +57,26 @@ func RunStudy(cfg *Config) *Study { return core.RunStudy(cfg) }
 // DefaultConfig returns the calibrated paper-scale configuration, which
 // callers may modify before RunStudy.
 func DefaultConfig(seed uint64) *Config { return campaign.DefaultConfig(seed) }
+
+// Fault is one independent memory error with its derived classification
+// (§II-C), the unit every analysis counts.
+type Fault = extract.Fault
+
+// Session is one scanner run on a node, from START to the matching END.
+type Session = eventlog.Session
+
+// StreamHandler receives the merged campaign stream; see StreamCampaign.
+type StreamHandler = campaign.StreamHandler
+
+// CampaignStats are the scalar aggregates StreamCampaign returns.
+type CampaignStats = campaign.Stats
+
+// StreamCampaign executes a campaign and delivers faults and sessions
+// incrementally in the canonical (time, node, ...) order, without
+// materializing the dataset. The delivered sequence is identical to the
+// slices a RunStudy over the same Config would collect; use it when the
+// consumer aggregates on the fly (exporters, counters, online policies)
+// rather than analyzing the whole dataset at once.
+func StreamCampaign(cfg *Config, h StreamHandler) *CampaignStats {
+	return campaign.Stream(cfg, h)
+}

@@ -1,0 +1,3 @@
+module unprotected
+
+go 1.22

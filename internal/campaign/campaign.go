@@ -1,12 +1,19 @@
 // Package campaign orchestrates the year-long measurement campaign: it
 // wires the cluster topology, scheduler, thermal and radiation models and
 // each node's fault plan into per-node scan-session simulations, runs them
-// on a worker pool, and assembles the study dataset every analysis
-// consumes.
+// on a worker pool, and streams the study dataset every analysis consumes.
+//
+// The engine is a streaming pipeline (see DESIGN.md): each worker
+// simulates a node, extracts and sorts that node's faults locally, and a
+// deterministic k-way heap merge interleaves the per-node streams into the
+// canonical global order. Stream delivers faults and sessions to the
+// caller one at a time without materializing the merged dataset; Run is a
+// thin collect-all wrapper over Stream for consumers that want slices.
 //
 // Determinism: each node draws from an independent RNG stream derived from
-// (campaign seed, node index); per-node outputs are merged and sorted by
-// (time, node, address), so results are identical for any GOMAXPROCS.
+// (campaign seed, node index); per-node streams are sorted by the total
+// orders extract.Compare and eventlog.CompareSessions and merged keyed on
+// (time, node, ...), so results are identical for any Workers setting.
 package campaign
 
 import (
@@ -97,8 +104,63 @@ type nodeOutput struct {
 	excluded   bool // pathological: runs are not characterized
 }
 
-// Run executes the campaign.
-func Run(cfg *Config) *Result {
+// StreamHandler receives the merged campaign stream. Either callback may
+// be nil, in which case that merge is skipped entirely — a consumer
+// interested only in faults pays nothing for session ordering.
+type StreamHandler struct {
+	// Begin, when non-nil, observes the scalar Stats after simulation
+	// completes and before the first Fault/Session delivery — in time for
+	// a collecting consumer to preallocate from the exact counts.
+	Begin func(*Stats)
+	// Fault observes every characterized fault in the canonical
+	// extract.Compare order: (time, node, address, pattern, ...).
+	Fault func(extract.Fault)
+	// Session observes every scanner session in (start time, host) order.
+	Session func(eventlog.Session)
+}
+
+// Stats are the scalar campaign aggregates. Unlike faults and sessions
+// they are cheap to hold, so Stream returns them directly.
+type Stats struct {
+	// Faults and Sessions count what the handler observed (or would have
+	// observed, for nil callbacks).
+	Faults   int
+	Sessions int
+	// RawLogs counts every ERROR record the scanner would have written.
+	RawLogs int64
+	// RawLogsByNode splits the raw volume per node (nodes with zero raw
+	// logs have no entry).
+	RawLogsByNode map[cluster.NodeID]int64
+	// AllocFails counts sessions that could not allocate any memory.
+	AllocFails int
+}
+
+// nodeStream is one node's finalized, locally sorted contribution to the
+// campaign stream.
+type nodeStream struct {
+	faults []extract.Fault
+	// faultCount is the node's characterized-fault count even when faults
+	// itself was not built (no Fault callback — classification is 1:1 with
+	// runs, so the count is known without doing the work).
+	faultCount int
+	sessions   []eventlog.Session
+	rawLogs    int64
+	allocFails int
+	node       cluster.NodeID
+}
+
+// Stream executes the campaign and delivers the dataset incrementally.
+//
+// Each worker simulates a node end to end and finalizes it in place:
+// the node's raw runs are sorted and classified into faults on the worker
+// (so extraction parallelizes across the pool), and its sessions are
+// ordered by start time. Once every node has reported, two deterministic
+// k-way heap merges interleave the per-node streams into the canonical
+// global orders and feed the handler one element at a time — the merged
+// dataset is never materialized here, and a drained node's stream is
+// released mid-merge. The results channel is bounded by the worker count,
+// not the node count.
+func Stream(cfg *Config, h StreamHandler) *Stats {
 	if cfg.Topo == nil {
 		cfg.Topo = cluster.PaperTopology()
 	}
@@ -109,14 +171,15 @@ func Run(cfg *Config) *Result {
 	nodes := cfg.Topo.ScannedNodes()
 
 	jobs := make(chan *cluster.Node)
-	results := make(chan nodeOutput, len(nodes))
+	results := make(chan nodeStream, cfg.Workers)
+	needFaults, needSessions := h.Fault != nil, h.Session != nil
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for n := range jobs {
-				results <- simulateNode(cfg, n, plans[n.ID])
+				results <- finalizeNode(simulateNode(cfg, n, plans[n.ID]), needFaults, needSessions)
 			}
 		}()
 	}
@@ -129,35 +192,94 @@ func Run(cfg *Config) *Result {
 		close(results)
 	}()
 
-	res := &Result{Cfg: cfg, RawLogsByNode: make(map[cluster.NodeID]int64)}
-	var allRuns []extract.RawRun
+	stats := &Stats{RawLogsByNode: make(map[cluster.NodeID]int64)}
+	faultStreams := make([][]extract.Fault, 0, len(nodes))
+	sessionStreams := make([][]eventlog.Session, 0, len(nodes))
 	for out := range results {
-		if !out.excluded {
-			allRuns = append(allRuns, out.runs...)
-		}
-		res.Sessions = append(res.Sessions, out.sessions...)
-		res.RawLogs += out.rawLogs
+		stats.Faults += out.faultCount
+		stats.Sessions += len(out.sessions)
+		stats.RawLogs += out.rawLogs
 		if out.rawLogs > 0 {
-			res.RawLogsByNode[out.node] += out.rawLogs
+			stats.RawLogsByNode[out.node] += out.rawLogs
 		}
-		res.AllocFails += out.allocFails
+		stats.AllocFails += out.allocFails
+		// A nil callback's streams are dropped here, node by node, so a
+		// faults-only consumer never holds the session data (and vice
+		// versa) — the counts above are all that survives.
+		if len(out.faults) > 0 {
+			faultStreams = append(faultStreams, out.faults)
+		}
+		if h.Session != nil && len(out.sessions) > 0 {
+			sessionStreams = append(sessionStreams, out.sessions)
+		}
 	}
-	res.Faults = extract.Faults(allRuns)
-	extract.SortFaults(res.Faults)
-	sortSessions(res.Sessions)
-	return res
+	// Streams arrive in worker-completion order, but that cannot affect
+	// the output: each stream holds a single node and both comparators
+	// include the node key, so no two stream heads ever compare equal and
+	// the merge's emitted sequence is independent of stream order.
+	if h.Begin != nil {
+		h.Begin(stats)
+	}
+	if h.Fault != nil {
+		kwayMerge(faultStreams, extract.Compare, h.Fault)
+	}
+	if h.Session != nil {
+		kwayMerge(sessionStreams, eventlog.CompareSessions, h.Session)
+	}
+	return stats
 }
 
-// sortSessions orders sessions by (start time, host) so output is
-// reproducible regardless of worker interleaving. No two sessions of one
-// host share a start time, so the key is total.
-func sortSessions(ss []eventlog.Session) {
-	sort.Slice(ss, func(i, j int) bool {
-		if ss[i].From != ss[j].From {
-			return ss[i].From < ss[j].From
+// finalizeNode turns a simulated node's raw output into its sorted stream
+// contribution. This runs on the worker, so per-node extraction and
+// sorting parallelize across the pool instead of serializing on the
+// collector. The pathological node's runs are not characterized (§III-B),
+// so an excluded node contributes sessions and raw-log counts only. When
+// no consumer wants faults (or sessions), that side's classification and
+// sorting are skipped — the count is all that survives, and for faults it
+// equals the run count.
+func finalizeNode(out nodeOutput, needFaults, needSessions bool) nodeStream {
+	ns := nodeStream{
+		sessions:   out.sessions,
+		rawLogs:    out.rawLogs,
+		allocFails: out.allocFails,
+		node:       out.node,
+	}
+	if !out.excluded {
+		ns.faultCount = len(out.runs)
+		if needFaults {
+			ns.faults = extract.Faults(out.runs)
+			extract.SortFaults(ns.faults)
 		}
-		return ss[i].Host.Index() < ss[j].Host.Index()
+	}
+	// Sessions are generated in window order, which is already start-time
+	// order for scheduler windows; the pathological node's trimmed +
+	// continuous window splice preserves it too. Sorting is a near-no-op
+	// pass that turns that invariant into a guarantee.
+	if needSessions {
+		sort.Slice(ns.sessions, func(i, j int) bool {
+			return eventlog.CompareSessions(&ns.sessions[i], &ns.sessions[j]) < 0
+		})
+	}
+	return ns
+}
+
+// Run executes the campaign and collects the full dataset. It is a thin
+// wrapper over Stream for consumers that want slices; anything that can
+// process faults or sessions one at a time should use Stream instead.
+func Run(cfg *Config) *Result {
+	res := &Result{Cfg: cfg}
+	st := Stream(cfg, StreamHandler{
+		Begin: func(st *Stats) {
+			res.Faults = make([]extract.Fault, 0, st.Faults)
+			res.Sessions = make([]eventlog.Session, 0, st.Sessions)
+		},
+		Fault:   func(f extract.Fault) { res.Faults = append(res.Faults, f) },
+		Session: func(s eventlog.Session) { res.Sessions = append(res.Sessions, s) },
 	})
+	res.RawLogs = st.RawLogs
+	res.RawLogsByNode = st.RawLogsByNode
+	res.AllocFails = st.AllocFails
+	return res
 }
 
 // simulateNode runs one node's full-year simulation.

@@ -1,0 +1,231 @@
+package campaign
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/eventlog"
+	"unprotected/internal/extract"
+)
+
+// --- k-way merge unit tests ---
+
+func cmpInt(a, b *int) int {
+	switch {
+	case *a < *b:
+		return -1
+	case *a > *b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func TestKwayMergeOrders(t *testing.T) {
+	streams := [][]int{
+		{1, 4, 7, 10},
+		{2, 5, 8},
+		{},
+		{3, 6, 9, 11, 12},
+	}
+	var got []int
+	kwayMerge(streams, cmpInt, func(v int) { got = append(got, v) })
+	want := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merge order %v, want %v", got, want)
+	}
+}
+
+func TestKwayMergeEdgeCases(t *testing.T) {
+	var got []int
+	kwayMerge(nil, cmpInt, func(v int) { got = append(got, v) })
+	kwayMerge([][]int{{}, {}}, cmpInt, func(v int) { got = append(got, v) })
+	if len(got) != 0 {
+		t.Fatalf("empty streams emitted %v", got)
+	}
+	kwayMerge([][]int{{5, 6, 7}}, cmpInt, func(v int) { got = append(got, v) })
+	if !reflect.DeepEqual(got, []int{5, 6, 7}) {
+		t.Fatalf("single stream %v", got)
+	}
+}
+
+func TestKwayMergeStableOnTies(t *testing.T) {
+	// Equal keys must drain in stream-index order, every time.
+	type kv struct{ key, stream int }
+	streams := [][]kv{
+		{{1, 0}, {2, 0}},
+		{{1, 1}, {2, 1}},
+		{{1, 2}, {2, 2}},
+	}
+	cmp := func(a, b *kv) int {
+		switch {
+		case a.key < b.key:
+			return -1
+		case a.key > b.key:
+			return 1
+		default:
+			return 0
+		}
+	}
+	var got []kv
+	kwayMerge(streams, cmp, func(v kv) { got = append(got, v) })
+	want := []kv{{1, 0}, {1, 1}, {1, 2}, {2, 0}, {2, 1}, {2, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tie order %v, want %v", got, want)
+	}
+}
+
+// --- streaming campaign tests ---
+
+// legacyCollectAll is the pre-streaming engine: simulate every node
+// sequentially, buffer every run, classify once and globally sort. It is
+// the reference the streaming pipeline must reproduce byte for byte.
+func legacyCollectAll(cfg *Config) *Result {
+	if cfg.Topo == nil {
+		cfg.Topo = cluster.PaperTopology()
+	}
+	plans := cfg.Profile.build(cfg)
+	res := &Result{Cfg: cfg, RawLogsByNode: make(map[cluster.NodeID]int64)}
+	var allRuns []extract.RawRun
+	for _, n := range cfg.Topo.ScannedNodes() {
+		out := simulateNode(cfg, n, plans[n.ID])
+		if !out.excluded {
+			allRuns = append(allRuns, out.runs...)
+		}
+		res.Sessions = append(res.Sessions, out.sessions...)
+		res.RawLogs += out.rawLogs
+		if out.rawLogs > 0 {
+			res.RawLogsByNode[out.node] += out.rawLogs
+		}
+		res.AllocFails += out.allocFails
+	}
+	res.Faults = extract.Faults(allRuns)
+	extract.SortFaults(res.Faults)
+	sortSessionsLegacy(res.Sessions)
+	return res
+}
+
+func sortSessionsLegacy(ss []eventlog.Session) {
+	sort.Slice(ss, func(i, j int) bool {
+		return eventlog.CompareSessions(&ss[i], &ss[j]) < 0
+	})
+}
+
+// assertSameResult compares every dataset field of two campaign results.
+func assertSameResult(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if len(a.Faults) != len(b.Faults) {
+		t.Fatalf("%s: fault counts %d vs %d", label, len(a.Faults), len(b.Faults))
+	}
+	for i := range a.Faults {
+		if a.Faults[i] != b.Faults[i] {
+			t.Fatalf("%s: fault %d differs: %+v vs %+v", label, i, a.Faults[i], b.Faults[i])
+		}
+	}
+	if len(a.Sessions) != len(b.Sessions) {
+		t.Fatalf("%s: session counts %d vs %d", label, len(a.Sessions), len(b.Sessions))
+	}
+	for i := range a.Sessions {
+		if a.Sessions[i] != b.Sessions[i] {
+			t.Fatalf("%s: session %d differs", label, i)
+		}
+	}
+	if a.RawLogs != b.RawLogs {
+		t.Fatalf("%s: raw logs %d vs %d", label, a.RawLogs, b.RawLogs)
+	}
+	if !reflect.DeepEqual(a.RawLogsByNode, b.RawLogsByNode) {
+		t.Fatalf("%s: per-node raw logs differ", label)
+	}
+	if a.AllocFails != b.AllocFails {
+		t.Fatalf("%s: alloc fails %d vs %d", label, a.AllocFails, b.AllocFails)
+	}
+}
+
+func TestStreamMatchesCollectAllAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign")
+	}
+	const seed = 21
+	legacy := legacyCollectAll(DefaultConfig(seed))
+
+	for _, workers := range []int{1, 8} {
+		cfg := DefaultConfig(seed)
+		cfg.Workers = workers
+		got := Run(cfg)
+		assertSameResult(t, "legacy vs streamed", legacy, got)
+	}
+}
+
+func TestStreamEmitsCanonicalOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign")
+	}
+	cfg := DefaultConfig(9)
+	cfg.Workers = 8
+	var (
+		prevFault   *extract.Fault
+		prevSession *eventlog.Session
+		faults      int
+		sessions    int
+	)
+	st := Stream(cfg, StreamHandler{
+		Fault: func(f extract.Fault) {
+			if prevFault != nil && extract.Compare(prevFault, &f) >= 0 {
+				t.Fatalf("fault %d out of order: %+v then %+v", faults, *prevFault, f)
+			}
+			cp := f
+			prevFault = &cp
+			faults++
+		},
+		Session: func(s eventlog.Session) {
+			if prevSession != nil && eventlog.CompareSessions(prevSession, &s) >= 0 {
+				t.Fatalf("session %d out of order", sessions)
+			}
+			cp := s
+			prevSession = &cp
+			sessions++
+		},
+	})
+	if faults == 0 || sessions == 0 {
+		t.Fatal("stream delivered nothing")
+	}
+	if faults != st.Faults || sessions != st.Sessions {
+		t.Fatalf("stats (%d, %d) disagree with delivery (%d, %d)",
+			st.Faults, st.Sessions, faults, sessions)
+	}
+	if st.RawLogs == 0 || len(st.RawLogsByNode) == 0 || st.AllocFails == 0 {
+		t.Fatalf("implausible stats: %+v", st)
+	}
+}
+
+func TestStreamBeginPrecedesDelivery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign")
+	}
+	var announced *Stats
+	delivered := 0
+	Stream(DefaultConfig(4), StreamHandler{
+		Begin: func(st *Stats) {
+			if delivered != 0 {
+				t.Fatal("Begin after first delivery")
+			}
+			announced = st
+		},
+		Fault: func(extract.Fault) { delivered++ },
+	})
+	if announced == nil || announced.Faults != delivered {
+		t.Fatalf("Begin announced %v, delivered %d", announced, delivered)
+	}
+}
+
+func TestStreamNilCallbacks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign")
+	}
+	st := Stream(DefaultConfig(4), StreamHandler{})
+	if st.Faults == 0 || st.Sessions == 0 || st.RawLogs == 0 {
+		t.Fatalf("stats empty with nil callbacks: %+v", st)
+	}
+}

@@ -1,6 +1,7 @@
 package eventlog
 
 import (
+	"cmp"
 	"time"
 
 	"unprotected/internal/cluster"
@@ -18,6 +19,35 @@ type Session struct {
 	// Per §II-B these contribute zero monitored time: "we took a
 	// conservative approach and we assumed 0 hours of memory monitoring".
 	Truncated bool
+}
+
+// CompareSessions is the canonical total order over sessions: (start,
+// host, end, allocation, truncation). No two sessions of one host share a
+// start time, so (start, host) alone already orders any real campaign; the
+// remaining fields only exist to keep the order total on arbitrary input.
+// The campaign's k-way merge relies on this totality.
+func CompareSessions(a, b *Session) int {
+	switch {
+	case a.From != b.From:
+		return cmp.Compare(a.From, b.From)
+	case a.Host.Blade != b.Host.Blade:
+		// (Blade, SoC) matches Index() order on valid IDs but stays
+		// injective on arbitrary ones, keeping the order truly total.
+		return cmp.Compare(a.Host.Blade, b.Host.Blade)
+	case a.Host.SoC != b.Host.SoC:
+		return cmp.Compare(a.Host.SoC, b.Host.SoC)
+	case a.To != b.To:
+		return cmp.Compare(a.To, b.To)
+	case a.AllocBytes != b.AllocBytes:
+		return cmp.Compare(a.AllocBytes, b.AllocBytes)
+	case a.Truncated != b.Truncated:
+		if b.Truncated {
+			return -1
+		}
+		return 1
+	default:
+		return 0
+	}
 }
 
 // Duration returns the monitored time, zero for truncated sessions.

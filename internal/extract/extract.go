@@ -15,6 +15,7 @@
 package extract
 
 import (
+	"cmp"
 	"sort"
 
 	"unprotected/internal/cluster"
@@ -144,31 +145,44 @@ func Faults(runs []RawRun) []Fault {
 	return out
 }
 
-// SortFaults orders faults by (time, node, address, pattern, extent) — a
-// total order over every field so the canonical order is identical no
-// matter how parallel simulation interleaved the input (two glitches can
-// corrupt the same address in the same iteration with different patterns,
-// so the key must go all the way down).
+// Compare is the canonical total order over faults: (time, node, address,
+// pattern, extent, temperature). Every field participates so the order is
+// identical no matter how parallel simulation interleaved the input (two
+// glitches can corrupt the same address in the same iteration with
+// different patterns, so the key must go all the way down); Compare
+// returns 0 only for faults that are equal in every observable field. The
+// campaign's k-way merge relies on this totality: per-node streams sorted
+// by Compare merge into one canonical global sequence.
+func Compare(a, b *Fault) int {
+	switch {
+	case a.FirstAt != b.FirstAt:
+		return cmp.Compare(a.FirstAt, b.FirstAt)
+	case a.Node.Blade != b.Node.Blade:
+		// (Blade, SoC) matches Index() order on valid IDs but stays
+		// injective on arbitrary ones, keeping the order truly total.
+		return cmp.Compare(a.Node.Blade, b.Node.Blade)
+	case a.Node.SoC != b.Node.SoC:
+		return cmp.Compare(a.Node.SoC, b.Node.SoC)
+	case a.Addr != b.Addr:
+		return cmp.Compare(a.Addr, b.Addr)
+	case a.Expected != b.Expected:
+		return cmp.Compare(a.Expected, b.Expected)
+	case a.Actual != b.Actual:
+		return cmp.Compare(a.Actual, b.Actual)
+	case a.LastAt != b.LastAt:
+		return cmp.Compare(a.LastAt, b.LastAt)
+	case a.Logs != b.Logs:
+		return cmp.Compare(a.Logs, b.Logs)
+	default:
+		// TempC is a plain float (NoReading sentinel, never NaN), so this
+		// final tiebreak keeps the order total.
+		return cmp.Compare(a.TempC, b.TempC)
+	}
+}
+
+// SortFaults orders faults by the canonical Compare key.
 func SortFaults(fs []Fault) {
-	sort.Slice(fs, func(i, j int) bool {
-		a, b := &fs[i], &fs[j]
-		switch {
-		case a.FirstAt != b.FirstAt:
-			return a.FirstAt < b.FirstAt
-		case a.Node != b.Node:
-			return a.Node.Index() < b.Node.Index()
-		case a.Addr != b.Addr:
-			return a.Addr < b.Addr
-		case a.Expected != b.Expected:
-			return a.Expected < b.Expected
-		case a.Actual != b.Actual:
-			return a.Actual < b.Actual
-		case a.LastAt != b.LastAt:
-			return a.LastAt < b.LastAt
-		default:
-			return a.Logs < b.Logs
-		}
-	})
+	sort.Slice(fs, func(i, j int) bool { return Compare(&fs[i], &fs[j]) < 0 })
 }
 
 // Group is a set of faults first observed in the same scan iteration of
