@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"unprotected"
+	"unprotected/internal/logstore"
 )
 
 func TestPublicAPI(t *testing.T) {
@@ -24,5 +25,28 @@ func TestPublicAPI(t *testing.T) {
 	s.FullReport(&buf, unprotected.ReportOptions{})
 	if !strings.Contains(buf.String(), "independent memory faults") {
 		t.Fatal("report missing headline")
+	}
+}
+
+func TestPublicStudyFromLogs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign")
+	}
+	s := unprotected.RunStudy(unprotected.DefaultConfig(3))
+	dir := t.TempDir()
+	if err := logstore.Export(s.Dataset.Sessions, s.Dataset.Faults, dir); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := unprotected.StudyFromLogs(dir, "02-04", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed.Dataset.Faults) != len(s.Dataset.Faults) {
+		t.Fatalf("replayed %d faults, want %d", len(replayed.Dataset.Faults), len(s.Dataset.Faults))
+	}
+	var buf bytes.Buffer
+	replayed.FullReport(&buf, unprotected.ReportOptions{})
+	if !strings.Contains(buf.String(), "independent memory faults") {
+		t.Fatal("replayed report missing headline")
 	}
 }

@@ -4,11 +4,18 @@
 // Usage:
 //
 //	analyze [-seed N] [-charts] [-heatmaps] [-csv DIR]
+//	        [-from-logs DIR [-controller NODE] [-workers N]]
 //
 // Without flags it prints the numeric report (headlines, Table I, Table
 // II, per-figure statistics). -charts adds ASCII renderings of Figs 4–13,
 // -heatmaps the Figs 1–3 node maps, and -csv writes every figure's data as
 // CSV files for external plotting.
+//
+// -from-logs replays a directory of per-node log files — the paper's
+// actual workflow — through the parallel streaming loader: files are
+// collapsed by a worker pool (-workers, default GOMAXPROCS), merged into
+// the canonical order and fed to the incremental figure accumulators in a
+// single pass. The report is byte-identical for every -workers value.
 package main
 
 import (
@@ -17,40 +24,9 @@ import (
 	"os"
 
 	"unprotected/internal/analysis"
-	"unprotected/internal/cluster"
 	"unprotected/internal/core"
-	"unprotected/internal/extract"
-	"unprotected/internal/logstore"
 	"unprotected/internal/quarantine"
 )
-
-// studyFromLogs rebuilds the analysis dataset from on-disk per-node log
-// files — the paper's actual workflow (§II-B kept one log file per node).
-func studyFromLogs(dir, controller string) (*core.Study, error) {
-	res, err := logstore.Load(dir)
-	if err != nil {
-		return nil, err
-	}
-	d := &analysis.Dataset{
-		Faults:        extract.Faults(res.Runs),
-		Sessions:      res.Sessions,
-		RawLogs:       res.RawLogs,
-		RawLogsByNode: make(map[cluster.NodeID]int64),
-		Topo:          cluster.PaperTopology(),
-	}
-	extract.SortFaults(d.Faults)
-	for _, run := range res.Runs {
-		d.RawLogsByNode[run.Node] += int64(run.Logs)
-	}
-	if controller != "" {
-		id, err := cluster.ParseNodeID(controller)
-		if err != nil {
-			return nil, fmt.Errorf("bad -controller: %w", err)
-		}
-		d.ControllerNode = id
-	}
-	return &core.Study{Dataset: d}, nil
-}
 
 func main() {
 	seed := flag.Uint64("seed", 42, "campaign RNG seed")
@@ -59,12 +35,13 @@ func main() {
 	csvDir := flag.String("csv", "", "write per-figure CSV files to this directory")
 	fromLogs := flag.String("from-logs", "", "analyze per-node log files from this directory instead of simulating")
 	controller := flag.String("controller", "02-04", "permanently failing node to exclude from MTBF analyses (with -from-logs)")
+	workers := flag.Int("workers", 0, "log-loader worker pool size with -from-logs (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var study *core.Study
 	if *fromLogs != "" {
 		var err error
-		study, err = studyFromLogs(*fromLogs, *controller)
+		study, err = core.StudyFromLogs(*fromLogs, *controller, *workers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "analyze:", err)
 			os.Exit(1)

@@ -13,13 +13,16 @@
 // materialized — it is counted during simulation exactly as the analysis
 // requires (see DESIGN.md).
 //
-// -stream writes the -faults / -sessions files directly off the campaign's
-// merged event stream: each fault and session is formatted as the k-way
-// merge emits it, so the merged dataset is never materialized (per-node
-// buffers still exist inside the engine) and the output is byte-identical
-// to the collect-all path. Streaming skips the headline analysis (which
-// needs the whole dataset) and is incompatible with -logdir (the per-node
-// layout regroups the stream by node).
+// -stream writes the -faults / -sessions / -logdir outputs directly off
+// the campaign's merged event stream: each fault and session is formatted
+// as the k-way merge emits it, so the merged dataset is never materialized
+// (per-node buffers still exist inside the engine) and the output loads
+// back identically to the collect-all path. For -logdir the stream is
+// demultiplexed into the one-file-per-node layout by the descriptor-capped
+// store (LRU eviction keeps burst-hot nodes open); ERROR lines within a
+// node file are time-ordered, as are its START/END lines, which is all the
+// replay loader requires. Streaming skips the headline analysis (which
+// needs the whole dataset).
 package main
 
 import (
@@ -35,6 +38,7 @@ import (
 	"unprotected/internal/eventlog"
 	"unprotected/internal/extract"
 	"unprotected/internal/logstore"
+	"unprotected/internal/thermal"
 )
 
 func vaddrOf(f extract.Fault) uint64 { return dram.VirtAddr(f.Addr) }
@@ -50,10 +54,7 @@ func main() {
 	flag.Parse()
 
 	if *stream {
-		if *logDir != "" {
-			fail(errors.New("-stream is incompatible with -logdir"))
-		}
-		if err := streamCampaign(*seed, *faultsPath, *sessionsPath); err != nil {
+		if err := streamCampaign(*seed, *faultsPath, *sessionsPath, *logDir); err != nil {
 			fail(err)
 		}
 		return
@@ -89,80 +90,141 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-// faultRecord renders a fault in the canonical ERROR line shape.
+// faultRecord renders a fault in the canonical ERROR line shape. The
+// last=/logs= fields carry the collapsed run's extent and raw volume so a
+// re-import reconstructs the fault exactly instead of re-collapsing it.
 func faultRecord(f extract.Fault) eventlog.Record {
 	return eventlog.Record{
 		Kind: eventlog.KindError, At: f.FirstAt, Host: f.Node,
 		VAddr: vaddrOf(f), Actual: f.Actual, Expected: f.Expected,
 		TempC: f.TempC, PhysPage: pageOf(f),
+		LastAt: f.LastAt, Logs: max(f.Logs, 1),
 	}
 }
 
-// writeSession emits a session's START/END pair (END omitted for hard
-// reboots, which never logged one).
-func writeSession(w *eventlog.Writer, s eventlog.Session) error {
-	if err := w.Write(eventlog.Record{
+// sessionRecords renders a session as its START/END pair (END omitted for
+// hard reboots, which never logged one). Sessions carry no temperature, so
+// the records must say temp=NA — a zero TempC would fabricate a 0°C
+// reading. Every session sink shares this construction so the flat files
+// and the per-node layout cannot drift apart.
+func sessionRecords(s eventlog.Session) []eventlog.Record {
+	recs := []eventlog.Record{{
 		Kind: eventlog.KindStart, At: s.From, Host: s.Host, AllocBytes: s.AllocBytes,
-	}); err != nil {
-		return err
+		TempC: thermal.NoReading,
+	}}
+	if !s.Truncated {
+		recs = append(recs, eventlog.Record{
+			Kind: eventlog.KindEnd, At: s.To, Host: s.Host, TempC: thermal.NoReading,
+		})
 	}
-	if s.Truncated {
-		return nil
+	return recs
+}
+
+// writeSession emits a session's records to a flat file.
+func writeSession(w *eventlog.Writer, s eventlog.Session) error {
+	for _, rec := range sessionRecords(s) {
+		if err := w.Write(rec); err != nil {
+			return err
+		}
 	}
-	return w.Write(eventlog.Record{Kind: eventlog.KindEnd, At: s.To, Host: s.Host})
+	return nil
 }
 
 // streamCampaign is the -stream path: faults and sessions go to disk as
-// the campaign's k-way merge emits them, one record at a time.
-func streamCampaign(seed uint64, faultsPath, sessionsPath string) (err error) {
-	var h campaign.StreamHandler
+// the campaign's k-way merge emits them, one record at a time. Every
+// requested output is an independent sink with its own error, so a
+// faults-file failure cannot silently truncate a healthy sessions file
+// (and vice versa); the first error per sink is what the caller sees,
+// joined.
+func streamCampaign(seed uint64, faultsPath, sessionsPath, logDir string) (err error) {
+	var faultSinks []func(extract.Fault)
+	var sessionSinks []func(eventlog.Session)
 	var closers []func() error
 	defer func() {
 		for _, closer := range closers {
 			err = errors.Join(err, closer())
 		}
 	}()
-	// Each sink tracks its own error, so a faults-file failure cannot
-	// silently truncate a healthy sessions file (and vice versa); the
-	// first error per sink is what the caller sees, joined.
-	newSink := func(path string, write func(w *eventlog.Writer, sinkErr *error)) error {
+	newFileSink := func(path string) (*eventlog.Writer, *error, error) {
 		f, err := os.Create(path)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
 		w := eventlog.NewWriter(f)
-		var sinkErr error
-		write(w, &sinkErr)
+		sinkErr := new(error)
 		closers = append(closers, func() error {
-			if err := w.Flush(); sinkErr == nil {
-				sinkErr = err
+			if err := w.Flush(); *sinkErr == nil {
+				*sinkErr = err
 			}
-			return errors.Join(sinkErr, f.Close())
+			return errors.Join(*sinkErr, f.Close())
 		})
-		return nil
+		return w, sinkErr, nil
 	}
 	if faultsPath != "" {
-		err := newSink(faultsPath, func(w *eventlog.Writer, sinkErr *error) {
-			h.Fault = func(fault extract.Fault) {
-				if *sinkErr == nil {
-					*sinkErr = w.Write(faultRecord(fault))
-				}
-			}
-		})
+		w, sinkErr, err := newFileSink(faultsPath)
 		if err != nil {
 			return err
 		}
-	}
-	if sessionsPath != "" {
-		err := newSink(sessionsPath, func(w *eventlog.Writer, sinkErr *error) {
-			h.Session = func(s eventlog.Session) {
-				if *sinkErr == nil {
-					*sinkErr = writeSession(w, s)
-				}
+		faultSinks = append(faultSinks, func(f extract.Fault) {
+			if *sinkErr == nil {
+				*sinkErr = w.Write(faultRecord(f))
 			}
 		})
+	}
+	if sessionsPath != "" {
+		w, sinkErr, err := newFileSink(sessionsPath)
 		if err != nil {
 			return err
+		}
+		sessionSinks = append(sessionSinks, func(s eventlog.Session) {
+			if *sinkErr == nil {
+				*sinkErr = writeSession(w, s)
+			}
+		})
+	}
+	if logDir != "" {
+		// Demultiplex the merged streams into the one-file-per-node layout.
+		// The merge visits a bursting node many times in a row, so the
+		// store's LRU descriptor budget keeps hot files open. ERROR lines
+		// land before START/END lines within each file (fault merge runs
+		// first); both kinds are time-ordered per node, which is all the
+		// replay loader's collapser and accounting need.
+		store, err := logstore.NewStore(logDir)
+		if err != nil {
+			return err
+		}
+		sinkErr := new(error)
+		closers = append(closers, func() error {
+			return errors.Join(*sinkErr, store.Close())
+		})
+		faultSinks = append(faultSinks, func(f extract.Fault) {
+			if *sinkErr == nil {
+				*sinkErr = store.Append(faultRecord(f))
+			}
+		})
+		sessionSinks = append(sessionSinks, func(s eventlog.Session) {
+			for _, rec := range sessionRecords(s) {
+				if *sinkErr != nil {
+					return
+				}
+				*sinkErr = store.Append(rec)
+			}
+		})
+	}
+
+	var h campaign.StreamHandler
+	if len(faultSinks) > 0 {
+		h.Fault = func(f extract.Fault) {
+			for _, sink := range faultSinks {
+				sink(f)
+			}
+		}
+	}
+	if len(sessionSinks) > 0 {
+		h.Session = func(s eventlog.Session) {
+			for _, sink := range sessionSinks {
+				sink(s)
+			}
 		}
 	}
 
@@ -181,6 +243,9 @@ func streamCampaign(seed uint64, faultsPath, sessionsPath string) (err error) {
 	}
 	if sessionsPath != "" {
 		fmt.Println("sessions streamed to", sessionsPath)
+	}
+	if logDir != "" {
+		fmt.Println("per-node logs streamed to", logDir, "— analyze them with: analyze -from-logs", logDir)
 	}
 	return nil
 }

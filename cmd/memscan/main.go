@@ -61,12 +61,21 @@ func main() {
 		}
 	}
 
+	// On a write error the scan must abort *cleanly*: calling os.Exit
+	// inside the record callback would skip the final Flush and drop every
+	// buffered log line — the worst possible failure mode for a logging
+	// tool. Instead the callback closes the scanner's stop channel and the
+	// tool flushes whatever it has before exiting non-zero.
 	out := eventlog.NewWriter(os.Stdout)
-	defer out.Flush()
+	var writeErr error
+	stop := make(chan struct{})
 	s := scanner.New(host, dev, mode, func(rec eventlog.Record) {
+		if writeErr != nil {
+			return
+		}
 		if err := out.Write(rec); err != nil {
-			fmt.Fprintln(os.Stderr, "memscan:", err)
-			os.Exit(1)
+			writeErr = err
+			close(stop)
 		}
 	}, r)
 	scrambler := dram.NewScrambler()
@@ -80,7 +89,18 @@ func main() {
 		}
 	}
 
-	errs := s.Run(timebase.FromTime(timebase.Epoch.AddDate(0, 4, 0)), *iters, nil)
+	errs := s.Run(timebase.FromTime(timebase.Epoch.AddDate(0, 4, 0)), *iters, stop)
+	flushErr := out.Flush()
+	if writeErr != nil || flushErr != nil {
+		if writeErr != nil {
+			fmt.Fprintln(os.Stderr, "memscan: write:", writeErr)
+		}
+		if flushErr != nil {
+			fmt.Fprintln(os.Stderr, "memscan: flush:", flushErr)
+		}
+		fmt.Fprintf(os.Stderr, "# scan aborted after flushing %d records\n", out.Count())
+		os.Exit(1)
+	}
 	fmt.Fprintf(os.Stderr, "# scan finished: %d ERROR records over %d iterations\n", errs, *iters)
 }
 

@@ -58,6 +58,17 @@ func RunStudy(cfg *Config) *Study { return core.RunStudy(cfg) }
 // callers may modify before RunStudy.
 func DefaultConfig(seed uint64) *Config { return campaign.DefaultConfig(seed) }
 
+// StudyFromLogs rebuilds a study from a directory of per-node log files —
+// the paper's actual workflow — using the parallel streaming replay
+// loader. controller optionally names the permanently failing node
+// excluded from MTBF-style analyses ("" disables); workers bounds the
+// loader pool (0 means GOMAXPROCS). The resulting Study is
+// interchangeable with one from RunStudy over the same dataset, and its
+// report is identical for every workers value.
+func StudyFromLogs(dir, controller string, workers int) (*Study, error) {
+	return core.StudyFromLogs(dir, controller, workers)
+}
+
 // Fault is one independent memory error with its derived classification
 // (§II-C), the unit every analysis counts.
 type Fault = extract.Fault

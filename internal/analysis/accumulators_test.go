@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/dram"
+	"unprotected/internal/eventlog"
+	"unprotected/internal/extract"
+	"unprotected/internal/rng"
+	"unprotected/internal/thermal"
+	"unprotected/internal/timebase"
+)
+
+// accumFixture builds a synthetic dataset with enough structure to
+// exercise every accumulator: multiple nodes, FirstAt ties (simultaneity
+// groups), a multi-bit mix, pre- and post-telemetry temperatures, multi-day
+// sessions and an excluded controller node.
+func accumFixture() *Dataset {
+	r := rng.New(5)
+	day := timebase.T(86400)
+	controller := cluster.NodeID{Blade: 2, SoC: 4}
+	var faults []extract.Fault
+	var sessions []eventlog.Session
+	rawByNode := make(map[cluster.NodeID]int64)
+	var raw int64
+	for n := 0; n < 12; n++ {
+		host := cluster.NodeID{Blade: n/4 + 1, SoC: n%4 + 1}
+		if n == 5 {
+			host = controller
+		}
+		for i := 0; i < 40; i++ {
+			at := day*timebase.T(5+i%200) + timebase.T((i/3)*977)
+			temp := thermal.NoReading
+			if i%4 != 0 {
+				temp = 20 + r.Float64()*45
+			}
+			mask := uint32(1) << (i % 32)
+			if i%9 == 0 {
+				mask |= 1 << ((i + 7) % 32)
+			}
+			if i%27 == 0 {
+				mask |= 0xf << (i % 20)
+			}
+			logs := 1 + r.IntN(30)
+			faults = append(faults, extract.Classify(extract.RawRun{
+				Node: host, Addr: dram.Addr(i * 31), FirstAt: at, LastAt: at + 30,
+				Logs: logs, Expected: 0xffffffff, Actual: 0xffffffff ^ mask,
+				TempC: temp,
+			}))
+			raw += int64(logs)
+			rawByNode[host] += int64(logs)
+		}
+		for s := 0; s < 10; s++ {
+			from := day*timebase.T(3*s) + timebase.T(r.IntN(7200))
+			sess := eventlog.Session{Host: host, From: from, To: from + day + 3600, AllocBytes: 3 << 30}
+			if s%5 == 2 {
+				sess.Truncated = true
+			}
+			sessions = append(sessions, sess)
+		}
+	}
+	extract.SortFaults(faults)
+	return &Dataset{
+		Faults: faults, Sessions: sessions,
+		RawLogs: raw, RawLogsByNode: rawByNode,
+		Topo:           cluster.PaperTopology(),
+		ControllerNode: controller,
+	}
+}
+
+// TestAccumulatorsMatchSliceFunctions: streaming the dataset through the
+// bundle must reproduce every slice-based computation exactly — same
+// arithmetic, same order, same floats.
+func TestAccumulatorsMatchSliceFunctions(t *testing.T) {
+	d := accumFixture()
+	a := NewAccumulators(d.ControllerNode)
+	for _, f := range d.Faults {
+		a.ObserveFault(f)
+	}
+	for _, s := range d.Sessions {
+		a.ObserveSession(s)
+	}
+
+	if got, want := a.Headline.Headline(d.RawLogs, d.RawLogsByNode, d.Topo), ComputeHeadline(d); got != want {
+		t.Fatalf("headline diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := a.HourOfDay, ComputeHourOfDay(d.Faults); *got != *want {
+		t.Fatal("hour-of-day diverged")
+	}
+	if got, want := a.Temperature, ComputeTemperature(d.Faults); !reflect.DeepEqual(got, want) {
+		t.Fatal("temperature diverged")
+	}
+	if got, want := a.MultiBit.Stats(), ComputeMultiBitStats(d.Faults); got != want {
+		t.Fatalf("multi-bit stats diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := a.Simultaneity.Figure(), ComputeSimultaneityFigure(d.Faults); *got != *want {
+		t.Fatalf("simultaneity figure diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := a.Simultaneity.Stats(), extract.Simultaneity(extract.Groups(d.Faults)); got != want {
+		t.Fatalf("simultaneity stats diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := a.Daily.Scanned, DailyScanned(d); !reflect.DeepEqual(got, want) {
+		t.Fatal("daily scanned diverged")
+	}
+	if got, want := a.Daily.Errors, DailyErrors(d.Faults); !reflect.DeepEqual(got, want) {
+		t.Fatal("daily errors diverged")
+	}
+	gotP, errG := a.Daily.Correlation()
+	wantP, errW := ScanErrorCorrelation(d)
+	if (errG == nil) != (errW == nil) || gotP != wantP {
+		t.Fatalf("correlation diverged: %+v/%v vs %+v/%v", gotP, errG, wantP, errW)
+	}
+	if got, want := a.Regimes.Finish(), ComputeRegimes(d); !reflect.DeepEqual(got, want) {
+		t.Fatalf("regimes diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestHeadlineTopRawNodeDeterministicOnTies: equal per-node raw volumes
+// must resolve to the lowest node index, not map iteration order.
+func TestHeadlineTopRawNodeDeterministicOnTies(t *testing.T) {
+	byNode := map[cluster.NodeID]int64{
+		{Blade: 9, SoC: 9}:  500,
+		{Blade: 3, SoC: 1}:  500,
+		{Blade: 12, SoC: 2}: 500,
+		{Blade: 1, SoC: 1}:  10,
+	}
+	want := cluster.NodeID{Blade: 3, SoC: 1}
+	for trial := 0; trial < 30; trial++ {
+		h := NewHeadlineAccum().Headline(1510, byNode, nil)
+		if h.TopRawNode != want {
+			t.Fatalf("trial %d: top raw node %v, want %v", trial, h.TopRawNode, want)
+		}
+		if h.TopNodeRawShare != 500.0/1510.0 {
+			t.Fatalf("share %v", h.TopNodeRawShare)
+		}
+	}
+}
+
+// TestMultiBitTableDeterministicOnTies: rows sharing (bits, occurrences,
+// corrupted) must order by expected value, stably across runs.
+func TestMultiBitTableDeterministicOnTies(t *testing.T) {
+	mk := func(expected, actual uint32) extract.Fault {
+		return extract.Classify(extract.RawRun{
+			Node: cluster.NodeID{Blade: 1, SoC: 1}, FirstAt: 100,
+			Expected: expected, Actual: actual, Logs: 1,
+		})
+	}
+	// Both rows: 2-bit corruption, same corrupted value, one occurrence.
+	d := &Dataset{Faults: []extract.Fault{
+		mk(0x00000005, 0x00000000), // bits 0,2
+		mk(0x00000009, 0x00000000), // bits 0,3 — 2 bits as well? 0x9 = 1001: bits 0,3
+	}}
+	var first []MultiBitRow
+	for trial := 0; trial < 30; trial++ {
+		rows := MultiBitTable(d)
+		if len(rows) != 2 {
+			t.Fatalf("rows %d, want 2", len(rows))
+		}
+		if trial == 0 {
+			first = rows
+			if rows[0].Expected != 0x5 || rows[1].Expected != 0x9 {
+				t.Fatalf("tie not broken by expected value: %+v", rows)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(rows, first) {
+			t.Fatalf("trial %d: row order unstable", trial)
+		}
+	}
+}

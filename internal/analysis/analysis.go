@@ -103,43 +103,88 @@ type Headline struct {
 	Zeros2Ones         int
 }
 
-// ComputeHeadline aggregates the §III-B statistics.
-func ComputeHeadline(d *Dataset) Headline {
-	h := Headline{RawLogs: d.RawLogs, IndependentFaults: len(d.Faults)}
+// HeadlineAccum is the incremental form of ComputeHeadline: faults and
+// sessions stream in one at a time; Headline finalizes against the scalar
+// raw-log aggregates and topology.
+type HeadlineAccum struct {
+	faults          int
+	multiBit        int
+	ones2Zeros      int
+	zeros2Ones      int
+	hours           float64
+	tbh             units.TBh
+	nodesWithFaults map[cluster.NodeID]bool
+}
+
+// NewHeadlineAccum returns an empty accumulator.
+func NewHeadlineAccum() *HeadlineAccum {
+	return &HeadlineAccum{nodesWithFaults: make(map[cluster.NodeID]bool)}
+}
+
+// ObserveFault folds one fault into the aggregates.
+func (a *HeadlineAccum) ObserveFault(f extract.Fault) {
+	a.faults++
+	a.ones2Zeros += f.Ones2Zeros.Count()
+	a.zeros2Ones += f.Zeros2Ones.Count()
+	if f.MultiBit() {
+		a.multiBit++
+	}
+	a.nodesWithFaults[f.Node] = true
+}
+
+// ObserveSession folds one session into the hours/TBh accounting.
+func (a *HeadlineAccum) ObserveSession(s eventlog.Session) {
+	a.hours += s.Duration().Hours()
+	a.tbh += s.TBh()
+}
+
+// Headline finalizes the §III-B summary. rawLogs and rawLogsByNode are the
+// scalar aggregates (they never stream — they are counted, not collected),
+// topo may be nil.
+func (a *HeadlineAccum) Headline(rawLogs int64, rawLogsByNode map[cluster.NodeID]int64, topo *cluster.Topology) Headline {
+	h := Headline{
+		RawLogs:           rawLogs,
+		IndependentFaults: a.faults,
+		MultiBitFaults:    a.multiBit,
+		Ones2Zeros:        a.ones2Zeros,
+		Zeros2Ones:        a.zeros2Ones,
+		NodeHours:         units.NodeHours(a.hours),
+		TotalTBh:          a.tbh,
+		NodesWithFaults:   len(a.nodesWithFaults),
+	}
 	var maxRaw int64
-	for id, n := range d.RawLogsByNode {
-		if n > maxRaw {
+	for id, n := range rawLogsByNode {
+		// Strict ordering with a node-index tiebreak: map iteration order
+		// must not pick the reported worst node on equal raw volumes.
+		if n > maxRaw || (n == maxRaw && n > 0 && id.Index() < h.TopRawNode.Index()) {
 			maxRaw = n
 			h.TopRawNode = id
 		}
 	}
-	if d.RawLogs > 0 {
-		h.TopNodeRawShare = float64(maxRaw) / float64(d.RawLogs)
+	if rawLogs > 0 {
+		h.TopNodeRawShare = float64(maxRaw) / float64(rawLogs)
 	}
-	var hours float64
-	var tbh units.TBh
-	for _, s := range d.Sessions {
-		hours += s.Duration().Hours()
-		tbh += s.TBh()
+	if topo != nil {
+		h.NodesScanned = topo.CountByRole()[cluster.Scanned]
 	}
-	h.NodeHours = units.NodeHours(hours)
-	h.TotalTBh = tbh
-	if d.Topo != nil {
-		h.NodesScanned = d.Topo.CountByRole()[cluster.Scanned]
-	}
-	h.NodesWithFaults = len(d.ByNode())
-	if n := len(d.Faults); n > 0 {
-		h.ClusterMTBFMinutes = float64(timebase.StudySeconds) / 60 / float64(n)
-		h.NodeMTBFHours = hours / float64(n)
-	}
-	for _, f := range d.Faults {
-		h.Ones2Zeros += f.Ones2Zeros.Count()
-		h.Zeros2Ones += f.Zeros2Ones.Count()
-		if f.MultiBit() {
-			h.MultiBitFaults++
-		}
+	if a.faults > 0 {
+		h.ClusterMTBFMinutes = float64(timebase.StudySeconds) / 60 / float64(a.faults)
+		h.NodeMTBFHours = a.hours / float64(a.faults)
 	}
 	return h
+}
+
+// ComputeHeadline aggregates the §III-B statistics. It is the collect-all
+// wrapper over HeadlineAccum.
+func ComputeHeadline(d *Dataset) Headline {
+	a := NewHeadlineAccum()
+	for _, s := range d.Sessions {
+		a.ObserveSession(s)
+	}
+	for _, f := range d.Faults {
+		a.ObserveFault(f)
+	}
+	return a.Headline(d.RawLogs, d.RawLogsByNode, d.Topo)
 }
 
 // Ones2ZerosFraction returns the fraction of corrupted bits that flipped

@@ -14,13 +14,22 @@ type HourOfDay struct {
 	Counts [7][24]float64
 }
 
-// ComputeHourOfDay tallies faults by local hour of day and bit class.
+// NewHourOfDay returns an empty accumulator for streaming consumers.
+func NewHourOfDay() *HourOfDay { return &HourOfDay{} }
+
+// Observe folds one fault into the histogram.
+func (h *HourOfDay) Observe(f extract.Fault) {
+	h.Counts[BitClass(f.BitCount())][f.FirstAt.HourOfDay()]++
+}
+
+// ComputeHourOfDay tallies faults by local hour of day and bit class. It is
+// the collect-all wrapper over Observe.
 func ComputeHourOfDay(faults []extract.Fault) *HourOfDay {
-	var h HourOfDay
+	h := NewHourOfDay()
 	for _, f := range faults {
-		h.Counts[BitClass(f.BitCount())][f.FirstAt.HourOfDay()]++
+		h.Observe(f)
 	}
-	return &h
+	return h
 }
 
 // Total returns the all-classes histogram.

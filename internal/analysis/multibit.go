@@ -49,7 +49,13 @@ func MultiBitTable(d *Dataset) []MultiBitRow {
 		if out[i].Occurrences != out[j].Occurrences {
 			return out[i].Occurrences < out[j].Occurrences
 		}
-		return out[i].Corrupted < out[j].Corrupted
+		if out[i].Corrupted != out[j].Corrupted {
+			return out[i].Corrupted < out[j].Corrupted
+		}
+		// Two distinct value pairs can share corrupted value, bit count and
+		// occurrence count; without this final key the row order would leak
+		// map iteration order into the rendered table.
+		return out[i].Expected < out[j].Expected
 	})
 	return out
 }
@@ -67,52 +73,77 @@ type MultiBitStats struct {
 	LSBShare        float64 // fraction of corrupted bits in the low half-word
 }
 
-// ComputeMultiBitStats summarizes the multi-bit population.
-func ComputeMultiBitStats(faults []extract.Fault) MultiBitStats {
-	var st MultiBitStats
-	var gapSum float64
-	var gapN int
-	var lsb, bitsTotal int
-	for _, f := range faults {
-		bc := f.BitCount()
-		if bc < 2 {
-			continue
-		}
-		st.TotalEvents++
-		if bc == 2 {
-			st.DoubleBitEvents++
-		}
-		if bc > 2 {
-			st.OverTwoBits++
-		}
-		if bc > 3 {
-			st.OverThreeBits++
-		}
-		if !f.Bits.Consecutive() {
-			st.NonConsecutive++
-		}
-		if g := f.Bits.MaxGap(); g > st.MaxGap {
-			st.MaxGap = g
-		}
-		if bc > st.MaxBits {
-			st.MaxBits = bc
-		}
-		gapSum += f.Bits.MeanGap()
-		gapN++
-		for _, p := range f.Bits.Positions() {
-			bitsTotal++
-			if p < 16 {
-				lsb++
-			}
+// MultiBitAccum is the incremental form of ComputeMultiBitStats: Observe
+// faults one at a time, read Stats whenever needed (Stats finalizes the
+// running means without mutating the accumulator).
+type MultiBitAccum struct {
+	st        MultiBitStats
+	gapSum    float64
+	gapN      int
+	lsb       int
+	bitsTotal int
+}
+
+// NewMultiBitAccum returns an empty accumulator.
+func NewMultiBitAccum() *MultiBitAccum { return &MultiBitAccum{} }
+
+// Observe folds one fault into the aggregates; single-bit faults are
+// ignored, as in the paper's Table I population.
+func (a *MultiBitAccum) Observe(f extract.Fault) {
+	bc := f.BitCount()
+	if bc < 2 {
+		return
+	}
+	st := &a.st
+	st.TotalEvents++
+	if bc == 2 {
+		st.DoubleBitEvents++
+	}
+	if bc > 2 {
+		st.OverTwoBits++
+	}
+	if bc > 3 {
+		st.OverThreeBits++
+	}
+	if !f.Bits.Consecutive() {
+		st.NonConsecutive++
+	}
+	if g := f.Bits.MaxGap(); g > st.MaxGap {
+		st.MaxGap = g
+	}
+	if bc > st.MaxBits {
+		st.MaxBits = bc
+	}
+	a.gapSum += f.Bits.MeanGap()
+	a.gapN++
+	for _, p := range f.Bits.Positions() {
+		a.bitsTotal++
+		if p < 16 {
+			a.lsb++
 		}
 	}
-	if gapN > 0 {
-		st.MeanGap = gapSum / float64(gapN)
+}
+
+// Stats returns the aggregates observed so far.
+func (a *MultiBitAccum) Stats() MultiBitStats {
+	st := a.st
+	if a.gapN > 0 {
+		st.MeanGap = a.gapSum / float64(a.gapN)
 	}
-	if bitsTotal > 0 {
-		st.LSBShare = float64(lsb) / float64(bitsTotal)
+	if a.bitsTotal > 0 {
+		st.LSBShare = float64(a.lsb) / float64(a.bitsTotal)
 	}
 	return st
+}
+
+// ComputeMultiBitStats summarizes the multi-bit population. It is the
+// collect-all wrapper over MultiBitAccum.
+func ComputeMultiBitStats(faults []extract.Fault) MultiBitStats {
+	a := NewMultiBitAccum()
+	for _, f := range faults {
+		a.Observe(f)
+	}
+	return a.Stats()
 }
 
 // RenderMultiBitTable renders Table I in the paper's column layout.
@@ -155,6 +186,49 @@ func ComputeSimultaneityFigure(faults []extract.Fault) *SimultaneityFigure {
 		fig.PerNode[BitClass(g.TotalBits())]++
 	}
 	return &fig
+}
+
+// SimultaneityAccum is the incremental form of the §III-C analyses: it
+// feeds a streaming extract.Grouper, so Fig 4 and the simultaneity
+// aggregates come out of one pass over a canonically ordered fault stream
+// without materializing the groups. Call Flush (or read via Figure/Stats,
+// which flush) after the last fault.
+type SimultaneityAccum struct {
+	fig     SimultaneityFigure
+	st      extract.SimultaneityStats
+	grouper *extract.Grouper
+}
+
+// NewSimultaneityAccum returns an empty accumulator.
+func NewSimultaneityAccum() *SimultaneityAccum {
+	a := &SimultaneityAccum{}
+	a.grouper = extract.NewGrouper(func(g extract.Group) {
+		a.fig.PerNode[BitClass(g.TotalBits())]++
+		a.st.Observe(g)
+	})
+	return a
+}
+
+// Observe folds one fault of a canonically ordered stream.
+func (a *SimultaneityAccum) Observe(f extract.Fault) {
+	a.fig.PerWord[BitClass(f.BitCount())]++
+	a.grouper.Observe(f)
+}
+
+// Flush closes the trailing group; further Observes start a new one.
+func (a *SimultaneityAccum) Flush() { a.grouper.Flush() }
+
+// Figure returns Fig 4 over everything observed so far.
+func (a *SimultaneityAccum) Figure() *SimultaneityFigure {
+	a.Flush()
+	fig := a.fig
+	return &fig
+}
+
+// Stats returns the §III-C aggregates over everything observed so far.
+func (a *SimultaneityAccum) Stats() extract.SimultaneityStats {
+	a.Flush()
+	return a.st
 }
 
 // Chart renders Fig 4 on a log scale (counts span orders of magnitude).

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"unprotected/internal/cluster"
+	"unprotected/internal/extract"
 	"unprotected/internal/timebase"
 )
 
@@ -28,23 +29,45 @@ type Regimes struct {
 	MTBFDegradedHours float64
 }
 
-// ComputeRegimes classifies every study day.
-func ComputeRegimes(d *Dataset) *Regimes {
-	exclude := []cluster.NodeID{}
-	var zero cluster.NodeID
-	if d.ControllerNode != zero {
-		exclude = append(exclude, d.ControllerNode)
+// RegimesAccum is the incremental form of ComputeRegimes: faults stream in
+// one at a time (excluded nodes are dropped on the fly), Finish classifies
+// the days. The exclusion set must be known up front — it is (§III-I names
+// the permanently failing controller node), which is what makes the regime
+// analysis streamable at all.
+type RegimesAccum struct {
+	exclude      map[cluster.NodeID]bool
+	errorsPerDay []float64
+}
+
+// NewRegimesAccum returns an accumulator excluding the given nodes.
+func NewRegimesAccum(exclude ...cluster.NodeID) *RegimesAccum {
+	a := &RegimesAccum{
+		exclude:      make(map[cluster.NodeID]bool, len(exclude)),
+		errorsPerDay: make([]float64, timebase.StudyDays),
 	}
-	faults := d.FaultsExcluding(exclude...)
+	for _, n := range exclude {
+		a.exclude[n] = true
+	}
+	return a
+}
+
+// Observe folds one fault into the daily counts.
+func (a *RegimesAccum) Observe(f extract.Fault) {
+	if a.exclude[f.Node] {
+		return
+	}
+	day := f.FirstAt.Day()
+	if day >= 0 && day < len(a.errorsPerDay) {
+		a.errorsPerDay[day]++
+	}
+}
+
+// Finish classifies every study day from the accumulated counts. It does
+// not mutate the accumulator and may be called repeatedly.
+func (a *RegimesAccum) Finish() *Regimes {
 	r := &Regimes{
 		Degraded:     make([]bool, timebase.StudyDays),
-		ErrorsPerDay: make([]float64, timebase.StudyDays),
-	}
-	for _, f := range faults {
-		day := f.FirstAt.Day()
-		if day >= 0 && day < timebase.StudyDays {
-			r.ErrorsPerDay[day]++
-		}
+		ErrorsPerDay: append([]float64(nil), a.errorsPerDay...),
 	}
 	for day, n := range r.ErrorsPerDay {
 		if n > NormalDayThreshold {
@@ -63,6 +86,21 @@ func ComputeRegimes(d *Dataset) *Regimes {
 		r.MTBFDegradedHours = float64(r.DegradedDays) * 24 / float64(r.DegradedErrors)
 	}
 	return r
+}
+
+// ComputeRegimes classifies every study day. It is the collect-all wrapper
+// over RegimesAccum.
+func ComputeRegimes(d *Dataset) *Regimes {
+	exclude := []cluster.NodeID{}
+	var zero cluster.NodeID
+	if d.ControllerNode != zero {
+		exclude = append(exclude, d.ControllerNode)
+	}
+	a := NewRegimesAccum(exclude...)
+	for _, f := range d.Faults {
+		a.Observe(f)
+	}
+	return a.Finish()
 }
 
 // DegradedFraction returns the share of study days in degraded mode

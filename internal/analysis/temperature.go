@@ -23,19 +23,31 @@ type Temperature struct {
 	NoReading int
 }
 
-// ComputeTemperature tallies faults with temperature telemetry.
-func ComputeTemperature(faults []extract.Fault) *Temperature {
+// NewTemperature returns an empty accumulator for streaming consumers.
+func NewTemperature() *Temperature {
 	t := &Temperature{}
 	n := int((TempHi - TempLo) / TempBinSize)
 	for c := 1; c <= 6; c++ {
 		t.Hists[c] = stats.NewHistogram(TempLo, TempHi, n)
 	}
+	return t
+}
+
+// Observe folds one fault into the histograms.
+func (t *Temperature) Observe(f extract.Fault) {
+	if !f.HasTemp() {
+		t.NoReading++
+		return
+	}
+	t.Hists[BitClass(f.BitCount())].Observe(f.TempC)
+}
+
+// ComputeTemperature tallies faults with temperature telemetry. It is the
+// collect-all wrapper over Observe.
+func ComputeTemperature(faults []extract.Fault) *Temperature {
+	t := NewTemperature()
 	for _, f := range faults {
-		if !f.HasTemp() {
-			t.NoReading++
-			continue
-		}
-		t.Hists[BitClass(f.BitCount())].Observe(f.TempC)
+		t.Observe(f)
 	}
 	return t
 }

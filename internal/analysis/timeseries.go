@@ -5,56 +5,91 @@ import (
 	"sort"
 
 	"unprotected/internal/cluster"
+	"unprotected/internal/eventlog"
 	"unprotected/internal/extract"
 	"unprotected/internal/render"
 	"unprotected/internal/stats"
 	"unprotected/internal/timebase"
 )
 
-// DailyScanned is Fig 9: terabyte-hours of memory analyzed per study day.
-// Session contributions are split across the local days they overlap.
-func DailyScanned(d *Dataset) []float64 {
-	out := make([]float64, timebase.StudyDays)
-	for _, s := range d.Sessions {
-		if s.Duration() == 0 {
-			continue
-		}
-		tbPerSec := float64(s.AllocBytes) / float64(int64(1)<<40) / 3600
-		for t := s.From; t < s.To; {
-			day := t.Day()
-			// Step to the next local midnight (DST-aware).
-			next := t + timebase.T(86400-t.SecondsIntoLocalDay())
-			if next <= t {
-				next = t + 86400
-			}
-			if next > s.To {
-				next = s.To
-			}
-			if day >= 0 && day < len(out) {
-				out[day] += float64(next-t) * tbPerSec
-			}
-			t = next
-		}
+// DailyAccum is the incremental form of the Figs 9–11 time series: it
+// accumulates scanned TBh per day from sessions and error counts per day
+// and bit class from faults, one element at a time.
+type DailyAccum struct {
+	// Scanned[day] is terabyte-hours of memory analyzed (Fig 9).
+	Scanned []float64
+	// Errors[class][day] counts faults; class 0 aggregates everything.
+	Errors [7][]float64
+}
+
+// NewDailyAccum returns an empty accumulator spanning the study window.
+func NewDailyAccum() *DailyAccum {
+	a := &DailyAccum{Scanned: make([]float64, timebase.StudyDays)}
+	for c := 0; c <= 6; c++ {
+		a.Errors[c] = make([]float64, timebase.StudyDays)
 	}
-	return out
+	return a
+}
+
+// ObserveSession splits one session's TBh across the local days it
+// overlaps (DST-aware).
+func (a *DailyAccum) ObserveSession(s eventlog.Session) {
+	if s.Duration() == 0 {
+		return
+	}
+	tbPerSec := float64(s.AllocBytes) / float64(int64(1)<<40) / 3600
+	for t := s.From; t < s.To; {
+		day := t.Day()
+		// Step to the next local midnight.
+		next := t + timebase.T(86400-t.SecondsIntoLocalDay())
+		if next <= t {
+			next = t + 86400
+		}
+		if next > s.To {
+			next = s.To
+		}
+		if day >= 0 && day < len(a.Scanned) {
+			a.Scanned[day] += float64(next-t) * tbPerSec
+		}
+		t = next
+	}
+}
+
+// ObserveFault buckets one fault by study day and bit class.
+func (a *DailyAccum) ObserveFault(f extract.Fault) {
+	day := f.FirstAt.Day()
+	if day < 0 || day >= timebase.StudyDays {
+		return
+	}
+	a.Errors[0][day]++
+	a.Errors[BitClass(f.BitCount())][day]++
+}
+
+// Correlation is §III-G's Pearson over the accumulated series.
+func (a *DailyAccum) Correlation() (stats.PearsonResult, error) {
+	return stats.Pearson(a.Scanned, a.Errors[0])
+}
+
+// DailyScanned is Fig 9: terabyte-hours of memory analyzed per study day.
+// Session contributions are split across the local days they overlap. It
+// is the collect-all wrapper over DailyAccum.ObserveSession.
+func DailyScanned(d *Dataset) []float64 {
+	a := NewDailyAccum()
+	for _, s := range d.Sessions {
+		a.ObserveSession(s)
+	}
+	return a.Scanned
 }
 
 // DailyErrors buckets faults per study day, one series per bit class.
-// Class 0 aggregates everything.
+// Class 0 aggregates everything. It is the collect-all wrapper over
+// DailyAccum.ObserveFault.
 func DailyErrors(faults []extract.Fault) [7][]float64 {
-	var out [7][]float64
-	for c := 0; c <= 6; c++ {
-		out[c] = make([]float64, timebase.StudyDays)
-	}
+	a := NewDailyAccum()
 	for _, f := range faults {
-		day := f.FirstAt.Day()
-		if day < 0 || day >= timebase.StudyDays {
-			continue
-		}
-		out[0][day]++
-		out[BitClass(f.BitCount())][day]++
+		a.ObserveFault(f)
 	}
-	return out
+	return a.Errors
 }
 
 // ScanErrorCorrelation is §III-G: the Pearson correlation between daily

@@ -26,6 +26,7 @@ import (
 	"unprotected/internal/eventlog"
 	"unprotected/internal/extract"
 	"unprotected/internal/faults"
+	"unprotected/internal/kway"
 	"unprotected/internal/radiation"
 	"unprotected/internal/rng"
 	"unprotected/internal/scanner"
@@ -220,11 +221,14 @@ func Stream(cfg *Config, h StreamHandler) *Stats {
 	if h.Begin != nil {
 		h.Begin(stats)
 	}
+	// The deterministic k-way merge lives in internal/kway so the
+	// log-replay loader (internal/logstore) shares the exact same code;
+	// see that package for the ordering and stability contract.
 	if h.Fault != nil {
-		kwayMerge(faultStreams, extract.Compare, h.Fault)
+		kway.Merge(faultStreams, extract.Compare, h.Fault)
 	}
 	if h.Session != nil {
-		kwayMerge(sessionStreams, eventlog.CompareSessions, h.Session)
+		kway.Merge(sessionStreams, eventlog.CompareSessions, h.Session)
 	}
 	return stats
 }

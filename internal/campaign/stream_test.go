@@ -10,74 +10,8 @@ import (
 	"unprotected/internal/extract"
 )
 
-// --- k-way merge unit tests ---
-
-func cmpInt(a, b *int) int {
-	switch {
-	case *a < *b:
-		return -1
-	case *a > *b:
-		return 1
-	default:
-		return 0
-	}
-}
-
-func TestKwayMergeOrders(t *testing.T) {
-	streams := [][]int{
-		{1, 4, 7, 10},
-		{2, 5, 8},
-		{},
-		{3, 6, 9, 11, 12},
-	}
-	var got []int
-	kwayMerge(streams, cmpInt, func(v int) { got = append(got, v) })
-	want := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
-	if !reflect.DeepEqual(got, want) {
-		t.Fatalf("merge order %v, want %v", got, want)
-	}
-}
-
-func TestKwayMergeEdgeCases(t *testing.T) {
-	var got []int
-	kwayMerge(nil, cmpInt, func(v int) { got = append(got, v) })
-	kwayMerge([][]int{{}, {}}, cmpInt, func(v int) { got = append(got, v) })
-	if len(got) != 0 {
-		t.Fatalf("empty streams emitted %v", got)
-	}
-	kwayMerge([][]int{{5, 6, 7}}, cmpInt, func(v int) { got = append(got, v) })
-	if !reflect.DeepEqual(got, []int{5, 6, 7}) {
-		t.Fatalf("single stream %v", got)
-	}
-}
-
-func TestKwayMergeStableOnTies(t *testing.T) {
-	// Equal keys must drain in stream-index order, every time.
-	type kv struct{ key, stream int }
-	streams := [][]kv{
-		{{1, 0}, {2, 0}},
-		{{1, 1}, {2, 1}},
-		{{1, 2}, {2, 2}},
-	}
-	cmp := func(a, b *kv) int {
-		switch {
-		case a.key < b.key:
-			return -1
-		case a.key > b.key:
-			return 1
-		default:
-			return 0
-		}
-	}
-	var got []kv
-	kwayMerge(streams, cmp, func(v kv) { got = append(got, v) })
-	want := []kv{{1, 0}, {1, 1}, {1, 2}, {2, 0}, {2, 1}, {2, 2}}
-	if !reflect.DeepEqual(got, want) {
-		t.Fatalf("tie order %v, want %v", got, want)
-	}
-}
-
 // --- streaming campaign tests ---
+// (k-way merge unit tests live with the merge in internal/kway)
 
 // legacyCollectAll is the pre-streaming engine: simulate every node
 // sequentially, buffer every run, classify once and globally sort. It is

@@ -3,19 +3,79 @@
 // that runs the whole reproduction and renders every figure and table of
 // the paper. cmd/ binaries and the examples talk to this package (via the
 // root unprotected package) rather than to the substrates directly.
+//
+// Both dataset sources — the campaign engine's merged simulation stream
+// and the log-replay loader's merged file stream — feed the same sink: it
+// collects the analysis dataset and simultaneously drives the incremental
+// figure accumulators, so every online-computable §III statistic is ready
+// the moment the stream ends, after exactly one pass over the source.
 package core
 
 import (
+	"fmt"
+
 	"unprotected/internal/analysis"
 	"unprotected/internal/campaign"
 	"unprotected/internal/cluster"
+	"unprotected/internal/eventlog"
+	"unprotected/internal/extract"
+	"unprotected/internal/logstore"
 )
 
 // Study is one executed campaign with its analysis-ready dataset.
 type Study struct {
-	Config  *campaign.Config
+	Config *campaign.Config
+	// Result is the collected campaign output; nil for studies replayed
+	// from log files (the logs are the result).
 	Result  *campaign.Result
 	Dataset *analysis.Dataset
+	// Figures holds the incremental figure accumulators fed during the
+	// stream; FullReport prefers them over recomputing from the slices.
+	// Nil for studies assembled by hand — every consumer falls back to
+	// the slice functions.
+	Figures *analysis.Accumulators
+}
+
+// streamSink adapts a merged (faults, sessions) stream into a Study: it
+// collects the dataset slices and feeds the figure accumulators element by
+// element. Both campaign.Stream and logstore.Stream deliver the canonical
+// orders the accumulators require.
+type streamSink struct {
+	dataset *analysis.Dataset
+	figures *analysis.Accumulators
+}
+
+func newStreamSink(controller, pathological cluster.NodeID) *streamSink {
+	var exclude []cluster.NodeID
+	var zero cluster.NodeID
+	if controller != zero {
+		exclude = append(exclude, controller)
+	}
+	return &streamSink{
+		dataset: &analysis.Dataset{
+			ControllerNode:   controller,
+			PathologicalNode: pathological,
+		},
+		figures: analysis.NewAccumulators(exclude...),
+	}
+}
+
+func (s *streamSink) fault(f extract.Fault) {
+	s.dataset.Faults = append(s.dataset.Faults, f)
+	s.figures.ObserveFault(f)
+}
+
+func (s *streamSink) session(sess eventlog.Session) {
+	s.dataset.Sessions = append(s.dataset.Sessions, sess)
+	s.figures.ObserveSession(sess)
+}
+
+// study finalizes the sink once the stream has ended.
+func (s *streamSink) study(topo *cluster.Topology, rawLogs int64, rawLogsByNode map[cluster.NodeID]int64) *Study {
+	s.dataset.Topo = topo
+	s.dataset.RawLogs = rawLogs
+	s.dataset.RawLogsByNode = rawLogsByNode
+	return &Study{Dataset: s.dataset, Figures: s.figures}
 }
 
 // RunPaperStudy executes the full-scale study (923 nodes, 13 months) with
@@ -25,10 +85,68 @@ func RunPaperStudy(seed uint64) *Study {
 	return RunStudy(cfg)
 }
 
-// RunStudy executes an arbitrary configuration.
+// RunStudy executes an arbitrary configuration. The campaign streams
+// through the shared sink: dataset collection and the incremental figure
+// computations happen during delivery, in one pass.
 func RunStudy(cfg *campaign.Config) *Study {
-	res := campaign.Run(cfg)
-	return &Study{Config: cfg, Result: res, Dataset: DatasetOf(cfg, res)}
+	var controller, pathological cluster.NodeID
+	if cfg.Profile != nil {
+		controller = cfg.Profile.ControllerNode
+		pathological = cfg.Profile.PathologicalNode
+	}
+	sink := newStreamSink(controller, pathological)
+	st := campaign.Stream(cfg, campaign.StreamHandler{
+		Begin: func(st *campaign.Stats) {
+			sink.dataset.Faults = make([]extract.Fault, 0, st.Faults)
+			sink.dataset.Sessions = make([]eventlog.Session, 0, st.Sessions)
+		},
+		Fault:   sink.fault,
+		Session: sink.session,
+	})
+	study := sink.study(cfg.Topo, st.RawLogs, st.RawLogsByNode)
+	study.Config = cfg
+	study.Result = &campaign.Result{
+		Cfg:           cfg,
+		Faults:        study.Dataset.Faults,
+		Sessions:      study.Dataset.Sessions,
+		RawLogs:       st.RawLogs,
+		RawLogsByNode: st.RawLogsByNode,
+		AllocFails:    st.AllocFails,
+	}
+	return study
+}
+
+// StudyFromLogs rebuilds a study from a directory of per-node log files —
+// the paper's actual workflow (§II-B kept one log file per node). The
+// directory streams through the same sink as a simulated campaign, so the
+// resulting Study is interchangeable with one from RunStudy: same canonical
+// orders, same figure accumulators, one pass over the corpus. controller
+// optionally names the permanently failing node excluded from MTBF-style
+// analyses (empty string disables the exclusion); workers bounds the
+// loader pool (0 means GOMAXPROCS). Output is identical for every workers
+// value.
+func StudyFromLogs(dir, controller string, workers int) (*Study, error) {
+	var controllerID cluster.NodeID
+	if controller != "" {
+		id, err := cluster.ParseNodeID(controller)
+		if err != nil {
+			return nil, fmt.Errorf("bad controller node: %w", err)
+		}
+		controllerID = id
+	}
+	sink := newStreamSink(controllerID, cluster.NodeID{})
+	st, err := logstore.StreamWorkers(dir, workers, logstore.StreamHandler{
+		Begin: func(st *logstore.Stats) {
+			sink.dataset.Faults = make([]extract.Fault, 0, st.Faults)
+			sink.dataset.Sessions = make([]eventlog.Session, 0, st.Sessions)
+		},
+		Fault:   sink.fault,
+		Session: sink.session,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sink.study(cluster.PaperTopology(), st.RawLogs, st.RawLogsByNode), nil
 }
 
 // DatasetOf adapts a campaign result for the analysis layer.

@@ -9,6 +9,7 @@ import (
 	"unprotected/internal/extract"
 	"unprotected/internal/quarantine"
 	"unprotected/internal/render"
+	"unprotected/internal/stats"
 )
 
 // ReportOptions selects report sections.
@@ -19,10 +20,15 @@ type ReportOptions struct {
 }
 
 // FullReport renders every figure and table of the paper from the study.
+// Figures that stream (headline, Figs 4–11, 13) come from the incremental
+// accumulators when the study was built from a stream; the slice-based
+// computations are the fallback and produce identical output (the
+// accumulators are the same arithmetic applied in the same canonical
+// order — the test suite pins the equivalence byte for byte).
 func (s *Study) FullReport(w io.Writer, opt ReportOptions) {
 	d := s.Dataset
 
-	h := analysis.ComputeHeadline(d)
+	h := s.headline()
 	fmt.Fprintf(w, "== Headline (§III-B) ==\n")
 	fmt.Fprintf(w, "raw error logs:            %d (paper: >25,000,000)\n", h.RawLogs)
 	fmt.Fprintf(w, "worst node raw share:      %.1f%% from %v (paper: >98%%)\n", 100*h.TopNodeRawShare, h.TopRawNode)
@@ -52,14 +58,13 @@ func (s *Study) FullReport(w io.Writer, opt ReportOptions) {
 
 	rows := analysis.MultiBitTable(d)
 	analysis.RenderMultiBitTable(rows).Render(w)
-	mb := analysis.ComputeMultiBitStats(d.Faults)
+	mb := s.multiBitStats()
 	fmt.Fprintf(w, "multi-bit events: %d (paper 85); double-bit: %d (76); >2-bit: %d (9); >3-bit: %d (7)\n",
 		mb.TotalEvents, mb.DoubleBitEvents, mb.OverTwoBits, mb.OverThreeBits)
 	fmt.Fprintf(w, "non-consecutive: %d/%d; mean gap %.1f bits (paper 3); max gap %d (paper 11); LSB share %.0f%%\n\n",
 		mb.NonConsecutive, mb.TotalEvents, mb.MeanGap, mb.MaxGap, 100*mb.LSBShare)
 
-	groups := extract.Groups(d.Faults)
-	sim := extract.Simultaneity(groups)
+	sim := s.simultaneityStats()
 	fmt.Fprintf(w, "== Simultaneity (§III-C, Fig 4) ==\n")
 	fmt.Fprintf(w, "faults co-occurring with others: %d (paper: >26,000)\n", sim.FaultsInGroups)
 	fmt.Fprintf(w, "  of which all-single-bit groups: %d (paper: >99.9%%)\n", sim.SingleBitOnly)
@@ -68,11 +73,11 @@ func (s *Study) FullReport(w io.Writer, opt ReportOptions) {
 	fmt.Fprintf(w, "double+double events: %d (paper: 1)\n", sim.DoubleDoublePairs)
 	fmt.Fprintf(w, "largest simultaneous event: %d bits (paper: 36)\n\n", sim.MaxGroupBits)
 	if opt.Charts {
-		analysis.ComputeSimultaneityFigure(d.Faults).Chart().Render(w)
+		s.simultaneityFigure().Chart().Render(w)
 		fmt.Fprintln(w)
 	}
 
-	hod := analysis.ComputeHourOfDay(d.Faults)
+	hod := s.hourOfDay()
 	all := hod.Total()
 	multi := hod.MultiBit()
 	fmt.Fprintf(w, "== Time of day (§III-E, Figs 5-6) ==\n")
@@ -85,7 +90,7 @@ func (s *Study) FullReport(w io.Writer, opt ReportOptions) {
 		fmt.Fprintln(w)
 	}
 
-	temp := analysis.ComputeTemperature(d.Faults)
+	temp := s.temperature()
 	lo, hi := temp.ModalBand(1, 6)
 	fmt.Fprintf(w, "== Temperature (§III-F, Figs 7-8) ==\n")
 	fmt.Fprintf(w, "modal band: %.0f-%.0f°C (paper: 30-40°C); errors >60°C: %.0f; multi-bit >60°C: %.0f (paper: 0); no telemetry: %d\n\n",
@@ -97,12 +102,11 @@ func (s *Study) FullReport(w io.Writer, opt ReportOptions) {
 	}
 
 	fmt.Fprintf(w, "== Scanning vs errors (§III-G, Figs 9-11) ==\n")
-	if pr, err := analysis.ScanErrorCorrelation(d); err == nil {
+	if pr, err := s.scanErrorCorrelation(); err == nil {
 		fmt.Fprintf(w, "Pearson(TBh/day, errors/day): r=%.5f p=%.4g n=%d (paper: r=-0.17966 p=0.0002)\n\n", pr.R, pr.P, pr.N)
 	}
 	if opt.Charts {
-		scanned := analysis.DailyScanned(d)
-		daily := analysis.DailyErrors(d.Faults)
+		scanned, daily := s.dailySeries()
 		analysis.DailyChart("Fig 9: memory scanned per day (TBh, monthly sums)",
 			map[string][]float64{"TBh": scanned}).Render(w)
 		analysis.DailyChart("Fig 10: errors per day (monthly sums)",
@@ -128,7 +132,7 @@ func (s *Study) FullReport(w io.Writer, opt ReportOptions) {
 	fmt.Fprintf(w, "concentration: %.2f%% of errors in %.2f%% of nodes (paper: >99.9%% in <1%%)\n\n",
 		100*errShare, 100*nodeShare)
 
-	reg := analysis.ComputeRegimes(d)
+	reg := s.regimes()
 	fmt.Fprintf(w, "== Temporal correlation (§III-I, Fig 13) ==\n")
 	fmt.Fprintf(w, "normal days: %d (errors: %d, MTBF %.0f h; paper: 348 days, ~50 errors, 167 h)\n",
 		reg.NormalDays, reg.NormalErrors, reg.MTBFNormalHours)
@@ -149,6 +153,72 @@ func (s *Study) FullReport(w io.Writer, opt ReportOptions) {
 
 	s.quarantineSection(w)
 	s.eccSection(w)
+}
+
+// The figure accessors below prefer the stream-fed accumulators and fall
+// back to the slice computations for hand-assembled studies.
+
+func (s *Study) headline() analysis.Headline {
+	if s.Figures != nil {
+		return s.Figures.Headline.Headline(s.Dataset.RawLogs, s.Dataset.RawLogsByNode, s.Dataset.Topo)
+	}
+	return analysis.ComputeHeadline(s.Dataset)
+}
+
+func (s *Study) hourOfDay() *analysis.HourOfDay {
+	if s.Figures != nil {
+		return s.Figures.HourOfDay
+	}
+	return analysis.ComputeHourOfDay(s.Dataset.Faults)
+}
+
+func (s *Study) temperature() *analysis.Temperature {
+	if s.Figures != nil {
+		return s.Figures.Temperature
+	}
+	return analysis.ComputeTemperature(s.Dataset.Faults)
+}
+
+func (s *Study) multiBitStats() analysis.MultiBitStats {
+	if s.Figures != nil {
+		return s.Figures.MultiBit.Stats()
+	}
+	return analysis.ComputeMultiBitStats(s.Dataset.Faults)
+}
+
+func (s *Study) simultaneityStats() extract.SimultaneityStats {
+	if s.Figures != nil {
+		return s.Figures.Simultaneity.Stats()
+	}
+	return extract.Simultaneity(extract.Groups(s.Dataset.Faults))
+}
+
+func (s *Study) simultaneityFigure() *analysis.SimultaneityFigure {
+	if s.Figures != nil {
+		return s.Figures.Simultaneity.Figure()
+	}
+	return analysis.ComputeSimultaneityFigure(s.Dataset.Faults)
+}
+
+func (s *Study) scanErrorCorrelation() (stats.PearsonResult, error) {
+	if s.Figures != nil {
+		return s.Figures.Daily.Correlation()
+	}
+	return analysis.ScanErrorCorrelation(s.Dataset)
+}
+
+func (s *Study) dailySeries() (scanned []float64, errors [7][]float64) {
+	if s.Figures != nil {
+		return s.Figures.Daily.Scanned, s.Figures.Daily.Errors
+	}
+	return analysis.DailyScanned(s.Dataset), analysis.DailyErrors(s.Dataset.Faults)
+}
+
+func (s *Study) regimes() *analysis.Regimes {
+	if s.Figures != nil {
+		return s.Figures.Regimes.Finish()
+	}
+	return analysis.ComputeRegimes(s.Dataset)
 }
 
 // quarantineSection renders Table II.

@@ -2,6 +2,7 @@ package eventlog
 
 import (
 	"cmp"
+	"sort"
 	"time"
 
 	"unprotected/internal/cluster"
@@ -99,11 +100,17 @@ func (a *Accounting) Observe(r Record) {
 }
 
 // Finish closes still-open sessions as truncated and returns all sessions.
+// The appended tail is sorted by CompareSessions: the open set is a map, and
+// letting map-iteration order leak into the returned slice would make every
+// replay of the same logs order its truncated sessions differently.
 func (a *Accounting) Finish() []Session {
+	closed := len(a.Sessions)
 	for _, s := range a.open {
 		s.Truncated = true
 		a.Sessions = append(a.Sessions, *s)
 	}
+	tail := a.Sessions[closed:]
+	sort.Slice(tail, func(i, j int) bool { return CompareSessions(&tail[i], &tail[j]) < 0 })
 	a.open = make(map[cluster.NodeID]*Session)
 	return a.Sessions
 }

@@ -63,6 +63,16 @@ type Record struct {
 	Actual     uint32  // ERROR only
 	Expected   uint32  // ERROR only
 	PhysPage   uint64  // ERROR only
+
+	// LastAt and Logs carry the pre-collapsed (§II-C extracted) view on
+	// ERROR records: Logs > 0 marks the line as one already-extracted
+	// independent fault standing for Logs raw scanner records observed
+	// from At through LastAt. The live scanner never sets them (each of
+	// its ERROR lines is one raw observation, Logs == 0); exporters write
+	// them so a replayed directory reconstructs runs byte-identically
+	// instead of re-applying the collapse heuristics to collapsed data.
+	LastAt timebase.T // ERROR only, pre-collapsed records
+	Logs   int        // ERROR only; 0 = raw record, >0 = pre-collapsed
 }
 
 // tsLayout is the timestamp format in log files.
@@ -91,6 +101,12 @@ func (r Record) AppendText(b []byte) []byte {
 		b = appendTemp(b, r.TempC)
 		b = append(b, " ppage=0x"...)
 		b = strconv.AppendUint(b, r.PhysPage, 16)
+		if r.Logs > 0 {
+			b = append(b, " last="...)
+			b = r.LastAt.Time().AppendFormat(b, tsLayout)
+			b = append(b, " logs="...)
+			b = strconv.AppendInt(b, int64(r.Logs), 10)
+		}
 	case KindEnd:
 		b = appendTemp(b, r.TempC)
 	}
@@ -110,7 +126,10 @@ func appendTemp(b []byte, t float64) []byte {
 	if !thermal.HasReading(t) {
 		return append(b, "NA"...)
 	}
-	return strconv.AppendFloat(b, t, 'f', 1, 64)
+	// Shortest representation that parses back to the exact same float64:
+	// replay must reconstruct TempC bit-for-bit, since the canonical fault
+	// order (extract.Compare) includes it as its final tiebreak.
+	return strconv.AppendFloat(b, t, 'f', -1, 64)
 }
 
 // String renders the canonical line.
@@ -136,7 +155,7 @@ func Parse(line string) (Record, error) {
 		return Record{}, fmt.Errorf("eventlog: unknown record kind %q", fields[0])
 	}
 	rec.TempC = thermal.NoReading
-	var sawTS, sawHost bool
+	var sawTS, sawHost, sawLast bool
 	for _, f := range fields[1:] {
 		k, v, ok := strings.Cut(f, "=")
 		if !ok {
@@ -170,6 +189,18 @@ func Parse(line string) (Record, error) {
 			rec.Expected = uint32(u)
 		case "ppage":
 			rec.PhysPage, err = parseHex(v)
+		case "last":
+			var t time.Time
+			t, err = time.Parse(tsLayout, v)
+			rec.LastAt = timebase.FromTime(t)
+			sawLast = true
+		case "logs":
+			var n int64
+			n, err = strconv.ParseInt(v, 10, 64)
+			if err == nil && n < 1 {
+				err = fmt.Errorf("count must be >= 1, got %d", n)
+			}
+			rec.Logs = int(n)
 		default:
 			return Record{}, fmt.Errorf("eventlog: unknown field %q", k)
 		}
@@ -179,6 +210,17 @@ func Parse(line string) (Record, error) {
 	}
 	if !sawTS || !sawHost {
 		return Record{}, fmt.Errorf("eventlog: record missing mandatory ts/host fields: %q", line)
+	}
+	// Normalize the pre-collapsed pair: either field alone implies the
+	// other's default (a single-record run ends where it starts).
+	if rec.Logs > 0 && !sawLast {
+		rec.LastAt = rec.At
+	}
+	if sawLast && rec.Logs == 0 {
+		rec.Logs = 1
+	}
+	if sawLast && rec.LastAt < rec.At {
+		return Record{}, fmt.Errorf("eventlog: run ends before it starts: %q", line)
 	}
 	return rec, nil
 }

@@ -97,13 +97,34 @@ func (c *Collapser) Observe(rec eventlog.Record) {
 	if rec.Kind != eventlog.KindError {
 		return
 	}
-	c.raw++
 	addr, err := dram.AddrOfVirt(rec.VAddr)
 	if err != nil {
 		// Unmappable addresses cannot be grouped; count them as their own
 		// single-record runs keyed by a synthesized address.
 		addr = dram.Addr(rec.VAddr & 0x7fffffff)
 	}
+	if rec.Logs > 0 {
+		// Pre-collapsed record (logs=/last= fields): the §II-C extraction
+		// was already applied when this line was written, so it maps to
+		// exactly one run, verbatim. Re-applying the gap heuristic here
+		// would merge faults the original extraction deemed independent.
+		c.raw += int64(rec.Logs)
+		if run, ok := c.open[addr]; ok {
+			c.done = append(c.done, *run)
+			delete(c.open, addr)
+		}
+		last := rec.LastAt
+		if last < rec.At {
+			last = rec.At
+		}
+		c.done = append(c.done, RawRun{
+			Node: rec.Host, Addr: addr, FirstAt: rec.At, LastAt: last,
+			Logs: rec.Logs, Expected: rec.Expected, Actual: rec.Actual,
+			TempC: rec.TempC,
+		})
+		return
+	}
+	c.raw++
 	run, ok := c.open[addr]
 	samePattern := ok && run.Expected^run.Actual == rec.Expected^rec.Actual
 	if ok && samePattern && rec.At-run.LastAt <= c.Gap {
@@ -242,6 +263,44 @@ func Groups(fs []Fault) []Group {
 	return out
 }
 
+// Grouper buckets a fault stream into simultaneity groups incrementally.
+// It requires the canonical Compare order (or any order where faults of one
+// (node, FirstAt) key are contiguous): every time the key changes, the
+// finished group is handed to emit. This is the streaming counterpart of
+// Groups for one-pass replay pipelines. Call Flush after the last fault.
+type Grouper struct {
+	emit func(Group)
+	cur  Group
+	live bool
+}
+
+// NewGrouper returns a grouper delivering completed groups to emit.
+func NewGrouper(emit func(Group)) *Grouper {
+	return &Grouper{emit: emit}
+}
+
+// Observe consumes the next fault of a canonically ordered stream.
+func (g *Grouper) Observe(f Fault) {
+	if g.live && (g.cur.Node != f.Node || g.cur.At != f.FirstAt) {
+		g.emit(g.cur)
+		g.live = false
+	}
+	if !g.live {
+		g.cur = Group{Node: f.Node, At: f.FirstAt}
+		g.live = true
+	}
+	g.cur.Faults = append(g.cur.Faults, f)
+}
+
+// Flush emits the trailing group, if any.
+func (g *Grouper) Flush() {
+	if g.live {
+		g.emit(g.cur)
+		g.live = false
+		g.cur = Group{}
+	}
+}
+
 // SimultaneityStats are the §III-C aggregates.
 type SimultaneityStats struct {
 	// FaultsInGroups counts faults that co-occurred with at least one
@@ -264,45 +323,51 @@ type SimultaneityStats struct {
 	MaxGroupBits int
 }
 
+// Observe folds one completed group into the aggregates. Streaming
+// consumers pair it with a Grouper; Simultaneity applies it to a slice.
+func (s *SimultaneityStats) Observe(g Group) {
+	if tb := g.TotalBits(); tb > s.MaxGroupBits {
+		s.MaxGroupBits = tb
+	}
+	if len(g.Faults) < 2 {
+		return
+	}
+	s.FaultsInGroups += len(g.Faults)
+	allSingle := true
+	singles, doubles, triples := 0, 0, 0
+	for _, f := range g.Faults {
+		switch f.BitCount() {
+		case 1:
+			singles++
+		case 2:
+			doubles++
+			allSingle = false
+		case 3:
+			triples++
+			allSingle = false
+		default:
+			allSingle = false
+		}
+	}
+	if allSingle {
+		s.SingleBitOnly += len(g.Faults)
+	}
+	if doubles > 0 && singles > 0 {
+		s.DoubleWithSingle += doubles
+	}
+	if triples > 0 && singles > 0 {
+		s.TripleWithSingle += triples
+	}
+	if doubles >= 2 {
+		s.DoubleDoublePairs += doubles / 2
+	}
+}
+
 // Simultaneity computes the §III-C aggregates over groups.
 func Simultaneity(groups []Group) SimultaneityStats {
 	var s SimultaneityStats
 	for _, g := range groups {
-		if tb := g.TotalBits(); tb > s.MaxGroupBits {
-			s.MaxGroupBits = tb
-		}
-		if len(g.Faults) < 2 {
-			continue
-		}
-		s.FaultsInGroups += len(g.Faults)
-		allSingle := true
-		singles, doubles, triples := 0, 0, 0
-		for _, f := range g.Faults {
-			switch f.BitCount() {
-			case 1:
-				singles++
-			case 2:
-				doubles++
-				allSingle = false
-			case 3:
-				triples++
-				allSingle = false
-			default:
-				allSingle = false
-			}
-		}
-		if allSingle {
-			s.SingleBitOnly += len(g.Faults)
-		}
-		if doubles > 0 && singles > 0 {
-			s.DoubleWithSingle += doubles
-		}
-		if triples > 0 && singles > 0 {
-			s.TripleWithSingle += triples
-		}
-		if doubles >= 2 {
-			s.DoubleDoublePairs += doubles / 2
-		}
+		s.Observe(g)
 	}
 	return s
 }

@@ -1,0 +1,120 @@
+package extract
+
+import (
+	"reflect"
+	"testing"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/dram"
+	"unprotected/internal/eventlog"
+	"unprotected/internal/thermal"
+	"unprotected/internal/timebase"
+)
+
+func fault(blade, soc int, at int64, addr dram.Addr, expected, actual uint32) Fault {
+	return Classify(RawRun{
+		Node: cluster.NodeID{Blade: blade, SoC: soc}, Addr: addr,
+		FirstAt: timebase.T(at), LastAt: timebase.T(at), Logs: 1,
+		Expected: expected, Actual: actual, TempC: thermal.NoReading,
+	})
+}
+
+// TestGrouperMatchesGroups: on a canonically ordered stream the incremental
+// grouper and the map-based Groups agree exactly.
+func TestGrouperMatchesGroups(t *testing.T) {
+	faults := []Fault{
+		fault(1, 1, 100, 5, 0xffffffff, 0xfffffffe),
+		fault(1, 1, 100, 9, 0xffffffff, 0xfffffffd),
+		fault(1, 2, 100, 5, 0xffffffff, 0xfffffffe),
+		fault(1, 1, 200, 5, 0xffffffff, 0xfffffffe),
+		fault(2, 3, 300, 1, 0, 3),
+		fault(2, 3, 300, 2, 0, 1),
+		fault(2, 3, 300, 3, 0, 1),
+	}
+	SortFaults(faults)
+
+	var streamed []Group
+	g := NewGrouper(func(gr Group) { streamed = append(streamed, gr) })
+	for _, f := range faults {
+		g.Observe(f)
+	}
+	g.Flush()
+	// Flush twice: the second must be a no-op.
+	g.Flush()
+
+	batch := Groups(faults)
+	if !reflect.DeepEqual(streamed, batch) {
+		t.Fatalf("grouper disagreed with Groups:\n stream %+v\n batch  %+v", streamed, batch)
+	}
+
+	var streamStats, batchStats SimultaneityStats
+	for _, gr := range streamed {
+		streamStats.Observe(gr)
+	}
+	batchStats = Simultaneity(batch)
+	if streamStats != batchStats {
+		t.Fatalf("stats disagree: %+v vs %+v", streamStats, batchStats)
+	}
+}
+
+// TestCollapserAdoptsPreCollapsedRuns: a record carrying logs=/last= maps
+// to exactly one run with those fields verbatim — no re-merging, even when
+// a later record lands within the gap tolerance at the same address.
+func TestCollapserAdoptsPreCollapsedRuns(t *testing.T) {
+	host := cluster.NodeID{Blade: 3, SoC: 7}
+	c := NewCollapser()
+	rec := func(at, last int64, logs int) eventlog.Record {
+		return eventlog.Record{
+			Kind: eventlog.KindError, At: timebase.T(at), Host: host,
+			VAddr: dram.VirtAddr(77), Expected: 0xffffffff, Actual: 0xfffffffe,
+			TempC: thermal.NoReading, LastAt: timebase.T(last), Logs: logs,
+		}
+	}
+	// Two pre-collapsed runs 10 s apart — raw records this close would
+	// merge (gap 60 s), extracted ones must not.
+	c.Observe(rec(100, 150, 7))
+	c.Observe(rec(160, 160, 2))
+	runs, raw := c.Close()
+	if len(runs) != 2 {
+		t.Fatalf("runs %d, want 2 (pre-collapsed runs re-merged): %+v", len(runs), runs)
+	}
+	if raw != 9 {
+		t.Fatalf("raw %d, want 9 (sum of logs= counts)", raw)
+	}
+	if runs[0].Logs != 7 || runs[0].FirstAt != 100 || runs[0].LastAt != 150 {
+		t.Fatalf("run 0 fields drifted: %+v", runs[0])
+	}
+	if runs[1].Logs != 2 || runs[1].FirstAt != 160 || runs[1].LastAt != 160 {
+		t.Fatalf("run 1 fields drifted: %+v", runs[1])
+	}
+}
+
+// TestCollapserMixedRawAndPreCollapsed: a pre-collapsed record closes any
+// open raw run at its address, and raw records after it start fresh.
+func TestCollapserMixedRawAndPreCollapsed(t *testing.T) {
+	host := cluster.NodeID{Blade: 3, SoC: 7}
+	c := NewCollapser()
+	raw := func(at int64) eventlog.Record {
+		return eventlog.Record{
+			Kind: eventlog.KindError, At: timebase.T(at), Host: host,
+			VAddr: dram.VirtAddr(77), Expected: 0xffffffff, Actual: 0xfffffffe,
+			TempC: thermal.NoReading,
+		}
+	}
+	pre := raw(200)
+	pre.LastAt, pre.Logs = timebase.T(230), 4
+	c.Observe(raw(100))
+	c.Observe(raw(110)) // merges with the one above
+	c.Observe(pre)      // closes the open raw run, adds itself
+	c.Observe(raw(240)) // fresh raw run, not merged into the extracted one
+	runs, rawCount := c.Close()
+	if len(runs) != 3 {
+		t.Fatalf("runs %d, want 3: %+v", len(runs), runs)
+	}
+	if rawCount != 3+4 {
+		t.Fatalf("raw %d, want 7", rawCount)
+	}
+	if runs[0].Logs != 2 || runs[1].Logs != 4 || runs[2].Logs != 1 {
+		t.Fatalf("run log counts %d/%d/%d, want 2/4/1", runs[0].Logs, runs[1].Logs, runs[2].Logs)
+	}
+}

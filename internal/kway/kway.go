@@ -1,24 +1,27 @@
-package campaign
+// Package kway implements a deterministic k-way merge of individually
+// sorted streams. It is the ordering backbone shared by the campaign
+// engine (merging per-node simulation streams) and the log-replay loader
+// (merging per-node log-file streams): per-node sequences arrive already
+// sorted from parallel workers, and Merge interleaves them into the
+// canonical global order in O(n log k) comparisons without ever
+// materializing the merged sequence.
+package kway
 
-// kwayMerge deterministically merges k individually sorted streams into
-// one ordered sequence, invoking emit once per element. It replaces the
-// old buffer-everything-then-sort step of the campaign: per-node streams
-// arrive already sorted from the workers, so the global order costs
-// O(n log k) comparisons and no merged copy is ever materialized — emit
-// observes elements one at a time.
+// Merge deterministically merges k individually sorted streams into one
+// ordered sequence, invoking emit once per element.
 //
 // cmp must be a total order consistent with each stream's internal order.
 // When two stream heads compare equal, the lower stream index wins, so the
 // merge is stable across runs even for equal elements. Exhausted streams
 // are released as soon as their last element is emitted.
-func kwayMerge[T any](streams [][]T, cmp func(a, b *T) int, emit func(T)) {
-	h := make([]mergeCursor[T], 0, len(streams))
+func Merge[T any](streams [][]T, cmp func(a, b *T) int, emit func(T)) {
+	h := make([]cursor[T], 0, len(streams))
 	for i, s := range streams {
 		if len(s) > 0 {
-			h = append(h, mergeCursor[T]{items: s, idx: i})
+			h = append(h, cursor[T]{items: s, idx: i})
 		}
 	}
-	less := func(a, b *mergeCursor[T]) bool {
+	less := func(a, b *cursor[T]) bool {
 		if c := cmp(&a.items[a.pos], &b.items[b.pos]); c != 0 {
 			return c < 0
 		}
@@ -33,22 +36,22 @@ func kwayMerge[T any](streams [][]T, cmp func(a, b *T) int, emit func(T)) {
 		top.pos++
 		if top.pos == len(top.items) {
 			h[0] = h[len(h)-1]
-			h[len(h)-1] = mergeCursor[T]{} // drop the stale copy's reference
+			h[len(h)-1] = cursor[T]{} // drop the stale copy's reference
 			h = h[:len(h)-1]
 		}
 		siftDown(h, 0, less)
 	}
 }
 
-// mergeCursor is one stream's read position in the merge heap.
-type mergeCursor[T any] struct {
+// cursor is one stream's read position in the merge heap.
+type cursor[T any] struct {
 	items []T
 	pos   int
 	idx   int // original stream index, the deterministic tiebreak
 }
 
 // siftDown restores the min-heap property below node i.
-func siftDown[T any](h []mergeCursor[T], i int, less func(a, b *mergeCursor[T]) bool) {
+func siftDown[T any](h []cursor[T], i int, less func(a, b *cursor[T]) bool) {
 	for {
 		left, right := 2*i+1, 2*i+2
 		min := i

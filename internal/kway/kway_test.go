@@ -1,0 +1,99 @@
+package kway
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func cmpInt(a, b *int) int {
+	switch {
+	case *a < *b:
+		return -1
+	case *a > *b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func TestMergeOrders(t *testing.T) {
+	streams := [][]int{
+		{1, 4, 7, 10},
+		{2, 5, 8},
+		{},
+		{3, 6, 9, 11, 12},
+	}
+	var got []int
+	Merge(streams, cmpInt, func(v int) { got = append(got, v) })
+	want := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merge order %v, want %v", got, want)
+	}
+}
+
+func TestMergeEdgeCases(t *testing.T) {
+	var got []int
+	Merge(nil, cmpInt, func(v int) { got = append(got, v) })
+	Merge([][]int{{}, {}}, cmpInt, func(v int) { got = append(got, v) })
+	if len(got) != 0 {
+		t.Fatalf("empty streams emitted %v", got)
+	}
+	Merge([][]int{{5, 6, 7}}, cmpInt, func(v int) { got = append(got, v) })
+	if !reflect.DeepEqual(got, []int{5, 6, 7}) {
+		t.Fatalf("single stream %v", got)
+	}
+}
+
+func TestMergeStableOnTies(t *testing.T) {
+	// Equal keys must drain in stream-index order, every time.
+	type kv struct{ key, stream int }
+	streams := [][]kv{
+		{{1, 0}, {2, 0}},
+		{{1, 1}, {2, 1}},
+		{{1, 2}, {2, 2}},
+	}
+	cmp := func(a, b *kv) int {
+		switch {
+		case a.key < b.key:
+			return -1
+		case a.key > b.key:
+			return 1
+		default:
+			return 0
+		}
+	}
+	var got []kv
+	Merge(streams, cmp, func(v kv) { got = append(got, v) })
+	want := []kv{{1, 0}, {1, 1}, {1, 2}, {2, 0}, {2, 1}, {2, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tie order %v, want %v", got, want)
+	}
+}
+
+func TestMergeRandomizedAgainstSort(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		k := r.Intn(9)
+		streams := make([][]int, k)
+		var all []int
+		for i := range streams {
+			n := r.Intn(20)
+			for j := 0; j < n; j++ {
+				streams[i] = append(streams[i], r.Intn(40))
+			}
+			sort.Ints(streams[i])
+			all = append(all, streams[i]...)
+		}
+		sort.Ints(all)
+		var got []int
+		Merge(streams, cmpInt, func(v int) { got = append(got, v) })
+		if len(got) == 0 && len(all) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, all) {
+			t.Fatalf("trial %d: merge %v, want %v (streams %v)", trial, got, all, streams)
+		}
+	}
+}

@@ -14,8 +14,10 @@ import (
 // Export writes a dataset in the prototype's on-disk layout: one log file
 // per node with START/ERROR/END lines in time order. ERROR lines carry the
 // independent faults (one line per fault — the raw multi-million-record
-// stream would be gigabytes and adds nothing the extraction keeps; Load
-// reconstructs the same fault set from these lines).
+// stream would be gigabytes and adds nothing the extraction keeps). Each
+// line's last=/logs= fields record the collapsed run's extent and raw
+// volume, so Stream and Load reconstruct the exact fault set, including
+// per-fault raw-log weights.
 func Export(sessions []eventlog.Session, faults []extract.Fault, dir string) error {
 	store, err := NewStore(dir)
 	if err != nil {
@@ -44,6 +46,7 @@ func Export(sessions []eventlog.Session, faults []extract.Fault, dir string) err
 			Actual: f.Actual, Expected: f.Expected,
 			TempC:    f.TempC,
 			PhysPage: dram.PhysPage(uint64(f.Node.Index()), f.Addr),
+			LastAt:   f.LastAt, Logs: max(f.Logs, 1),
 		}})
 	}
 	for _, evs := range perNode {

@@ -59,6 +59,90 @@ func TestFDCapEviction(t *testing.T) {
 	}
 }
 
+// TestEvictionIsLRU drives the hot/cold pattern the merge-ordered append
+// stream produces: a few nodes appended on every round (hot) plus a drip
+// of nodes touched exactly once (cold). LRU must sacrifice only the cold
+// files, so no file is ever reopened. The old policy evicted an arbitrary
+// map entry, which regularly closed a hot file mid-burst.
+func TestEvictionIsLRU(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.SetMaxOpenFiles(4)
+
+	hot := []cluster.NodeID{{Blade: 1, SoC: 1}, {Blade: 1, SoC: 2}, {Blade: 1, SoC: 3}}
+	rec := func(host cluster.NodeID, at int64) eventlog.Record {
+		return eventlog.Record{Kind: eventlog.KindStart, At: timebase.T(at),
+			Host: host, AllocBytes: 1 << 30, TempC: thermal.NoReading}
+	}
+	at := int64(0)
+	for round := 0; round < 50; round++ {
+		for _, h := range hot {
+			at++
+			if err := store.Append(rec(h, at)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cold := cluster.NodeID{Blade: 2 + round/10, SoC: round%10 + 1}
+		at++
+		if err := store.Append(rec(cold, at)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := store.Reopens(); n != 0 {
+		t.Fatalf("reopens %d, want 0: LRU must never evict a hot file", n)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReopenCountUnderRoundRobin pins the deterministic worst case: pure
+// round-robin over more nodes than the budget misses on every post-warmup
+// append, no more and no less. The exact count also proves eviction no
+// longer depends on map iteration order.
+func TestReopenCountUnderRoundRobin(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.SetMaxOpenFiles(5)
+
+	const nodes = 20
+	const rounds = 4
+	at := int64(0)
+	for round := 0; round < rounds; round++ {
+		for n := 0; n < nodes; n++ {
+			at++
+			host := cluster.NodeID{Blade: n/15 + 1, SoC: n%15 + 1}
+			rec := eventlog.Record{Kind: eventlog.KindStart, At: timebase.T(at),
+				Host: host, AllocBytes: 1 << 30, TempC: thermal.NoReading}
+			if err := store.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Round 0 opens every file for the first time (not a reopen); each
+	// later round reopens all 20 — the access pattern is LRU's worst case,
+	// but the count is exact and stable.
+	if want, got := nodes*(rounds-1), store.Reopens(); got != want {
+		t.Fatalf("reopens %d, want %d", got, want)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sessions) != nodes*rounds {
+		t.Fatalf("sessions %d, want %d (eviction lost records)", len(res.Sessions), nodes*rounds)
+	}
+}
+
 func TestSetMaxOpenFilesFloor(t *testing.T) {
 	dir := t.TempDir()
 	store, err := NewStore(dir)

@@ -8,7 +8,6 @@ package logstore
 
 import (
 	"fmt"
-	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -48,11 +47,14 @@ type Store struct {
 	maxOpen int
 	writers map[cluster.NodeID]*nodeFile
 	seen    map[cluster.NodeID]bool
+	clock   uint64 // advances per Append; stamps nodeFile.lastUse
+	reopens int
 }
 
 type nodeFile struct {
-	f *os.File
-	w *eventlog.Writer
+	f       *os.File
+	w       *eventlog.Writer
+	lastUse uint64
 }
 
 // NewStore creates (or reuses) the directory.
@@ -93,25 +95,45 @@ func (s *Store) Append(rec eventlog.Record) error {
 		}
 		nf = &nodeFile{f: f, w: eventlog.NewWriter(f)}
 		s.writers[rec.Host] = nf
+		if s.seen[rec.Host] {
+			s.reopens++
+		}
 		s.seen[rec.Host] = true
 	}
+	s.clock++
+	nf.lastUse = s.clock
 	return nf.w.Write(rec)
 }
 
-// evictOne flushes and closes one open file to stay under the budget.
+// evictOne flushes and closes the least-recently-used open file to stay
+// under the budget. LRU matters because appends arrive in (time, node)
+// merge order: a node writing a burst stays hot for many consecutive
+// records, and evicting an arbitrary map entry used to close exactly such
+// hot files, thrashing open/close cycles across wide campaigns.
 func (s *Store) evictOne() error {
-	for id, nf := range s.writers {
-		if err := nf.w.Flush(); err != nil {
-			return fmt.Errorf("logstore: %w", err)
+	var victim cluster.NodeID
+	var nf *nodeFile
+	for id, cand := range s.writers {
+		if nf == nil || cand.lastUse < nf.lastUse {
+			victim, nf = id, cand
 		}
-		if err := nf.f.Close(); err != nil {
-			return fmt.Errorf("logstore: %w", err)
-		}
-		delete(s.writers, id)
+	}
+	if nf == nil {
 		return nil
 	}
+	if err := nf.w.Flush(); err != nil {
+		return fmt.Errorf("logstore: %w", err)
+	}
+	if err := nf.f.Close(); err != nil {
+		return fmt.Errorf("logstore: %w", err)
+	}
+	delete(s.writers, victim)
 	return nil
 }
+
+// Reopens counts how many times an evicted node file had to be reopened —
+// the cost metric of the eviction policy.
+func (s *Store) Reopens() int { return s.reopens }
 
 // Close flushes and closes every node file.
 func (s *Store) Close() error {
@@ -154,67 +176,41 @@ func ListNodeFiles(dir string) ([]string, error) {
 
 // LoadResult is a directory read back through the §II-C pipeline.
 type LoadResult struct {
-	// Runs are the collapsed error runs of every node.
+	// Runs are the collapsed error runs of every node, in the canonical
+	// extract.Compare order — exactly the order the campaign path uses.
 	Runs []extract.RawRun
-	// RawLogs counts the ERROR records consumed.
+	// RawLogs counts the ERROR records consumed (pre-collapsed lines
+	// count their logs= weight).
 	RawLogs int64
+	// RawLogsByNode splits the raw volume per node.
+	RawLogsByNode map[cluster.NodeID]int64
 	// Sessions reconstructed from START/END records, with the
-	// conservative truncation rule applied.
+	// conservative truncation rule applied, in eventlog.CompareSessions
+	// order.
 	Sessions []eventlog.Session
 	// Nodes lists the nodes found, sorted.
 	Nodes []cluster.NodeID
 }
 
 // Load reads every node file under dir, collapses consecutive ERROR
-// records into runs and reconstructs sessions.
+// records into runs and reconstructs sessions. It is a thin collect-all
+// wrapper over Stream: anything that can process faults or sessions one at
+// a time should use Stream instead.
 func Load(dir string) (*LoadResult, error) {
-	files, err := ListNodeFiles(dir)
+	res := &LoadResult{}
+	st, err := Stream(dir, StreamHandler{
+		Begin: func(st *Stats) {
+			res.Runs = make([]extract.RawRun, 0, st.Faults)
+			res.Sessions = make([]eventlog.Session, 0, st.Sessions)
+		},
+		Fault:   func(f extract.Fault) { res.Runs = append(res.Runs, f.RawRun) },
+		Session: func(s eventlog.Session) { res.Sessions = append(res.Sessions, s) },
+	})
 	if err != nil {
 		return nil, err
 	}
-	res := &LoadResult{}
-	acct := eventlog.NewAccounting()
-	for _, path := range files {
-		id, _ := nodeOfFile(path)
-		res.Nodes = append(res.Nodes, id)
-		if err := loadFile(path, acct, res); err != nil {
-			return nil, fmt.Errorf("logstore: %s: %w", path, err)
-		}
-	}
-	res.Sessions = acct.Finish()
-	sort.Slice(res.Runs, func(i, j int) bool {
-		if res.Runs[i].FirstAt != res.Runs[j].FirstAt {
-			return res.Runs[i].FirstAt < res.Runs[j].FirstAt
-		}
-		if res.Runs[i].Node != res.Runs[j].Node {
-			return res.Runs[i].Node.Index() < res.Runs[j].Node.Index()
-		}
-		return res.Runs[i].Addr < res.Runs[j].Addr
-	})
+	res.RawLogs = st.RawLogs
+	res.RawLogsByNode = st.RawLogsByNode
+	res.Nodes = st.Nodes
 	return res, nil
-}
-
-func loadFile(path string, acct *eventlog.Accounting, res *LoadResult) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	collapser := extract.NewCollapser()
-	r := eventlog.NewReader(f)
-	for {
-		rec, err := r.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return err
-		}
-		acct.Observe(rec)
-		collapser.Observe(rec)
-	}
-	runs, raw := collapser.Close()
-	res.Runs = append(res.Runs, runs...)
-	res.RawLogs += raw
-	return nil
 }

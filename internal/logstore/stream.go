@@ -1,0 +1,236 @@
+package logstore
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/eventlog"
+	"unprotected/internal/extract"
+	"unprotected/internal/kway"
+)
+
+// StreamHandler receives the merged replay stream, mirroring the campaign
+// engine's handler: either callback may be nil, in which case that merge is
+// skipped entirely and only its count survives.
+type StreamHandler struct {
+	// Begin, when non-nil, observes the Stats after every file has been
+	// collapsed and before the first Fault/Session delivery — in time for
+	// a collecting consumer to preallocate from the exact counts.
+	Begin func(*Stats)
+	// Fault observes every extracted fault in the canonical
+	// extract.Compare order: (time, node, address, pattern, ...).
+	Fault func(extract.Fault)
+	// Session observes every reconstructed session in
+	// eventlog.CompareSessions order.
+	Session func(eventlog.Session)
+}
+
+// Stats are the scalar aggregates of a replayed log directory.
+type Stats struct {
+	// Faults and Sessions count what the handler observed (or would have
+	// observed, for nil callbacks).
+	Faults   int
+	Sessions int
+	// RawLogs counts the ERROR records consumed; pre-collapsed lines
+	// (logs= field) count their full weight, so a faithful export
+	// round-trips the original raw volume of its faults.
+	RawLogs int64
+	// RawLogsByNode splits the raw volume per node (nodes with zero raw
+	// logs have no entry).
+	RawLogsByNode map[cluster.NodeID]int64
+	// Nodes lists the nodes found, in sorted file order.
+	Nodes []cluster.NodeID
+}
+
+// nodeStream is one log file's finalized, locally sorted contribution to
+// the replay stream.
+type nodeStream struct {
+	faults     []extract.Fault
+	faultCount int
+	sessions   []eventlog.Session
+	rawLogs    int64
+	// rawByNode attributes raw volume by each run's host= field, not by
+	// the file name — a file holding records of a foreign host (renamed or
+	// concatenated logs) must credit the true host, matching fault
+	// attribution.
+	rawByNode map[cluster.NodeID]int64
+	node      cluster.NodeID
+	order     int // file index: the deterministic merge tiebreak
+	err       error
+}
+
+// Stream reads every node file under dir with a bounded worker pool and
+// delivers the extracted dataset incrementally, mirroring the campaign
+// engine: each worker collapses and classifies one file (so §II-C
+// extraction parallelizes across files), sorts that node's faults and
+// sessions locally, and two deterministic k-way merges interleave the
+// per-node streams into the canonical global orders. The merged dataset is
+// never materialized here; Load is the collect-all wrapper.
+//
+// The default worker count is GOMAXPROCS; see StreamWorkers. Output is
+// byte-identical for any worker count: per-file work is independent, both
+// comparators are total orders, and the merge consumes streams sorted by
+// file index, so scheduling can not reorder anything.
+func Stream(dir string, h StreamHandler) (*Stats, error) {
+	return StreamWorkers(dir, 0, h)
+}
+
+// StreamWorkers is Stream with an explicit worker-pool size (0 or negative
+// means GOMAXPROCS).
+func StreamWorkers(dir string, workers int, h StreamHandler) (*Stats, error) {
+	files, err := ListNodeFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(files) {
+		workers = len(files)
+	}
+
+	type job struct {
+		path  string
+		node  cluster.NodeID
+		order int
+	}
+	jobs := make(chan job)
+	results := make(chan nodeStream, workers)
+	needFaults, needSessions := h.Fault != nil, h.Session != nil
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				ns := loadNodeFile(j.path, j.node, needFaults, needSessions)
+				ns.order = j.order
+				results <- ns
+			}
+		}()
+	}
+	stats := &Stats{RawLogsByNode: make(map[cluster.NodeID]int64)}
+	go func() {
+		for i, path := range files {
+			node, _ := nodeOfFile(path)
+			jobs <- job{path: path, node: node, order: i}
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+	for _, path := range files {
+		node, _ := nodeOfFile(path)
+		stats.Nodes = append(stats.Nodes, node)
+	}
+
+	var streams []nodeStream
+	var firstErr *nodeStream
+	for ns := range results {
+		if ns.err != nil {
+			// Keep draining so the pool exits, but remember the failure of
+			// the lowest-indexed file — deterministic no matter which
+			// worker tripped first.
+			if firstErr == nil || ns.order < firstErr.order {
+				cp := ns
+				firstErr = &cp
+			}
+			continue
+		}
+		stats.Faults += ns.faultCount
+		stats.Sessions += len(ns.sessions)
+		stats.RawLogs += ns.rawLogs
+		for id, n := range ns.rawByNode {
+			stats.RawLogsByNode[id] += n
+		}
+		if len(ns.faults) > 0 || len(ns.sessions) > 0 {
+			streams = append(streams, ns)
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr.err
+	}
+	// Streams arrive in worker-completion order; restore file order so the
+	// merge's equal-key tiebreak (stream index) is deterministic even if a
+	// directory holds two files for one node.
+	sort.Slice(streams, func(i, j int) bool { return streams[i].order < streams[j].order })
+
+	if h.Begin != nil {
+		h.Begin(stats)
+	}
+	if h.Fault != nil {
+		faultStreams := make([][]extract.Fault, 0, len(streams))
+		for _, ns := range streams {
+			if len(ns.faults) > 0 {
+				faultStreams = append(faultStreams, ns.faults)
+			}
+		}
+		kway.Merge(faultStreams, extract.Compare, h.Fault)
+	}
+	if h.Session != nil {
+		sessionStreams := make([][]eventlog.Session, 0, len(streams))
+		for _, ns := range streams {
+			if len(ns.sessions) > 0 {
+				sessionStreams = append(sessionStreams, ns.sessions)
+			}
+		}
+		kway.Merge(sessionStreams, eventlog.CompareSessions, h.Session)
+	}
+	return stats, nil
+}
+
+// loadNodeFile runs one file through the §II-C pipeline on the worker:
+// records are collapsed into runs and sessions as they are read, then the
+// node's faults and sessions are classified and sorted locally so the
+// collector only merges.
+func loadNodeFile(path string, node cluster.NodeID, needFaults, needSessions bool) nodeStream {
+	ns := nodeStream{node: node}
+	f, err := os.Open(path)
+	if err != nil {
+		ns.err = fmt.Errorf("logstore: %w", err)
+		return ns
+	}
+	defer f.Close()
+	collapser := extract.NewCollapser()
+	acct := eventlog.NewAccounting()
+	r := eventlog.NewReader(f)
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			ns.err = fmt.Errorf("logstore: %s: %w", path, err)
+			return ns
+		}
+		acct.Observe(rec)
+		collapser.Observe(rec)
+	}
+	runs, raw := collapser.Close()
+	ns.rawLogs = raw
+	ns.faultCount = len(runs)
+	if len(runs) > 0 {
+		// Every ERROR record lands in exactly one run, so Σ run.Logs == raw
+		// and grouping by run.Node splits the volume by true host.
+		ns.rawByNode = make(map[cluster.NodeID]int64, 1)
+		for _, r := range runs {
+			ns.rawByNode[r.Node] += int64(r.Logs)
+		}
+	}
+	if needFaults {
+		ns.faults = extract.Faults(runs)
+		extract.SortFaults(ns.faults)
+	}
+	ns.sessions = acct.Finish()
+	if needSessions {
+		sort.Slice(ns.sessions, func(i, j int) bool {
+			return eventlog.CompareSessions(&ns.sessions[i], &ns.sessions[j]) < 0
+		})
+	}
+	return ns
+}

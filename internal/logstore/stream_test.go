@@ -1,0 +1,319 @@
+package logstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"unprotected/internal/campaign"
+	"unprotected/internal/cluster"
+	"unprotected/internal/dram"
+	"unprotected/internal/eventlog"
+	"unprotected/internal/extract"
+	"unprotected/internal/rng"
+	"unprotected/internal/thermal"
+	"unprotected/internal/timebase"
+)
+
+// synthDir writes a synthetic but irregular multi-node directory: every
+// node gets sessions (some truncated) and a fault mix with ties on FirstAt
+// across nodes, so the merges actually have work to do.
+func synthDir(t testing.TB, dir string, nodes, sessionsPer, faultsPer int) ([]eventlog.Session, []extract.Fault) {
+	t.Helper()
+	r := rng.New(99)
+	var sessions []eventlog.Session
+	var faults []extract.Fault
+	day := timebase.T(86400)
+	for n := 0; n < nodes; n++ {
+		host := cluster.NodeID{Blade: n/15 + 1, SoC: n%15 + 1}
+		for s := 0; s < sessionsPer; s++ {
+			from := timebase.T(s)*4*3600 + timebase.T(r.IntN(600))
+			sess := eventlog.Session{
+				Host: host, From: from, To: from + 3*3600,
+				AllocBytes: 3 << 30,
+			}
+			if s%7 == 3 {
+				sess.Truncated = true
+				sess.To = 0
+			}
+			sessions = append(sessions, sess)
+		}
+		for i := 0; i < faultsPer; i++ {
+			// Deliberate cross-node FirstAt collisions (i-based, not
+			// node-based) exercise merge tie-breaking by node.
+			at := day + timebase.T(i)*731
+			temp := thermal.NoReading
+			if i%3 != 0 {
+				temp = 20 + r.Float64()*30
+			}
+			faults = append(faults, extract.Classify(extract.RawRun{
+				Node: host, Addr: dram.Addr(i * 17), FirstAt: at, LastAt: at + timebase.T(r.IntN(500)),
+				Logs: 1 + r.IntN(40), Expected: 0xffffffff, Actual: uint32(0xffffffff &^ (1 << (i % 32))),
+				TempC: temp,
+			}))
+		}
+	}
+	if err := Export(sessions, faults, dir); err != nil {
+		t.Fatal(err)
+	}
+	return sessions, faults
+}
+
+// collectStream drains a full StreamWorkers run into slices.
+func collectStream(t testing.TB, dir string, workers int) ([]extract.Fault, []eventlog.Session, *Stats) {
+	t.Helper()
+	var faults []extract.Fault
+	var sessions []eventlog.Session
+	st, err := StreamWorkers(dir, workers, StreamHandler{
+		Begin: func(st *Stats) {
+			faults = make([]extract.Fault, 0, st.Faults)
+			sessions = make([]eventlog.Session, 0, st.Sessions)
+		},
+		Fault:   func(f extract.Fault) { faults = append(faults, f) },
+		Session: func(s eventlog.Session) { sessions = append(sessions, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return faults, sessions, st
+}
+
+// TestStreamDeterministicAcrossWorkers: the delivered sequences and stats
+// must be identical for any worker-pool size, and in canonical order.
+func TestStreamDeterministicAcrossWorkers(t *testing.T) {
+	dir := t.TempDir()
+	synthDir(t, dir, 40, 8, 25)
+
+	refFaults, refSessions, refStats := collectStream(t, dir, 1)
+	if len(refFaults) == 0 || len(refSessions) == 0 {
+		t.Fatal("stream delivered nothing")
+	}
+	for i := 1; i < len(refFaults); i++ {
+		if extract.Compare(&refFaults[i-1], &refFaults[i]) >= 0 {
+			t.Fatalf("fault %d out of canonical order", i)
+		}
+	}
+	for i := 1; i < len(refSessions); i++ {
+		if eventlog.CompareSessions(&refSessions[i-1], &refSessions[i]) >= 0 {
+			t.Fatalf("session %d out of canonical order", i)
+		}
+	}
+	if refStats.Faults != len(refFaults) || refStats.Sessions != len(refSessions) {
+		t.Fatalf("stats (%d, %d) disagree with delivery (%d, %d)",
+			refStats.Faults, refStats.Sessions, len(refFaults), len(refSessions))
+	}
+
+	for _, workers := range []int{2, 3, 8, 64} {
+		faults, sessions, st := collectStream(t, dir, workers)
+		if !reflect.DeepEqual(faults, refFaults) {
+			t.Fatalf("workers=%d: fault stream differs", workers)
+		}
+		if !reflect.DeepEqual(sessions, refSessions) {
+			t.Fatalf("workers=%d: session stream differs", workers)
+		}
+		if !reflect.DeepEqual(st, refStats) {
+			t.Fatalf("workers=%d: stats differ: %+v vs %+v", workers, st, refStats)
+		}
+	}
+}
+
+// TestLoadIsStreamCollectAll: Load must return exactly the streamed
+// sequences, now in canonical order (it used to hand-roll a partial sort
+// and leave sessions unsorted).
+func TestLoadIsStreamCollectAll(t *testing.T) {
+	dir := t.TempDir()
+	synthDir(t, dir, 12, 5, 9)
+	faults, sessions, st := collectStream(t, dir, 4)
+	res, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != len(faults) {
+		t.Fatalf("runs %d vs streamed faults %d", len(res.Runs), len(faults))
+	}
+	for i := range faults {
+		if res.Runs[i] != faults[i].RawRun {
+			t.Fatalf("run %d differs from streamed fault", i)
+		}
+	}
+	if !reflect.DeepEqual(res.Sessions, sessions) {
+		t.Fatal("Load sessions differ from streamed sessions")
+	}
+	if res.RawLogs != st.RawLogs || !reflect.DeepEqual(res.RawLogsByNode, st.RawLogsByNode) {
+		t.Fatal("Load raw-log accounting differs from streamed stats")
+	}
+	if !reflect.DeepEqual(res.Nodes, st.Nodes) {
+		t.Fatal("Load node list differs from streamed stats")
+	}
+}
+
+// TestStreamNilCallbacks: counts survive without either merge running.
+func TestStreamNilCallbacks(t *testing.T) {
+	dir := t.TempDir()
+	_, faults := synthDir(t, dir, 6, 4, 3)
+	st, err := Stream(dir, StreamHandler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Faults != len(faults) || st.Sessions == 0 || st.RawLogs == 0 {
+		t.Fatalf("implausible stats with nil callbacks: %+v", st)
+	}
+}
+
+// TestStreamPropagatesWorkerErrors: a corrupt file must fail the whole
+// stream deterministically, whichever worker hits it.
+func TestStreamPropagatesWorkerErrors(t *testing.T) {
+	dir := t.TempDir()
+	synthDir(t, dir, 10, 2, 2)
+	bad := filepath.Join(dir, FileName(cluster.NodeID{Blade: 1, SoC: 3}))
+	if err := os.WriteFile(bad, []byte("GARBAGE LINE\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		if _, err := StreamWorkers(dir, workers, StreamHandler{}); err == nil {
+			t.Fatalf("workers=%d: corrupt file accepted", workers)
+		}
+	}
+}
+
+// TestStreamAttributesRawVolumeByRecordHost: a file holding records of a
+// foreign host (renamed or concatenated logs) must credit the raw volume
+// to the record's host= field, matching fault attribution — not to the
+// node the file name claims.
+func TestStreamAttributesRawVolumeByRecordHost(t *testing.T) {
+	dir := t.TempDir()
+	trueHost := cluster.NodeID{Blade: 2, SoC: 2}
+	rec := eventlog.Record{
+		Kind: eventlog.KindError, At: 100, Host: trueHost,
+		VAddr: dram.VirtAddr(5), Expected: 0xffffffff, Actual: 0xfffffffe,
+		TempC: thermal.NoReading, LastAt: 200, Logs: 9,
+	}
+	misnamed := filepath.Join(dir, FileName(cluster.NodeID{Blade: 1, SoC: 1}))
+	if err := os.WriteFile(misnamed, []byte(rec.String()+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var faults []extract.Fault
+	st, err := Stream(dir, StreamHandler{Fault: func(f extract.Fault) { faults = append(faults, f) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) != 1 || faults[0].Node != trueHost {
+		t.Fatalf("fault attribution: %+v", faults)
+	}
+	if st.RawLogsByNode[trueHost] != 9 || len(st.RawLogsByNode) != 1 {
+		t.Fatalf("raw volume credited to the wrong node: %v", st.RawLogsByNode)
+	}
+}
+
+// TestStreamCampaignEquivalence is the replay/campaign equivalence
+// contract: a campaign exported through the Store layout and re-read via
+// Stream yields the same faults (every field), the same sessions (modulo
+// the truncated-session end instants the log format deliberately cannot
+// carry — a lost END is unknowable), and raw-log accounting equal to the
+// campaign's for every characterized node. It also pins the
+// Σ run.Logs == RawLogs invariant the -from-logs analysis path assumes.
+func TestStreamCampaignEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign")
+	}
+	cfg := campaign.DefaultConfig(7)
+	res := campaign.Run(cfg)
+	dir := t.TempDir()
+	if err := Export(res.Sessions, res.Faults, dir); err != nil {
+		t.Fatal(err)
+	}
+
+	wantSessions := make([]eventlog.Session, len(res.Sessions))
+	copy(wantSessions, res.Sessions)
+	for i := range wantSessions {
+		if wantSessions[i].Truncated {
+			wantSessions[i].To = 0
+		}
+	}
+
+	for _, workers := range []int{1, 8} {
+		faults, sessions, st := collectStream(t, dir, workers)
+
+		if len(faults) != len(res.Faults) {
+			t.Fatalf("workers=%d: faults %d, want %d", workers, len(faults), len(res.Faults))
+		}
+		for i := range faults {
+			if faults[i] != res.Faults[i] {
+				t.Fatalf("workers=%d: fault %d differs:\n got %+v\nwant %+v",
+					workers, i, faults[i], res.Faults[i])
+			}
+		}
+		if len(sessions) != len(wantSessions) {
+			t.Fatalf("workers=%d: sessions %d, want %d", workers, len(sessions), len(wantSessions))
+		}
+		for i := range sessions {
+			if sessions[i] != wantSessions[i] {
+				t.Fatalf("workers=%d: session %d differs:\n got %+v\nwant %+v",
+					workers, i, sessions[i], wantSessions[i])
+			}
+		}
+
+		// Raw-log accounting: the export carries each characterized
+		// fault's raw weight (logs=), so per-node volumes must round-trip
+		// exactly for every node with faults. The pathological node's
+		// ~98% raw share is excluded from characterization (§III-B) and
+		// therefore from the extracted export.
+		var sumLogs int64
+		perNode := make(map[cluster.NodeID]int64)
+		for _, f := range res.Faults {
+			sumLogs += int64(f.Logs)
+			perNode[f.Node] += int64(f.Logs)
+		}
+		if st.RawLogs != sumLogs {
+			t.Fatalf("workers=%d: RawLogs %d, want Σ fault.Logs %d", workers, st.RawLogs, sumLogs)
+		}
+		if !reflect.DeepEqual(st.RawLogsByNode, perNode) {
+			t.Fatalf("workers=%d: per-node raw logs diverge from campaign", workers)
+		}
+		for id, n := range perNode {
+			if res.RawLogsByNode[id] != n {
+				t.Fatalf("workers=%d: node %v raw logs %d, want campaign's %d",
+					workers, id, n, res.RawLogsByNode[id])
+			}
+		}
+		// Σ run.Logs == RawLogs: what studyFromLogs silently assumed.
+		var runSum int64
+		for _, f := range faults {
+			runSum += int64(f.Logs)
+		}
+		if runSum != st.RawLogs {
+			t.Fatalf("workers=%d: Σ run.Logs %d != RawLogs %d", workers, runSum, st.RawLogs)
+		}
+	}
+}
+
+// BenchmarkLogstoreStream measures the replay loader over a
+// multi-hundred-node directory. workers=1 is the sequential baseline the
+// parallel default must beat.
+func BenchmarkLogstoreStream(b *testing.B) {
+	dir := b.TempDir()
+	synthDir(b, dir, 300, 60, 120)
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st, err := StreamWorkers(dir, workers, StreamHandler{
+					Fault:   func(extract.Fault) {},
+					Session: func(eventlog.Session) {},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.Faults == 0 {
+					b.Fatal("empty stream")
+				}
+			}
+		})
+	}
+}
