@@ -11,6 +11,7 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"unprotected/internal/timebase"
 )
@@ -64,7 +65,26 @@ type NodeID struct {
 }
 
 // String renders the paper's "BB-SS" form.
-func (id NodeID) String() string { return fmt.Sprintf("%02d-%02d", id.Blade, id.SoC) }
+func (id NodeID) String() string { return string(id.AppendText(make([]byte, 0, 8))) }
+
+// AppendText appends the "BB-SS" form to b and returns the extended buffer.
+// It is the allocation-free renderer behind String and the eventlog writer's
+// host= field.
+func (id NodeID) AppendText(b []byte) []byte {
+	b = appendPad2(b, id.Blade)
+	b = append(b, '-')
+	return appendPad2(b, id.SoC)
+}
+
+// appendPad2 appends v zero-padded to two digits, matching fmt's %02d for
+// any int (values outside [0, 99] never occur in a valid NodeID but must
+// still render unambiguously).
+func appendPad2(b []byte, v int) []byte {
+	if v >= 0 && v < 100 {
+		return append(b, byte('0'+v/10), byte('0'+v%10))
+	}
+	return strconv.AppendInt(b, int64(v), 10)
+}
 
 // Index returns a dense zero-based index over all 1080 node slots.
 func (id NodeID) Index() int { return (id.Blade-1)*SoCsPerBlade + (id.SoC - 1) }
@@ -74,17 +94,72 @@ func NodeIDFromIndex(i int) NodeID {
 	return NodeID{Blade: i/SoCsPerBlade + 1, SoC: i%SoCsPerBlade + 1}
 }
 
-// ParseNodeID parses the "BB-SS" form.
+// ParseNodeID parses the "BB-SS" form: decimal digits, a dash, decimal
+// digits, nothing else (the previous fmt.Sscanf implementation accidentally
+// tolerated signs, inner whitespace and trailing garbage).
 func ParseNodeID(s string) (NodeID, error) {
-	var b, c int
-	if _, err := fmt.Sscanf(s, "%d-%d", &b, &c); err != nil {
-		return NodeID{}, fmt.Errorf("cluster: bad node id %q: %w", s, err)
+	id, ok := parseNodeID(s)
+	if !ok {
+		return NodeID{}, fmt.Errorf("cluster: bad node id %q", s)
 	}
-	id := NodeID{Blade: b, SoC: c}
-	if b < 1 || b > TotalBlades || c < 1 || c > SoCsPerBlade {
+	if id.Blade < 1 || id.Blade > TotalBlades || id.SoC < 1 || id.SoC > SoCsPerBlade {
 		return NodeID{}, fmt.Errorf("cluster: node id %q out of range", s)
 	}
 	return id, nil
+}
+
+// ParseNodeIDBytes is ParseNodeID over a byte slice; it allocates only on
+// the error path, making it safe for zero-allocation log parsing loops. The
+// slice is neither retained nor modified.
+func ParseNodeIDBytes(s []byte) (NodeID, error) {
+	id, ok := parseNodeID(s)
+	if !ok {
+		return NodeID{}, fmt.Errorf("cluster: bad node id %q", s)
+	}
+	if id.Blade < 1 || id.Blade > TotalBlades || id.SoC < 1 || id.SoC > SoCsPerBlade {
+		return NodeID{}, fmt.Errorf("cluster: node id %q out of range", s)
+	}
+	return id, nil
+}
+
+func parseNodeID[T string | []byte](s T) (NodeID, bool) {
+	dash := -1
+	for i := 0; i < len(s); i++ {
+		if s[i] == '-' {
+			dash = i
+			break
+		}
+	}
+	if dash < 0 {
+		return NodeID{}, false
+	}
+	b, ok1 := atoiSmall(s[:dash])
+	c, ok2 := atoiSmall(s[dash+1:])
+	if !ok1 || !ok2 {
+		return NodeID{}, false
+	}
+	return NodeID{Blade: b, SoC: c}, true
+}
+
+// atoiSmall parses a non-negative decimal with a cap generous enough for
+// any in-range blade/SoC number; values past the cap report failure rather
+// than overflowing (the caller range-checks anyway).
+func atoiSmall[T string | []byte](s T) (int, bool) {
+	if len(s) == 0 {
+		return 0, false
+	}
+	n := 0
+	for i := 0; i < len(s); i++ {
+		d := s[i] - '0'
+		if d > 9 {
+			return 0, false
+		}
+		n = n*10 + int(d)
+		if n > 1<<20 {
+			return 0, false
+		}
+	}
+	return n, true
 }
 
 // Chassis returns the 1-based chassis number (1..8) of a blade.

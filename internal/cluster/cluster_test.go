@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -140,5 +141,65 @@ func TestRoleString(t *testing.T) {
 		if r.String() != want {
 			t.Fatalf("Role(%d).String() = %q", int(r), r.String())
 		}
+	}
+}
+
+func TestNodeIDAppendTextMatchesSprintf(t *testing.T) {
+	// The hand-rolled renderer must match the old fmt layout for every
+	// value a roster can hold, and stay sane outside it.
+	for blade := 1; blade <= TotalBlades; blade++ {
+		for soc := 1; soc <= SoCsPerBlade; soc++ {
+			id := NodeID{Blade: blade, SoC: soc}
+			want := fmt.Sprintf("%02d-%02d", blade, soc)
+			if got := id.String(); got != want {
+				t.Fatalf("String(%d,%d) = %q, want %q", blade, soc, got, want)
+			}
+		}
+	}
+	for _, id := range []NodeID{{0, 0}, {100, 115}, {-5, 7}} {
+		want := fmt.Sprintf("%02d-%02d", id.Blade, id.SoC)
+		if got := string(id.AppendText(nil)); got != want {
+			t.Fatalf("AppendText(%+v) = %q, want %q", id, got, want)
+		}
+	}
+}
+
+func TestParseNodeIDBytes(t *testing.T) {
+	for blade := 1; blade <= TotalBlades; blade++ {
+		for soc := 1; soc <= SoCsPerBlade; soc++ {
+			id := NodeID{Blade: blade, SoC: soc}
+			got, err := ParseNodeIDBytes([]byte(id.String()))
+			if err != nil || got != id {
+				t.Fatalf("ParseNodeIDBytes(%q) = %v, %v", id.String(), got, err)
+			}
+		}
+	}
+	if got, err := ParseNodeIDBytes([]byte("2-4")); err != nil || (got != NodeID{Blade: 2, SoC: 4}) {
+		t.Fatalf("unpadded id: %v, %v", got, err)
+	}
+	// The strict grammar rejects what fmt.Sscanf used to tolerate.
+	for _, bad := range []string{"", "-", "02-", "-04", "02-04x", "+2-4", "02- 4", " 2-4", "2--4", "0x2-4", "99-99", "999999999999999999999-1"} {
+		if _, err := ParseNodeIDBytes([]byte(bad)); err == nil {
+			t.Errorf("ParseNodeIDBytes(%q) accepted", bad)
+		}
+		if _, err := ParseNodeID(bad); err == nil {
+			t.Errorf("ParseNodeID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNodeIDRenderParseAllocationFree(t *testing.T) {
+	id := NodeID{Blade: 72, SoC: 15}
+	buf := make([]byte, 0, 8)
+	if avg := testing.AllocsPerRun(200, func() { buf = id.AppendText(buf[:0]) }); avg != 0 {
+		t.Errorf("AppendText allocates %v times per run", avg)
+	}
+	raw := []byte("72-15")
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := ParseNodeIDBytes(raw); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("ParseNodeIDBytes allocates %v times per run", avg)
 	}
 }

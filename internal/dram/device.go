@@ -1,7 +1,9 @@
 package dram
 
 import (
+	"bytes"
 	"fmt"
+	"unsafe"
 
 	"unprotected/internal/rng"
 )
@@ -27,7 +29,19 @@ type Device struct {
 
 	words []uint32
 	weak  []*WeakCell
+
+	// pattern is FindMismatch's scratch block: patternWords copies of the
+	// last expected value, compared against the backing words through the
+	// runtime's vectorized memequal. Rebuilt only when the expected value
+	// changes; makes FindMismatch non-reentrant, like every other mutator
+	// of the single-goroutine device.
+	pattern    [patternWords]uint32
+	patternVal uint32
+	patternOK  bool
 }
+
+// patternWords is the block-compare granularity (4 KiB).
+const patternWords = 1024
 
 // NewDevice allocates a device with nWords words of backing storage.
 func NewDevice(node uint64, nWords int, polarity *PolarityMap) *Device {
@@ -51,10 +65,90 @@ func (d *Device) Write(a Addr, v uint32) { d.words[a] = v }
 func (d *Device) Read(a Addr) uint32 { return d.words[a] }
 
 // Fill writes v to every word (one scanner pass of the write phase).
-func (d *Device) Fill(v uint32) {
-	for i := range d.words {
-		d.words[i] = v
+func (d *Device) Fill(v uint32) { d.FillRange(0, len(d.words), v) }
+
+// FillRange writes v to every word of [from, to), recharging their cells.
+// Zero fills — half of every flip-mode session, plus the initial write
+// phase — compile to the runtime's memclr (write-only traffic); any other
+// value runs at memmove bandwidth by seeding the first word and doubling
+// the initialized prefix with copy, so almost all bytes are moved by the
+// runtime's bulk copier rather than a word-at-a-time store loop.
+func (d *Device) FillRange(from, to int, v uint32) {
+	w := d.words[from:to]
+	if v == 0 {
+		for i := range w {
+			w[i] = 0
+		}
+		return
 	}
+	if len(w) == 0 {
+		return
+	}
+	w[0] = v
+	for filled := 1; filled < len(w); filled *= 2 {
+		copy(w[filled:], w[:filled])
+	}
+}
+
+// FindMismatch returns the index of the first word at or after from whose
+// stored value differs from expected, or -1 when the rest of the device
+// matches. This is the scanner's verify phase as a block primitive: 4 KiB
+// blocks are compared against a cached expected-value pattern through the
+// runtime's vectorized memequal, the sub-block tail runs a tight
+// eight-words-per-branch index loop, and the caller only drills down to
+// per-word ERROR emission inside a block that reports a difference. The
+// scanner still genuinely reads the same backing storage as Read — only
+// the loop shape changes, not the data path.
+func (d *Device) FindMismatch(from int, expected uint32) int {
+	w := d.words
+	i := from
+	if i < 0 || i >= len(w) {
+		return -1
+	}
+	if !d.patternOK || d.patternVal != expected {
+		for k := range d.pattern {
+			d.pattern[k] = expected
+		}
+		d.patternVal, d.patternOK = expected, true
+	}
+	pat := wordBytes(d.pattern[:])
+	for i+patternWords <= len(w) {
+		if !bytes.Equal(wordBytes(w[i:i+patternWords]), pat) {
+			return d.scanMismatch(i, i+patternWords, expected)
+		}
+		i += patternWords
+	}
+	return d.scanMismatch(i, len(w), expected)
+}
+
+// wordBytes views a word slice as raw bytes for memequal; byte views carry
+// no alignment constraints, so this is checkptr-clean.
+func wordBytes(w []uint32) []byte {
+	if len(w) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&w[0])), len(w)*4)
+}
+
+// scanMismatch is the drill-down word scan over [from, to): an XOR-OR
+// chain checks eight words per branch with constant-size subslices (bounds
+// checks hoisted), then the tail goes word by word.
+func (d *Device) scanMismatch(from, to int, expected uint32) int {
+	w := d.words[:to]
+	i := from
+	for ; i+8 <= to; i += 8 {
+		blk := w[i : i+8 : i+8]
+		if (blk[0]^expected)|(blk[1]^expected)|(blk[2]^expected)|(blk[3]^expected)|
+			(blk[4]^expected)|(blk[5]^expected)|(blk[6]^expected)|(blk[7]^expected) != 0 {
+			break
+		}
+	}
+	for ; i < to; i++ {
+		if w[i] != expected {
+			return i
+		}
+	}
+	return -1
 }
 
 // Strike discharges the given cells of word a, mutating storage exactly as
@@ -78,8 +172,14 @@ func (d *Device) WeakCells() []*WeakCell { return d.weak }
 
 // Tick advances one scan-iteration of wall time: every active weak cell
 // leaks with its configured probability. Returns the addresses that
-// actually changed.
+// actually changed; the slice is allocated lazily, so the common case —
+// no weak cell fires this iteration (or the device has none at all) —
+// returns nil without touching the heap. Every session of every campaign
+// calls Tick once per iteration, so this path must stay allocation-free.
 func (d *Device) Tick(r *rng.Stream) []Addr {
+	if len(d.weak) == 0 {
+		return nil
+	}
 	var changed []Addr
 	for _, w := range d.weak {
 		if !w.Active || !r.Bernoulli(w.LeakProb) {

@@ -277,3 +277,96 @@ func TestDeviceBounds(t *testing.T) {
 		t.Fatal("out-of-range strike should be a no-op")
 	}
 }
+
+func TestFindMismatch(t *testing.T) {
+	const n = 37 // not a multiple of the 8-word block: exercises the tail loop
+	d := NewDevice(1, n, nil)
+	d.Fill(0xAAAA5555)
+	if got := d.FindMismatch(0, 0xAAAA5555); got != -1 {
+		t.Fatalf("clean device: %d", got)
+	}
+	// A mismatch at every position must be found from every starting
+	// offset at or before it, and skipped from any offset past it.
+	for pos := 0; pos < n; pos++ {
+		d.Fill(0xAAAA5555)
+		d.Write(Addr(pos), 0xAAAA5554)
+		for from := 0; from <= pos; from++ {
+			if got := d.FindMismatch(from, 0xAAAA5555); got != pos {
+				t.Fatalf("mismatch at %d from %d: got %d", pos, from, got)
+			}
+		}
+		if got := d.FindMismatch(pos+1, 0xAAAA5555); got != -1 {
+			t.Fatalf("mismatch at %d should be invisible from %d: got %d", pos, pos+1, got)
+		}
+	}
+	// Two mismatches: the first wins.
+	d.Fill(0)
+	d.Write(5, 1)
+	d.Write(30, 1)
+	if got := d.FindMismatch(0, 0); got != 5 {
+		t.Fatalf("first of two: %d", got)
+	}
+	if got := d.FindMismatch(6, 0); got != 30 {
+		t.Fatalf("second of two: %d", got)
+	}
+}
+
+func TestFindMismatchAgreesWithWordLoop(t *testing.T) {
+	r := rng.New(11)
+	d := NewDevice(1, 300, nil)
+	for trial := 0; trial < 500; trial++ {
+		expected := uint32(r.IntN(4))
+		for i := 0; i < d.Len(); i++ {
+			if r.Bernoulli(0.95) {
+				d.Write(Addr(i), expected)
+			} else {
+				d.Write(Addr(i), expected^uint32(1+r.IntN(3)))
+			}
+		}
+		from := r.IntN(d.Len() + 1)
+		want := -1
+		for i := from; i < d.Len(); i++ {
+			if d.Read(Addr(i)) != expected {
+				want = i
+				break
+			}
+		}
+		if got := d.FindMismatch(from, expected); got != want {
+			t.Fatalf("trial %d from %d: got %d, want %d", trial, from, got, want)
+		}
+	}
+}
+
+func TestFillRange(t *testing.T) {
+	d := NewDevice(1, 50, nil)
+	d.Fill(0xFFFFFFFF)
+	d.FillRange(10, 33, 0x12345678)
+	for i := 0; i < d.Len(); i++ {
+		want := uint32(0xFFFFFFFF)
+		if i >= 10 && i < 33 {
+			want = 0x12345678
+		}
+		if got := d.Read(Addr(i)); got != want {
+			t.Fatalf("word %d = %#x, want %#x", i, got, want)
+		}
+	}
+	d.FillRange(7, 7, 0) // empty range is a no-op
+	if d.Read(7) != 0xFFFFFFFF {
+		t.Fatal("empty FillRange wrote")
+	}
+}
+
+func TestTickNoWeakCellsAllocationFree(t *testing.T) {
+	r := rng.New(1)
+	empty := NewDevice(1, 64, nil)
+	if avg := testing.AllocsPerRun(100, func() { empty.Tick(r) }); avg != 0 {
+		t.Errorf("Tick with no weak cells allocates %v times per run", avg)
+	}
+	// A registered-but-quiet weak cell must not allocate either: the
+	// changed slice is only materialized when a cell actually fires.
+	quiet := NewDevice(1, 64, nil)
+	quiet.AddWeakCell(&WeakCell{Addr: 3, Bit: 1, LeakProb: 0, Active: true})
+	if avg := testing.AllocsPerRun(100, func() { quiet.Tick(r) }); avg != 0 {
+		t.Errorf("Tick with a quiet weak cell allocates %v times per run", avg)
+	}
+}

@@ -15,11 +15,13 @@ package eventlog
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"strconv"
-	"strings"
-	"time"
+	"unicode"
+	"unicode/utf8"
+	"unsafe"
 
 	"unprotected/internal/cluster"
 	"unprotected/internal/thermal"
@@ -83,9 +85,9 @@ const tsLayout = "2006-01-02T15:04:05Z"
 func (r Record) AppendText(b []byte) []byte {
 	b = append(b, r.Kind.String()...)
 	b = append(b, " ts="...)
-	b = r.At.Time().AppendFormat(b, tsLayout)
+	b = appendTimestamp(b, r.At)
 	b = append(b, " host="...)
-	b = append(b, r.Host.String()...)
+	b = r.Host.AppendText(b)
 	switch r.Kind {
 	case KindStart:
 		b = append(b, " alloc="...)
@@ -103,7 +105,7 @@ func (r Record) AppendText(b []byte) []byte {
 		b = strconv.AppendUint(b, r.PhysPage, 16)
 		if r.Logs > 0 {
 			b = append(b, " last="...)
-			b = r.LastAt.Time().AppendFormat(b, tsLayout)
+			b = appendTimestamp(b, r.LastAt)
 			b = append(b, " logs="...)
 			b = strconv.AppendInt(b, int64(r.Logs), 10)
 		}
@@ -135,68 +137,109 @@ func appendTemp(b []byte, t float64) []byte {
 // String renders the canonical line.
 func (r Record) String() string { return string(r.AppendText(nil)) }
 
-// Parse parses one canonical log line.
+// Parse parses one canonical log line. It is a thin wrapper over the
+// allocation-free ParseBytes fast path.
 func Parse(line string) (Record, error) {
-	fields := strings.Fields(line)
-	if len(fields) == 0 {
+	return ParseBytes([]byte(line))
+}
+
+// Field-presence bits: one per known key, for mandatory-field and
+// duplicate-field checks without a map.
+const (
+	fieldTS = 1 << iota
+	fieldHost
+	fieldAlloc
+	fieldTemp
+	fieldVAddr
+	fieldActual
+	fieldExpected
+	fieldPPage
+	fieldLast
+	fieldLogs
+)
+
+// ParseBytes parses one canonical log line from a raw byte slice. It is the
+// replay hot path: for well-formed input it performs zero heap allocations —
+// fields are scanned in place (no strings.Fields), timestamps go through the
+// fixed-layout codec (no time.Parse) and numbers through byte-slice parsers.
+// The slice is neither modified nor retained, so callers may hand it a
+// reused read buffer (bufio.Scanner's, in Reader). Only the error paths
+// allocate, and every error message copies what it needs out of the buffer.
+//
+// A field key appearing twice is an error (the last occurrence used to win
+// silently — corrupted or hand-edited logs must not be half-trusted).
+func ParseBytes(line []byte) (Record, error) {
+	start, end := nextField(line, 0)
+	if start == len(line) {
 		return Record{}, fmt.Errorf("eventlog: empty line")
 	}
 	var rec Record
-	switch fields[0] {
-	case "START":
+	switch kind := line[start:end]; {
+	case string(kind) == "START":
 		rec.Kind = KindStart
-	case "ERROR":
+	case string(kind) == "ERROR":
 		rec.Kind = KindError
-	case "END":
+	case string(kind) == "END":
 		rec.Kind = KindEnd
-	case "ALLOCFAIL":
+	case string(kind) == "ALLOCFAIL":
 		rec.Kind = KindAllocFail
 	default:
-		return Record{}, fmt.Errorf("eventlog: unknown record kind %q", fields[0])
+		return Record{}, fmt.Errorf("eventlog: unknown record kind %q", kind)
 	}
 	rec.TempC = thermal.NoReading
-	var sawTS, sawHost, sawLast bool
-	for _, f := range fields[1:] {
-		k, v, ok := strings.Cut(f, "=")
-		if !ok {
+	var seen uint16
+	for i := end; ; {
+		fs, fe := nextField(line, i)
+		if fs == len(line) {
+			break
+		}
+		i = fe
+		f := line[fs:fe]
+		eq := bytes.IndexByte(f, '=')
+		if eq < 0 {
 			return Record{}, fmt.Errorf("eventlog: malformed field %q", f)
 		}
+		k, v := f[:eq], f[eq+1:]
+		var bit uint16
 		var err error
-		switch k {
+		switch string(k) {
 		case "ts":
-			var t time.Time
-			t, err = time.Parse(tsLayout, v)
-			rec.At = timebase.FromTime(t)
-			sawTS = true
+			bit = fieldTS
+			rec.At, err = parseTimestamp(v)
 		case "host":
-			rec.Host, err = cluster.ParseNodeID(v)
-			sawHost = true
+			bit = fieldHost
+			rec.Host, err = cluster.ParseNodeIDBytes(v)
 		case "alloc":
-			rec.AllocBytes, err = strconv.ParseInt(v, 10, 64)
+			bit = fieldAlloc
+			rec.AllocBytes, err = parseIntBytes(v)
 		case "temp":
-			if v != "NA" {
-				rec.TempC, err = strconv.ParseFloat(v, 64)
+			bit = fieldTemp
+			if string(v) != "NA" {
+				rec.TempC, err = parseFloatBytes(v)
 			}
 		case "vaddr":
-			rec.VAddr, err = parseHex(v)
+			bit = fieldVAddr
+			rec.VAddr, err = parseHexBytes(v)
 		case "actual":
+			bit = fieldActual
 			var u uint64
-			u, err = parseHex(v)
+			u, err = parseHexBytes(v)
 			rec.Actual = uint32(u)
 		case "expected":
+			bit = fieldExpected
 			var u uint64
-			u, err = parseHex(v)
+			u, err = parseHexBytes(v)
 			rec.Expected = uint32(u)
 		case "ppage":
-			rec.PhysPage, err = parseHex(v)
+			bit = fieldPPage
+			rec.PhysPage, err = parseHexBytes(v)
 		case "last":
-			var t time.Time
-			t, err = time.Parse(tsLayout, v)
-			rec.LastAt = timebase.FromTime(t)
-			sawLast = true
+			bit = fieldLast
+			rec.LastAt, err = parseTimestamp(v)
 		case "logs":
+			bit = fieldLogs
 			var n int64
-			n, err = strconv.ParseInt(v, 10, 64)
+			n, err = parseIntBytes(v)
 			if err == nil && n < 1 {
 				err = fmt.Errorf("count must be >= 1, got %d", n)
 			}
@@ -207,12 +250,17 @@ func Parse(line string) (Record, error) {
 		if err != nil {
 			return Record{}, fmt.Errorf("eventlog: field %q: %w", f, err)
 		}
+		if seen&bit != 0 {
+			return Record{}, fmt.Errorf("eventlog: duplicate field %q", k)
+		}
+		seen |= bit
 	}
-	if !sawTS || !sawHost {
+	if seen&fieldTS == 0 || seen&fieldHost == 0 {
 		return Record{}, fmt.Errorf("eventlog: record missing mandatory ts/host fields: %q", line)
 	}
 	// Normalize the pre-collapsed pair: either field alone implies the
 	// other's default (a single-record run ends where it starts).
+	sawLast := seen&fieldLast != 0
 	if rec.Logs > 0 && !sawLast {
 		rec.LastAt = rec.At
 	}
@@ -225,9 +273,150 @@ func Parse(line string) (Record, error) {
 	return rec, nil
 }
 
-func parseHex(s string) (uint64, error) {
-	s = strings.TrimPrefix(s, "0x")
-	return strconv.ParseUint(s, 16, 64)
+// asciiSpace marks strings.Fields' ASCII separator set.
+var asciiSpace = [256]bool{' ': true, '\t': true, '\n': true, '\v': true, '\f': true, '\r': true}
+
+// nextField returns the bounds of the next whitespace-separated field of
+// line at or after offset i; start == len(line) means no field remains. The
+// separator set matches strings.Fields (unicode.IsSpace). The hot loops are
+// pure table-lookup byte scans; multi-byte runes — which the canonical
+// format never emits — divert to the rune-decoding slow path.
+func nextField(line []byte, i int) (start, end int) {
+	for i < len(line) {
+		c := line[i]
+		if c >= utf8.RuneSelf {
+			return nextFieldSlow(line, i)
+		}
+		if !asciiSpace[c] {
+			break
+		}
+		i++
+	}
+	start = i
+	for i < len(line) {
+		c := line[i]
+		if c >= utf8.RuneSelf {
+			return start, fieldEndSlow(line, i)
+		}
+		if asciiSpace[c] {
+			break
+		}
+		i++
+	}
+	return start, i
+}
+
+// nextFieldSlow resumes the separator skip at a non-ASCII byte.
+func nextFieldSlow(line []byte, i int) (start, end int) {
+	for i < len(line) {
+		space, size := isSpaceAt(line, i)
+		if !space {
+			break
+		}
+		i += size
+	}
+	return i, fieldEndSlow(line, i)
+}
+
+// fieldEndSlow resumes the field scan at a non-ASCII byte.
+func fieldEndSlow(line []byte, i int) int {
+	for i < len(line) {
+		space, size := isSpaceAt(line, i)
+		if space {
+			break
+		}
+		i += size
+	}
+	return i
+}
+
+func isSpaceAt(line []byte, i int) (bool, int) {
+	c := line[i]
+	if c < utf8.RuneSelf {
+		return asciiSpace[c], 1
+	}
+	r, size := utf8.DecodeRune(line[i:])
+	return unicode.IsSpace(r), size
+}
+
+// parseIntBytes matches strconv.ParseInt(string(v), 10, 64) — optional
+// sign, decimal digits, overflow rejected — without the string conversion.
+func parseIntBytes(v []byte) (int64, error) {
+	neg := false
+	i := 0
+	if len(v) > 0 && (v[0] == '+' || v[0] == '-') {
+		neg = v[0] == '-'
+		i++
+	}
+	if i == len(v) {
+		return 0, fmt.Errorf("invalid integer %q", v)
+	}
+	const cutoff = (1 << 63) / 10
+	var n uint64
+	for ; i < len(v); i++ {
+		d := v[i] - '0'
+		if d > 9 {
+			return 0, fmt.Errorf("invalid integer %q", v)
+		}
+		if n > cutoff {
+			return 0, fmt.Errorf("integer %q out of range", v)
+		}
+		n = n*10 + uint64(d)
+		if n > 1<<63 || (!neg && n > 1<<63-1) {
+			return 0, fmt.Errorf("integer %q out of range", v)
+		}
+	}
+	if neg {
+		return -int64(n), nil
+	}
+	return int64(n), nil
+}
+
+// parseHexBytes matches the old parseHex (optional "0x" prefix, then
+// strconv.ParseUint(s, 16, 64)) without the string conversion.
+func parseHexBytes(v []byte) (uint64, error) {
+	if len(v) >= 2 && v[0] == '0' && v[1] == 'x' {
+		v = v[2:]
+	}
+	if len(v) == 0 {
+		return 0, fmt.Errorf("invalid hex %q", v)
+	}
+	var n uint64
+	for _, c := range v {
+		var d byte
+		switch {
+		case c >= '0' && c <= '9':
+			d = c - '0'
+		case c >= 'a' && c <= 'f':
+			d = c - 'a' + 10
+		case c >= 'A' && c <= 'F':
+			d = c - 'A' + 10
+		default:
+			return 0, fmt.Errorf("invalid hex %q", v)
+		}
+		if n >= 1<<60 {
+			return 0, fmt.Errorf("hex %q out of range", v)
+		}
+		n = n<<4 | uint64(d)
+	}
+	return n, nil
+}
+
+// parseFloatBytes is strconv.ParseFloat over a byte slice without the
+// copying string conversion. Shortest-round-trip temperatures need a
+// correctly-rounded decimal parser, which is not worth re-implementing; the
+// zero-copy view is safe because ParseFloat never retains its argument on
+// success. On failure the parse is redone from a stable copy, so the
+// returned *NumError cannot alias the caller's reusable read buffer.
+func parseFloatBytes(v []byte) (float64, error) {
+	if len(v) == 0 {
+		return strconv.ParseFloat("", 64)
+	}
+	f, err := strconv.ParseFloat(unsafe.String(unsafe.SliceData(v), len(v)), 64)
+	if err != nil {
+		return strconv.ParseFloat(string(v), 64)
+	}
+	return f, nil
 }
 
 // Writer streams records as text lines.
@@ -270,15 +459,17 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{s: s}
 }
 
-// Next returns the next record, io.EOF at end of input.
+// Next returns the next record, io.EOF at end of input. Lines are parsed
+// straight out of the scanner's reused buffer through ParseBytes, so a
+// steady-state read loop performs no per-line allocations.
 func (lr *Reader) Next() (Record, error) {
 	for lr.s.Scan() {
 		lr.line++
-		text := strings.TrimSpace(lr.s.Text())
-		if text == "" {
+		text := bytes.TrimSpace(lr.s.Bytes())
+		if len(text) == 0 {
 			continue
 		}
-		rec, err := Parse(text)
+		rec, err := ParseBytes(text)
 		if err != nil {
 			return Record{}, fmt.Errorf("line %d: %w", lr.line, err)
 		}

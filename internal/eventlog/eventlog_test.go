@@ -89,6 +89,67 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+func TestParseRejectsDuplicateFields(t *testing.T) {
+	// Every duplicated key must be rejected — the last occurrence used to
+	// win silently, which let a corrupted log shadow a real observation.
+	lines := []string{
+		"START ts=2015-02-01T00:00:00Z ts=2015-02-01T00:00:01Z host=01-01 alloc=1 temp=NA",
+		"START ts=2015-02-01T00:00:00Z host=01-01 host=01-02 alloc=1 temp=NA",
+		"START ts=2015-02-01T00:00:00Z host=01-01 alloc=1 alloc=2 temp=NA",
+		"ERROR ts=2015-02-01T00:00:00Z host=01-01 temp=30 temp=31",
+		"ERROR ts=2015-02-01T00:00:00Z host=01-01 vaddr=0x1 vaddr=0x2",
+		"ERROR ts=2015-02-01T00:00:00Z host=01-01 logs=1 logs=1",
+	}
+	for _, line := range lines {
+		if _, err := Parse(line); err == nil || !strings.Contains(err.Error(), "duplicate field") {
+			t.Errorf("Parse(%q) = %v, want duplicate-field error", line, err)
+		}
+	}
+}
+
+// TestParseBytesZeroAlloc is the allocation-regression gate for the replay
+// hot path: steady-state (well-formed) lines must parse without touching
+// the heap, including the worst case — a fully loaded pre-collapsed ERROR
+// line whose temperature needs all 17 significant digits.
+func TestParseBytesZeroAlloc(t *testing.T) {
+	lines := [][]byte{
+		[]byte("ERROR ts=2015-06-14T03:12:45Z host=02-04 vaddr=0x7f2a00001234 actual=0xfffffffe expected=0xffffffff temp=41.53 ppage=0x1a2b3c last=2015-06-14T03:14:45Z logs=12"),
+		[]byte("ERROR ts=2015-06-14T03:12:45Z host=02-04 vaddr=0x7f2a00001234 actual=0xfffffffe expected=0xffffffff temp=33.517383129784076 ppage=0x1a2b3c"),
+		[]byte("START ts=2015-02-01T00:00:00Z host=01-01 alloc=3221225472 temp=NA"),
+		[]byte("END ts=2015-02-01T00:10:00Z host=01-01 temp=31.5"),
+	}
+	for _, line := range lines {
+		line := line
+		avg := testing.AllocsPerRun(200, func() {
+			if _, err := ParseBytes(line); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg != 0 {
+			t.Errorf("ParseBytes(%q) allocates %v times per run, want 0", line, avg)
+		}
+	}
+}
+
+// TestAppendTextZeroAlloc pins the exporter's side of the bargain: with a
+// pre-grown buffer, rendering any record kind must not allocate either.
+func TestAppendTextZeroAlloc(t *testing.T) {
+	recs := sampleRecords()
+	recs = append(recs, Record{
+		Kind: KindError, At: 160, Host: cluster.NodeID{Blade: 2, SoC: 4},
+		VAddr: 0x7f2a00001234, Actual: 0xfffffffe, Expected: 0xffffffff,
+		TempC: 33.517383129784076, PhysPage: 0x12345, LastAt: 520, Logs: 9,
+	})
+	buf := make([]byte, 0, 256)
+	for _, rec := range recs {
+		rec := rec
+		avg := testing.AllocsPerRun(200, func() { buf = rec.AppendText(buf[:0]) })
+		if avg != 0 {
+			t.Errorf("AppendText(%v) allocates %v times per run, want 0", rec.Kind, avg)
+		}
+	}
+}
+
 func TestWriterReader(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf)

@@ -1,13 +1,127 @@
 package eventlog
 
 import (
+	"fmt"
+	"math"
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"unprotected/internal/cluster"
 	"unprotected/internal/thermal"
 	"unprotected/internal/timebase"
 )
+
+// parseReference is the pre-ParseBytes implementation of Parse
+// (strings.Fields + time.Parse + strconv on substrings), kept verbatim as
+// the differential-fuzzing oracle, plus the duplicate-field rejection that
+// ParseBytes added (the one deliberate semantic change of the rewrite).
+func parseReference(line string) (Record, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return Record{}, fmt.Errorf("eventlog: empty line")
+	}
+	var rec Record
+	switch fields[0] {
+	case "START":
+		rec.Kind = KindStart
+	case "ERROR":
+		rec.Kind = KindError
+	case "END":
+		rec.Kind = KindEnd
+	case "ALLOCFAIL":
+		rec.Kind = KindAllocFail
+	default:
+		return Record{}, fmt.Errorf("eventlog: unknown record kind %q", fields[0])
+	}
+	rec.TempC = thermal.NoReading
+	var sawTS, sawHost, sawLast bool
+	seen := make(map[string]bool)
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return Record{}, fmt.Errorf("eventlog: malformed field %q", f)
+		}
+		var err error
+		switch k {
+		case "ts":
+			var t time.Time
+			t, err = time.Parse(tsLayout, v)
+			rec.At = timebase.FromTime(t)
+			sawTS = true
+		case "host":
+			rec.Host, err = cluster.ParseNodeID(v)
+			sawHost = true
+		case "alloc":
+			rec.AllocBytes, err = strconv.ParseInt(v, 10, 64)
+		case "temp":
+			if v != "NA" {
+				rec.TempC, err = strconv.ParseFloat(v, 64)
+			}
+		case "vaddr":
+			rec.VAddr, err = refParseHex(v)
+		case "actual":
+			var u uint64
+			u, err = refParseHex(v)
+			rec.Actual = uint32(u)
+		case "expected":
+			var u uint64
+			u, err = refParseHex(v)
+			rec.Expected = uint32(u)
+		case "ppage":
+			rec.PhysPage, err = refParseHex(v)
+		case "last":
+			var t time.Time
+			t, err = time.Parse(tsLayout, v)
+			rec.LastAt = timebase.FromTime(t)
+			sawLast = true
+		case "logs":
+			var n int64
+			n, err = strconv.ParseInt(v, 10, 64)
+			if err == nil && n < 1 {
+				err = fmt.Errorf("count must be >= 1, got %d", n)
+			}
+			rec.Logs = int(n)
+		default:
+			return Record{}, fmt.Errorf("eventlog: unknown field %q", k)
+		}
+		if err != nil {
+			return Record{}, fmt.Errorf("eventlog: field %q: %w", f, err)
+		}
+		if seen[k] {
+			return Record{}, fmt.Errorf("eventlog: duplicate field %q", k)
+		}
+		seen[k] = true
+	}
+	if !sawTS || !sawHost {
+		return Record{}, fmt.Errorf("eventlog: record missing mandatory ts/host fields: %q", line)
+	}
+	if rec.Logs > 0 && !sawLast {
+		rec.LastAt = rec.At
+	}
+	if sawLast && rec.Logs == 0 {
+		rec.Logs = 1
+	}
+	if sawLast && rec.LastAt < rec.At {
+		return Record{}, fmt.Errorf("eventlog: run ends before it starts: %q", line)
+	}
+	return rec, nil
+}
+
+func refParseHex(s string) (uint64, error) {
+	s = strings.TrimPrefix(s, "0x")
+	return strconv.ParseUint(s, 16, 64)
+}
+
+// sameRecord compares records treating NaN temperatures as equal (a
+// "temp=NaN" line parses to a NaN TempC on both paths).
+func sameRecord(a, b Record) bool {
+	if math.IsNaN(a.TempC) && math.IsNaN(b.TempC) {
+		a.TempC, b.TempC = 0, 0
+	}
+	return a == b
+}
 
 // FuzzParse hammers the log-line parser: it must never panic and must
 // reject or round-trip — a reliability study cannot afford a log reader
@@ -33,6 +147,42 @@ func FuzzParse(f *testing.F) {
 		}
 		if again.String() != rec.String() {
 			t.Fatalf("canonical form unstable:\n1: %s\n2: %s", rec.String(), again.String())
+		}
+	})
+}
+
+// FuzzRecordRoundTrip differentially fuzzes the zero-allocation fast path
+// against the reference parser, and pins the canonical-form fixed point:
+// for any accepted line, AppendText → ParseBytes → AppendText must
+// reproduce the first rendering byte for byte.
+func FuzzRecordRoundTrip(f *testing.F) {
+	for _, rec := range sampleRecords() {
+		f.Add(rec.String())
+	}
+	f.Add("ERROR ts=2015-06-14T03:12:45Z host=02-04 vaddr=0x7f2a00001234 actual=0xfffffffe expected=0xffffffff temp=41.53 ppage=0x1a2b3c last=2015-06-14T03:14:45Z logs=12")
+	f.Add("START ts=2015-02-01T5:04:05.25Z host=01-01 alloc=+3221225472 temp=NA")
+	f.Add("ERROR ts=2015-02-01T00:00:00Z host=01-01 temp=NaN vaddr=0XFF")
+	f.Add("ERROR ts=9999-12-31T23:59:59Z host=72-15 logs=1 logs=2")
+	f.Add("END ts=0000-01-01T00:00:00,123456789012Z host=01-01 temp=-1e308")
+	f.Fuzz(func(t *testing.T, line string) {
+		got, gotErr := ParseBytes([]byte(line))
+		ref, refErr := parseReference(line)
+		if (gotErr == nil) != (refErr == nil) {
+			t.Fatalf("acceptance disagrees on %q:\nParseBytes: %v\nreference:  %v", line, gotErr, refErr)
+		}
+		if gotErr != nil {
+			return
+		}
+		if !sameRecord(got, ref) {
+			t.Fatalf("records disagree on %q:\nParseBytes: %+v\nreference:  %+v", line, got, ref)
+		}
+		first := got.AppendText(nil)
+		again, err := ParseBytes(first)
+		if err != nil {
+			t.Fatalf("canonical form of %q rejected: %v\n%s", line, err, first)
+		}
+		if second := again.AppendText(nil); string(first) != string(second) {
+			t.Fatalf("canonical form unstable for %q:\n1: %s\n2: %s", line, first, second)
 		}
 	})
 }

@@ -1,0 +1,93 @@
+package eventlog
+
+import (
+	"testing"
+	"time"
+
+	"unprotected/internal/timebase"
+)
+
+// TestTimestampCodecMatchesTimePackage sweeps instants across the study
+// window and far beyond it (leap years, century/year boundaries, DST-free
+// UTC arithmetic) asserting the hand-rolled codec is byte-identical to
+// AppendFormat and value-identical to time.Parse.
+func TestTimestampCodecMatchesTimePackage(t *testing.T) {
+	// Irregular step so every second-of-day, day-of-month and month get
+	// exercised over the sweep; range spans ~1936..2109.
+	const step = 40*86400 + 12345
+	for off := int64(-2_500_000_000); off < 3_000_000_000; off += step {
+		ts := timebase.T(off)
+		want := ts.Time().AppendFormat(nil, tsLayout)
+		got := appendTimestamp(nil, ts)
+		if string(got) != string(want) {
+			t.Fatalf("appendTimestamp(%d) = %q, want %q", off, got, want)
+		}
+		back, err := parseTimestamp(got)
+		if err != nil {
+			t.Fatalf("parseTimestamp(%q): %v", got, err)
+		}
+		if back != ts {
+			t.Fatalf("parseTimestamp(%q) = %d, want %d", got, back, off)
+		}
+	}
+}
+
+// TestParseTimestampAgreesWithTimeParse feeds the codec the acceptance edge
+// cases of time.Parse for this layout: single-digit hours, tolerated
+// fractional seconds, leap-day validation, range checks.
+func TestParseTimestampAgreesWithTimeParse(t *testing.T) {
+	cases := []string{
+		"2015-02-01T00:00:00Z",
+		"2015-02-01T5:04:05Z",                // single-digit hour: accepted by layout token "15"
+		"2015-02-01T05:04:05.123Z",           // tolerated fraction, discarded
+		"2015-02-01T05:04:05,9Z",             // comma fraction
+		"2015-02-01T05:04:05.1234567890123Z", // over-long fraction
+		"2016-02-29T00:00:00Z",               // leap day
+		"0000-01-01T00:00:00Z",
+		"9999-12-31T23:59:59Z",
+		"2015-02-29T00:00:00Z", // not a leap year
+		"2015-02-01T05:04:05.Z",
+		"2015-02-01T05:04:5Z",
+		"2015-02-01T05:4:05Z",
+		"2015-2-01T05:04:05Z",
+		"2015-02-1T05:04:05Z",
+		"2015-02-01T24:00:00Z",
+		"2015-13-01T00:00:00Z",
+		"2015-00-01T00:00:00Z",
+		"2015-01-00T00:00:00Z",
+		"2015-01-32T00:00:00Z",
+		"2015-02-01T23:60:00Z",
+		"2015-02-01T23:00:60Z",
+		"2015-02-01T05:04:05",
+		"2015-02-01T05:04:05Zx",
+		"2015-02-01 05:04:05Z",
+		"201a-02-01T05:04:05Z",
+		"",
+		"Z",
+	}
+	for _, s := range cases {
+		ref, refErr := time.Parse(tsLayout, s)
+		got, gotErr := parseTimestamp([]byte(s))
+		if (refErr == nil) != (gotErr == nil) {
+			t.Fatalf("%q: time.Parse err=%v, codec err=%v", s, refErr, gotErr)
+		}
+		if refErr == nil && got != timebase.FromTime(ref) {
+			t.Fatalf("%q: codec %d, time.Parse %d", s, got, timebase.FromTime(ref))
+		}
+	}
+}
+
+// TestAppendTimestampExtremeYears pins the slow-path fallback for years the
+// four-digit form cannot carry.
+func TestAppendTimestampExtremeYears(t *testing.T) {
+	for _, abs := range []time.Time{
+		time.Date(10000, time.January, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(-1, time.December, 31, 23, 59, 59, 0, time.UTC),
+	} {
+		ts := timebase.FromTime(abs)
+		want := ts.Time().AppendFormat(nil, tsLayout)
+		if got := appendTimestamp(nil, ts); string(got) != string(want) {
+			t.Fatalf("year %d: %q != %q", abs.Year(), got, want)
+		}
+	}
+}

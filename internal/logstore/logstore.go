@@ -21,7 +21,7 @@ import (
 
 // FileName returns the per-node log file name ("node-02-04.log").
 func FileName(id cluster.NodeID) string {
-	return fmt.Sprintf("node-%s.log", id)
+	return "node-" + id.String() + ".log"
 }
 
 // nodeOfFile inverts FileName.
@@ -47,6 +47,11 @@ type Store struct {
 	maxOpen int
 	writers map[cluster.NodeID]*nodeFile
 	seen    map[cluster.NodeID]bool
+	// paths caches each node's rendered file path: under a tight open-file
+	// budget the same file is reopened on every eviction cycle, and the
+	// merge-ordered append stream re-renders the name far more often than
+	// once per node.
+	paths   map[cluster.NodeID]string
 	clock   uint64 // advances per Append; stamps nodeFile.lastUse
 	reopens int
 }
@@ -67,7 +72,18 @@ func NewStore(dir string) (*Store, error) {
 		maxOpen: DefaultMaxOpenFiles,
 		writers: make(map[cluster.NodeID]*nodeFile),
 		seen:    make(map[cluster.NodeID]bool),
+		paths:   make(map[cluster.NodeID]string),
 	}, nil
+}
+
+// path returns the node's log file path, rendering it at most once.
+func (s *Store) path(id cluster.NodeID) string {
+	p, ok := s.paths[id]
+	if !ok {
+		p = filepath.Join(s.dir, FileName(id))
+		s.paths[id] = p
+	}
+	return p
 }
 
 // SetMaxOpenFiles adjusts the descriptor budget (minimum 1).
@@ -88,7 +104,7 @@ func (s *Store) Append(rec eventlog.Record) error {
 				return err
 			}
 		}
-		f, err := os.OpenFile(filepath.Join(s.dir, FileName(rec.Host)),
+		f, err := os.OpenFile(s.path(rec.Host),
 			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return fmt.Errorf("logstore: %w", err)

@@ -74,15 +74,18 @@ const AllocStep = 10 << 20
 
 // Allocate models the backoff loop: the scanner asks for AllocTarget bytes
 // and retries 10 MB lower until it fits within available. Returns 0 when
-// even the smallest request fails (ALLOCFAIL).
+// even the smallest request fails (ALLOCFAIL). The retry loop is closed
+// form — the number of 10 MB decrements is a ceiling division, so the
+// result is O(1) instead of up to 308 iterations per session start.
 func Allocate(available int64) int64 {
 	if available <= 0 {
 		return 0
 	}
-	alloc := int64(AllocTarget)
-	for alloc > 0 && alloc > available {
-		alloc -= AllocStep
+	if available >= AllocTarget {
+		return AllocTarget
 	}
+	steps := (int64(AllocTarget) - available + AllocStep - 1) / AllocStep
+	alloc := int64(AllocTarget) - steps*AllocStep
 	if alloc < 0 {
 		return 0
 	}
@@ -197,18 +200,32 @@ func (s *Scanner) Run(start timebase.T, maxIters int64, stop <-chan struct{}) in
 		s.Device.Tick(s.rng)
 		expected := s.Mode.Expected(iter)
 		write := s.Mode.Write(iter)
-		for a := 0; a < s.Device.Len(); a++ {
-			addr := dram.Addr(a)
-			actual := s.Device.Read(addr)
-			if actual != expected {
-				errs++
-				s.Emit(eventlog.Record{
-					Kind: eventlog.KindError, At: at, Host: s.Host,
-					VAddr: dram.VirtAddr(addr), Actual: actual, Expected: expected,
-					TempC: s.temp(at), PhysPage: dram.PhysPage(uint64(s.Host.Index()), addr),
-				})
+		// Verify + rewrite in blocks: FindMismatch compares contiguous
+		// words in a tight index loop and the matched prefix is rewritten
+		// with a bulk FillRange, so the per-word path below runs only for
+		// the words that actually mismatch. Emission order, error counts
+		// and the per-error temperature draws are identical to the old
+		// word-at-a-time loop — every mismatch is still visited in address
+		// order, and matching words never consumed randomness.
+		dev := s.Device
+		n := dev.Len()
+		for a := 0; a < n; {
+			m := dev.FindMismatch(a, expected)
+			if m < 0 {
+				dev.FillRange(a, n, write)
+				break
 			}
-			s.Device.Write(addr, write)
+			dev.FillRange(a, m, write)
+			addr := dram.Addr(m)
+			actual := dev.Read(addr)
+			errs++
+			s.Emit(eventlog.Record{
+				Kind: eventlog.KindError, At: at, Host: s.Host,
+				VAddr: dram.VirtAddr(addr), Actual: actual, Expected: expected,
+				TempC: s.temp(at), PhysPage: dram.PhysPage(uint64(s.Host.Index()), addr),
+			})
+			dev.Write(addr, write)
+			a = m + 1
 		}
 		at += iterDur
 	}

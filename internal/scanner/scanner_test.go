@@ -225,3 +225,129 @@ func TestScannerStopsOnSignal(t *testing.T) {
 		t.Fatalf("stop handling: %v", recs)
 	}
 }
+
+// TestAllocateMatchesBackoffLoop sweeps the closed-form Allocate against
+// the paper's literal retry loop: same result for every availability,
+// including the sub-10MB tail where the loop's last step goes negative.
+func TestAllocateMatchesBackoffLoop(t *testing.T) {
+	ref := func(available int64) int64 {
+		if available <= 0 {
+			return 0
+		}
+		alloc := int64(AllocTarget)
+		for alloc > 0 && alloc > available {
+			alloc -= AllocStep
+		}
+		if alloc < 0 {
+			return 0
+		}
+		return alloc
+	}
+	check := func(avail int64) {
+		t.Helper()
+		if got, want := Allocate(avail), ref(avail); got != want {
+			t.Fatalf("Allocate(%d) = %d, want %d", avail, got, want)
+		}
+	}
+	for _, avail := range []int64{-1, 0, 1, AllocStep - 1, AllocStep, AllocStep + 1,
+		AllocTarget % AllocStep, AllocTarget%AllocStep - 1, AllocTarget%AllocStep + 1,
+		AllocTarget - 1, AllocTarget, AllocTarget + 1, AllocTarget + AllocStep} {
+		check(avail)
+	}
+	for avail := int64(-AllocStep); avail < AllocTarget+2*AllocStep; avail += 999_937 {
+		check(avail)
+	}
+}
+
+// referenceRun is the pre-block-scan Run loop (read/compare/write one word
+// at a time), kept as the differential oracle for the block-compare path.
+func referenceRun(s *Scanner, start timebase.T, maxIters int64) int {
+	alloc := int64(s.Device.Len()) * 4
+	s.Emit(eventlog.Record{
+		Kind: eventlog.KindStart, At: start, Host: s.Host,
+		AllocBytes: alloc, TempC: s.temp(start),
+	})
+	s.Device.Fill(s.Mode.Expected(0))
+	iterDur := IterDuration(alloc)
+	errs := 0
+	at := start
+	for iter := int64(0); iter < maxIters; iter++ {
+		if s.Perturb != nil {
+			s.Perturb(iter, at, s.Device)
+		}
+		s.Device.Tick(s.rng)
+		expected := s.Mode.Expected(iter)
+		write := s.Mode.Write(iter)
+		for a := 0; a < s.Device.Len(); a++ {
+			addr := dram.Addr(a)
+			actual := s.Device.Read(addr)
+			if actual != expected {
+				errs++
+				s.Emit(eventlog.Record{
+					Kind: eventlog.KindError, At: at, Host: s.Host,
+					VAddr: dram.VirtAddr(addr), Actual: actual, Expected: expected,
+					TempC: s.temp(at), PhysPage: dram.PhysPage(uint64(s.Host.Index()), addr),
+				})
+			}
+			s.Device.Write(addr, write)
+		}
+		at += iterDur
+	}
+	s.Emit(eventlog.Record{Kind: eventlog.KindEnd, At: at, Host: s.Host, TempC: s.temp(at)})
+	return errs
+}
+
+// TestRunBlockScanMatchesWordLoop runs the same seeded session through the
+// block-compare Run and the word-at-a-time reference: the emitted record
+// streams must be identical, byte for byte — same mismatches, same order,
+// same per-error temperature draws.
+func TestRunBlockScanMatchesWordLoop(t *testing.T) {
+	for _, mode := range []Mode{FlipMode, CounterMode} {
+		host := cluster.NodeID{Blade: 3, SoC: 7}
+		perturb := func(iter int64, at timebase.T, d *dram.Device) {
+			// Deterministic corruption: a burst whose position and width
+			// depend only on the iteration, plus back-to-back mismatches to
+			// exercise consecutive drill-downs.
+			if iter%3 == 2 {
+				return // clean iterations exercise the all-match fast path
+			}
+			base := int(iter*37) % d.Len()
+			for k := 0; k < 1+int(iter%4); k++ {
+				a := dram.Addr((base + k) % d.Len())
+				d.Write(a, d.Read(a)^(1<<uint(iter%32)))
+			}
+		}
+		run := func(useReference bool) ([]eventlog.Record, int) {
+			dev := dram.NewDevice(uint64(host.Index()), 100, nil)
+			var recs []eventlog.Record
+			s := New(host, dev, mode, func(r eventlog.Record) { recs = append(recs, r) }, rng.New(99))
+			s.Perturb = perturb
+			dev.AddWeakCell(&dram.WeakCell{Addr: 41, Bit: 3, LeakProb: 0.5, Active: true})
+			start := timebase.FromTime(timebase.Epoch.AddDate(0, 4, 0))
+			var errs int
+			if useReference {
+				errs = referenceRun(s, start, 25)
+			} else {
+				errs = s.Run(start, 25, nil)
+			}
+			return recs, errs
+		}
+		gotRecs, gotErrs := run(false)
+		wantRecs, wantErrs := run(true)
+		if gotErrs != wantErrs {
+			t.Fatalf("mode %v: errs %d, reference %d", mode, gotErrs, wantErrs)
+		}
+		if len(gotRecs) != len(wantRecs) {
+			t.Fatalf("mode %v: %d records, reference %d", mode, len(gotRecs), len(wantRecs))
+		}
+		for i := range gotRecs {
+			if gotRecs[i] != wantRecs[i] {
+				t.Fatalf("mode %v: record %d differs:\nblock: %s\n ref:  %s",
+					mode, i, gotRecs[i], wantRecs[i])
+			}
+		}
+		if gotErrs == 0 {
+			t.Fatalf("mode %v: differential test found no errors to compare", mode)
+		}
+	}
+}
