@@ -2,12 +2,115 @@ package unprotected_test
 
 import (
 	"bytes"
+	"context"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"slices"
 	"strings"
 	"testing"
 
 	"unprotected"
 	"unprotected/internal/logstore"
 )
+
+// publicSurface is the golden list of exported identifiers of package
+// unprotected. An accidental removal, rename, or addition fails this test:
+// removals and renames break consumers, and additions are API commitments
+// that deserve the deliberate step of updating this list.
+var publicSurface = []string{
+	"Accumulators",
+	"Analyze",
+	"CampaignStats",
+	"Config",
+	"DefaultConfig",
+	"Event",
+	"EventFault",
+	"EventKind",
+	"EventSession",
+	"EventStats",
+	"Fault",
+	"FuncObserver",
+	"Logs",
+	"NewAccumulators",
+	"NodeID",
+	"Observer",
+	"Option",
+	"ReportOptions",
+	"RunPaperStudy",
+	"RunStudy",
+	"Session",
+	"Simulate",
+	"Source",
+	"SourceStats",
+	"StreamCampaign",
+	"StreamHandler",
+	"Study",
+	"StudyFromLogs",
+	"WithController",
+	"WithObservers",
+	"WithWorkers",
+	"WithoutDataset",
+}
+
+// TestPublicSurfaceGolden enumerates the package's exported top-level
+// identifiers from source and compares them against the golden list.
+func TestPublicSurfaceGolden(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", nil, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["unprotected"]
+	if !ok {
+		t.Fatalf("package unprotected not found in %v", pkgs)
+	}
+	var got []string
+	for name, file := range pkg.Files {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil && d.Name.IsExported() {
+					got = append(got, d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.Name.IsExported() {
+							got = append(got, sp.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, n := range sp.Names {
+							if n.IsExported() {
+								got = append(got, n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	slices.Sort(got)
+	got = slices.Compact(got)
+	want := slices.Clone(publicSurface)
+	slices.Sort(want)
+	if !slices.Equal(got, want) {
+		for _, name := range got {
+			if !slices.Contains(want, name) {
+				t.Errorf("exported %q is not in the golden surface (new API? update publicSurface deliberately)", name)
+			}
+		}
+		for _, name := range want {
+			if !slices.Contains(got, name) {
+				t.Errorf("golden identifier %q is no longer exported (breaking change!)", name)
+			}
+		}
+	}
+}
 
 func TestPublicAPI(t *testing.T) {
 	if testing.Short() {
@@ -25,6 +128,78 @@ func TestPublicAPI(t *testing.T) {
 	s.FullReport(&buf, unprotected.ReportOptions{})
 	if !strings.Contains(buf.String(), "independent memory faults") {
 		t.Fatal("report missing headline")
+	}
+}
+
+// TestPublicAnalyze drives the new unified entry point end to end through
+// the public surface: simulation source, log source, custom observers and
+// the raw iterator — all against the deprecated doors they replace.
+func TestPublicAnalyze(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign")
+	}
+	ctx := context.Background()
+	legacy := unprotected.RunStudy(unprotected.DefaultConfig(6))
+	var want bytes.Buffer
+	legacy.FullReport(&want, unprotected.ReportOptions{Charts: true})
+
+	var observed int
+	counter := unprotected.FuncObserver{Fault: func(unprotected.Fault) { observed++ }}
+	study, err := unprotected.Analyze(ctx, unprotected.Simulate(unprotected.DefaultConfig(6)),
+		unprotected.WithObservers(counter))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	study.FullReport(&got, unprotected.ReportOptions{Charts: true})
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("Analyze(Simulate) report diverges from RunStudy")
+	}
+	if observed != len(study.Dataset.Faults) {
+		t.Fatalf("observer saw %d faults, dataset holds %d", observed, len(study.Dataset.Faults))
+	}
+
+	// Round-trip through the log source.
+	dir := t.TempDir()
+	if err := logstore.Export(study.Dataset.Sessions, study.Dataset.Faults, dir); err != nil {
+		t.Fatal(err)
+	}
+	fromLogs, err := unprotected.Analyze(ctx, unprotected.Logs(dir, unprotected.WithController("02-04")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapper, err := unprotected.StudyFromLogs(dir, "02-04", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	fromLogs.FullReport(&a, unprotected.ReportOptions{Charts: true})
+	wrapper.FullReport(&b, unprotected.ReportOptions{Charts: true})
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("Analyze(Logs) report diverges from StudyFromLogs")
+	}
+
+	// The raw iterator delivers the stream the deprecated callbacks did.
+	var faults, sessions int
+	cb := unprotected.StreamCampaign(unprotected.DefaultConfig(6), unprotected.StreamHandler{
+		Fault:   func(unprotected.Fault) { faults++ },
+		Session: func(unprotected.Session) { sessions++ },
+	})
+	var itFaults, itSessions int
+	for ev, err := range unprotected.Simulate(unprotected.DefaultConfig(6)).Events(ctx) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch ev.Kind {
+		case unprotected.EventFault:
+			itFaults++
+		case unprotected.EventSession:
+			itSessions++
+		}
+	}
+	if itFaults != faults || itFaults != cb.Faults || itSessions != sessions || itSessions != cb.Sessions {
+		t.Fatalf("iterator delivered %d/%d, callbacks %d/%d (stats %d/%d)",
+			itFaults, itSessions, faults, sessions, cb.Faults, cb.Sessions)
 	}
 }
 

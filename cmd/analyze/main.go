@@ -16,13 +16,19 @@
 // collapsed by a worker pool (-workers, default GOMAXPROCS), merged into
 // the canonical order and fed to the incremental figure accumulators in a
 // single pass. The report is byte-identical for every -workers value.
+//
+// Both paths go through unprotected.Analyze over the matching Source;
+// SIGINT cancels the run, winding the engine's worker pools down cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
+	"unprotected"
 	"unprotected/internal/analysis"
 	"unprotected/internal/core"
 	"unprotected/internal/quarantine"
@@ -35,19 +41,24 @@ func main() {
 	csvDir := flag.String("csv", "", "write per-figure CSV files to this directory")
 	fromLogs := flag.String("from-logs", "", "analyze per-node log files from this directory instead of simulating")
 	controller := flag.String("controller", "02-04", "permanently failing node to exclude from MTBF analyses (with -from-logs)")
-	workers := flag.Int("workers", 0, "log-loader worker pool size with -from-logs (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "source worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	var study *core.Study
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var src unprotected.Source
+	opts := []unprotected.Option{unprotected.WithWorkers(*workers)}
 	if *fromLogs != "" {
-		var err error
-		study, err = core.StudyFromLogs(*fromLogs, *controller, *workers)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "analyze:", err)
-			os.Exit(1)
-		}
+		src = unprotected.Logs(*fromLogs)
+		opts = append(opts, unprotected.WithController(*controller))
 	} else {
-		study = core.RunPaperStudy(*seed)
+		src = unprotected.Simulate(unprotected.DefaultConfig(*seed))
+	}
+	study, err := unprotected.Analyze(ctx, src, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
 	}
 	study.FullReport(os.Stdout, core.ReportOptions{Charts: *charts, Heatmaps: *heatmaps})
 

@@ -14,26 +14,33 @@
 // requires (see DESIGN.md).
 //
 // -stream writes the -faults / -sessions / -logdir outputs directly off
-// the campaign's merged event stream: each fault and session is formatted
-// as the k-way merge emits it, so the merged dataset is never materialized
+// the campaign's merged event stream: the tool ranges over the engine's
+// event iterator (filtered to the halves with sinks, so a sessions-only
+// export never classifies faults) and formats each fault and session as
+// the k-way merge emits it, so the merged dataset is never materialized
 // (per-node buffers still exist inside the engine) and the output loads
 // back identically to the collect-all path. For -logdir the stream is
 // demultiplexed into the one-file-per-node layout by the descriptor-capped
 // store (LRU eviction keeps burst-hot nodes open); ERROR lines within a
 // node file are time-ordered, as are its START/END lines, which is all the
-// replay loader requires. Streaming skips the headline analysis (which
-// needs the whole dataset).
+// replay loader requires. A sink write error aborts the stream on the
+// spot — no further records are formatted or written to any sink
+// (simulation itself has already finished by first delivery); SIGINT
+// cancels mid-simulation too, truncating the run.
+// Streaming skips the headline analysis (which needs the whole dataset).
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
+	"unprotected"
 	"unprotected/internal/analysis"
 	"unprotected/internal/campaign"
-	"unprotected/internal/core"
 	"unprotected/internal/dram"
 	"unprotected/internal/eventlog"
 	"unprotected/internal/extract"
@@ -53,14 +60,20 @@ func main() {
 	logDir := flag.String("logdir", "", "write per-node log files (the prototype's on-disk layout)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	if *stream {
-		if err := streamCampaign(*seed, *faultsPath, *sessionsPath, *logDir); err != nil {
+		if err := streamCampaign(ctx, *seed, *faultsPath, *sessionsPath, *logDir); err != nil {
 			fail(err)
 		}
 		return
 	}
 
-	study := core.RunPaperStudy(*seed)
+	study, err := unprotected.Analyze(ctx, unprotected.Simulate(unprotected.DefaultConfig(*seed)))
+	if err != nil {
+		fail(err)
+	}
 	h := analysis.ComputeHeadline(study.Dataset)
 	fmt.Printf("campaign complete: %d raw logs, %d independent faults, %.0f node-hours, %.0f TBh\n",
 		h.RawLogs, h.IndependentFaults, float64(h.NodeHours), float64(h.TotalTBh))
@@ -131,104 +144,101 @@ func writeSession(w *eventlog.Writer, s eventlog.Session) error {
 }
 
 // streamCampaign is the -stream path: faults and sessions go to disk as
-// the campaign's k-way merge emits them, one record at a time. Every
-// requested output is an independent sink with its own error, so a
-// faults-file failure cannot silently truncate a healthy sessions file
-// (and vice versa); the first error per sink is what the caller sees,
-// joined.
-func streamCampaign(seed uint64, faultsPath, sessionsPath, logDir string) (err error) {
-	var faultSinks []func(extract.Fault)
-	var sessionSinks []func(eventlog.Session)
+// the engine's k-way merge emits them, one record at a time, consumed
+// straight off the Source iterator. The first failing sink (or ctx
+// cancellation) aborts the stream immediately — returning out of the
+// range-over-Events loop stops the producers — after which every opened
+// sink is still flushed and closed, errors joined.
+func streamCampaign(ctx context.Context, seed uint64, faultsPath, sessionsPath, logDir string) (err error) {
+	var faultSinks []func(extract.Fault) error
+	var sessionSinks []func(eventlog.Session) error
 	var closers []func() error
 	defer func() {
 		for _, closer := range closers {
 			err = errors.Join(err, closer())
 		}
 	}()
-	newFileSink := func(path string) (*eventlog.Writer, *error, error) {
+	newFileSink := func(path string) (*eventlog.Writer, error) {
 		f, err := os.Create(path)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		w := eventlog.NewWriter(f)
-		sinkErr := new(error)
 		closers = append(closers, func() error {
-			if err := w.Flush(); *sinkErr == nil {
-				*sinkErr = err
-			}
-			return errors.Join(*sinkErr, f.Close())
+			return errors.Join(w.Flush(), f.Close())
 		})
-		return w, sinkErr, nil
+		return w, nil
 	}
 	if faultsPath != "" {
-		w, sinkErr, err := newFileSink(faultsPath)
+		w, err := newFileSink(faultsPath)
 		if err != nil {
 			return err
 		}
-		faultSinks = append(faultSinks, func(f extract.Fault) {
-			if *sinkErr == nil {
-				*sinkErr = w.Write(faultRecord(f))
-			}
+		faultSinks = append(faultSinks, func(f extract.Fault) error {
+			return w.Write(faultRecord(f))
 		})
 	}
 	if sessionsPath != "" {
-		w, sinkErr, err := newFileSink(sessionsPath)
+		w, err := newFileSink(sessionsPath)
 		if err != nil {
 			return err
 		}
-		sessionSinks = append(sessionSinks, func(s eventlog.Session) {
-			if *sinkErr == nil {
-				*sinkErr = writeSession(w, s)
-			}
+		sessionSinks = append(sessionSinks, func(s eventlog.Session) error {
+			return writeSession(w, s)
 		})
 	}
 	if logDir != "" {
-		// Demultiplex the merged streams into the one-file-per-node layout.
+		// Demultiplex the merged stream into the one-file-per-node layout.
 		// The merge visits a bursting node many times in a row, so the
 		// store's LRU descriptor budget keeps hot files open. ERROR lines
-		// land before START/END lines within each file (fault merge runs
-		// first); both kinds are time-ordered per node, which is all the
-		// replay loader's collapser and accounting need.
+		// land before START/END lines within each file (faults precede
+		// sessions in the stream); both kinds are time-ordered per node,
+		// which is all the replay loader's collapser and accounting need.
 		store, err := logstore.NewStore(logDir)
 		if err != nil {
 			return err
 		}
-		sinkErr := new(error)
-		closers = append(closers, func() error {
-			return errors.Join(*sinkErr, store.Close())
+		closers = append(closers, store.Close)
+		faultSinks = append(faultSinks, func(f extract.Fault) error {
+			return store.Append(faultRecord(f))
 		})
-		faultSinks = append(faultSinks, func(f extract.Fault) {
-			if *sinkErr == nil {
-				*sinkErr = store.Append(faultRecord(f))
-			}
-		})
-		sessionSinks = append(sessionSinks, func(s eventlog.Session) {
+		sessionSinks = append(sessionSinks, func(s eventlog.Session) error {
 			for _, rec := range sessionRecords(s) {
-				if *sinkErr != nil {
-					return
+				if err := store.Append(rec); err != nil {
+					return err
 				}
-				*sinkErr = store.Append(rec)
 			}
+			return nil
 		})
 	}
 
-	var h campaign.StreamHandler
-	if len(faultSinks) > 0 {
-		h.Fault = func(f extract.Fault) {
+	// EventsFiltered skips the extraction/sorting of any half with no
+	// sink, like the old nil-callback handler did; the prologue's counts
+	// still cover the full campaign.
+	var stats unprotected.SourceStats
+	events := campaign.EventsFiltered(ctx, unprotected.DefaultConfig(seed),
+		len(faultSinks) > 0, len(sessionSinks) > 0)
+	for ev, evErr := range events {
+		if evErr != nil {
+			return evErr
+		}
+		switch ev.Kind {
+		case unprotected.EventStats:
+			stats = *ev.Stats
+		case unprotected.EventFault:
 			for _, sink := range faultSinks {
-				sink(f)
+				if err := sink(ev.Fault); err != nil {
+					return err
+				}
 			}
-		}
-	}
-	if len(sessionSinks) > 0 {
-		h.Session = func(s eventlog.Session) {
+		case unprotected.EventSession:
 			for _, sink := range sessionSinks {
-				sink(s)
+				if err := sink(ev.Session); err != nil {
+					return err
+				}
 			}
 		}
 	}
-
-	stats := campaign.Stream(campaign.DefaultConfig(seed), h)
 	for _, closer := range closers {
 		err = errors.Join(err, closer())
 	}
@@ -250,7 +260,7 @@ func streamCampaign(seed uint64, faultsPath, sessionsPath, logDir string) (err e
 	return nil
 }
 
-func writeFaults(study *core.Study, path string) error {
+func writeFaults(study *unprotected.Study, path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -265,7 +275,7 @@ func writeFaults(study *core.Study, path string) error {
 	return w.Flush()
 }
 
-func writeSessions(study *core.Study, path string) error {
+func writeSessions(study *unprotected.Study, path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

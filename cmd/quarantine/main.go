@@ -13,14 +13,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
 
-	"unprotected/internal/core"
+	"unprotected"
 	"unprotected/internal/quarantine"
 	"unprotected/internal/render"
 )
@@ -39,7 +41,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	study := core.RunPaperStudy(*seed)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	study, err := unprotected.Analyze(ctx, unprotected.Simulate(unprotected.DefaultConfig(*seed)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quarantine:", err)
+		os.Exit(1)
+	}
 	var exclude = study.ExcludedNodes()
 	if *includePermanent {
 		exclude = nil

@@ -14,27 +14,59 @@
 // page retirement, adaptive checkpointing) and real SECDED/chipkill codecs
 // for detectability classification.
 //
-// Quick start:
+// # The Source/Observer API
 //
-//	study := unprotected.RunPaperStudy(42)
+// The pipeline has exactly one shape — a merged, canonically ordered
+// stream of faults and sessions feeding one-pass analyses — and the API
+// exposes it through one door. A Source yields that stream (Simulate runs
+// the campaign engine, Logs replays a directory of per-node log files —
+// the paper's actual workflow) and Analyze drains it once, building the
+// Study every figure and table renders from:
+//
+//	study, err := unprotected.Analyze(ctx, unprotected.Simulate(unprotected.DefaultConfig(42)))
+//	if err != nil { ... }
 //	study.FullReport(os.Stdout, unprotected.ReportOptions{Charts: true})
 //
-// Consumers that do not need the whole dataset in memory can stream it in
-// canonical order instead:
+// Replaying logged data is the same call with the other source:
 //
-//	unprotected.StreamCampaign(unprotected.DefaultConfig(42), unprotected.StreamHandler{
-//		Fault: func(f unprotected.Fault) { /* one fault at a time */ },
-//	})
+//	study, err := unprotected.Analyze(ctx, unprotected.Logs(dir,
+//		unprotected.WithController("02-04")))
 //
-// The public API re-exports the core types; the substrates live under
-// internal/ and are documented in DESIGN.md.
+// Consumers with their own one-pass accumulators — RowHammer-style
+// reliability analyses, exporters, online policies — implement Observer
+// (or use FuncObserver) and ride the same single pass the internal
+// figures use; WithoutDataset drops the in-memory dataset for
+// pure-streaming runs:
+//
+//	var n int
+//	counter := unprotected.FuncObserver{Fault: func(unprotected.Fault) { n++ }}
+//	_, err := unprotected.Analyze(ctx, unprotected.Simulate(cfg),
+//		unprotected.WithObservers(counter), unprotected.WithoutDataset())
+//
+// For full control, range over the stream directly; cancellation and
+// early break both shut the source's worker pools down leak-free:
+//
+//	for ev, err := range unprotected.Simulate(cfg).Events(ctx) {
+//		if err != nil { ... }
+//		if ev.Kind == unprotected.EventFault { /* one fault at a time */ }
+//	}
+//
+// The stream contract (ordering, cancellation semantics, zero-alloc
+// delivery) is specified in DESIGN.md §7. The public API re-exports the
+// core types; the substrates live under internal/ and are documented in
+// DESIGN.md.
 package unprotected
 
 import (
+	"context"
+
+	"unprotected/internal/analysis"
 	"unprotected/internal/campaign"
+	"unprotected/internal/cluster"
 	"unprotected/internal/core"
 	"unprotected/internal/eventlog"
 	"unprotected/internal/extract"
+	"unprotected/internal/stream"
 )
 
 // Study is one executed campaign with its analysis-ready dataset.
@@ -47,28 +79,6 @@ type Config = campaign.Config
 // ReportOptions selects FullReport sections.
 type ReportOptions = core.ReportOptions
 
-// RunPaperStudy executes the full-scale calibrated study: 923 scanned
-// nodes, February 2015 – February 2016.
-func RunPaperStudy(seed uint64) *Study { return core.RunPaperStudy(seed) }
-
-// RunStudy executes a custom configuration.
-func RunStudy(cfg *Config) *Study { return core.RunStudy(cfg) }
-
-// DefaultConfig returns the calibrated paper-scale configuration, which
-// callers may modify before RunStudy.
-func DefaultConfig(seed uint64) *Config { return campaign.DefaultConfig(seed) }
-
-// StudyFromLogs rebuilds a study from a directory of per-node log files —
-// the paper's actual workflow — using the parallel streaming replay
-// loader. controller optionally names the permanently failing node
-// excluded from MTBF-style analyses ("" disables); workers bounds the
-// loader pool (0 means GOMAXPROCS). The resulting Study is
-// interchangeable with one from RunStudy over the same dataset, and its
-// report is identical for every workers value.
-func StudyFromLogs(dir, controller string, workers int) (*Study, error) {
-	return core.StudyFromLogs(dir, controller, workers)
-}
-
 // Fault is one independent memory error with its derived classification
 // (§II-C), the unit every analysis counts.
 type Fault = extract.Fault
@@ -76,18 +86,142 @@ type Fault = extract.Fault
 // Session is one scanner run on a node, from START to the matching END.
 type Session = eventlog.Session
 
+// NodeID locates a node on the prototype (blade-SoC, e.g. "02-04").
+type NodeID = cluster.NodeID
+
+// DefaultConfig returns the calibrated paper-scale configuration, which
+// callers may modify before Simulate.
+func DefaultConfig(seed uint64) *Config { return campaign.DefaultConfig(seed) }
+
+// RunPaperStudy executes the full-scale calibrated study: 923 scanned
+// nodes, February 2015 – February 2016. It is sugar for
+// Analyze(ctx, Simulate(DefaultConfig(seed))).
+func RunPaperStudy(seed uint64) *Study { return core.RunPaperStudy(seed) }
+
+// Source yields the merged campaign stream — the stats prologue, then
+// every fault in canonical (time, node, address, ...) order, then every
+// session in (start time, host) order — as a single-use iterator.
+// Simulate and Logs are the built-in implementations; external packages
+// may implement Source to feed their own datasets through Analyze.
+type Source = stream.Source
+
+// Event is one element of a Source's stream: a Fault/Session sum with a
+// one-time stats prologue. Exactly the field named by Kind is set.
+type Event = stream.Event
+
+// EventKind discriminates the Event sum type.
+type EventKind = stream.Kind
+
+const (
+	// EventStats is the stream prologue carrying *SourceStats.
+	EventStats = stream.KindStats
+	// EventFault delivers Event.Fault.
+	EventFault = stream.KindFault
+	// EventSession delivers Event.Session.
+	EventSession = stream.KindSession
+)
+
+// SourceStats are the scalar aggregates of a stream, delivered as its
+// prologue so collecting consumers can preallocate exactly.
+type SourceStats = stream.Stats
+
+// Observer is a pluggable one-pass accumulator over the stream; attach
+// with WithObservers. Faults arrive in canonical order, sessions in start
+// order, and Finish runs once after the final delivery.
+type Observer = stream.Observer
+
+// FuncObserver adapts free functions to Observer; nil fields are skipped.
+type FuncObserver = stream.FuncObserver
+
+// Accumulators is the stock Observer bundle computing every
+// online-computable §III figure (hour-of-day, temperature, multi-bit,
+// simultaneity, daily series, regimes, headline) in one pass. Analyze
+// always feeds an internal instance (Study.Figures); NewAccumulators
+// builds an independent one for custom pipelines.
+type Accumulators = analysis.Accumulators
+
+// NewAccumulators builds a stock figure-accumulator bundle.
+// excludeFromRegimes lists the nodes the §III-I regime analysis drops
+// (the permanently failing controller node).
+func NewAccumulators(excludeFromRegimes ...NodeID) *Accumulators {
+	return analysis.NewAccumulators(excludeFromRegimes...)
+}
+
+// Option configures Analyze and the built-in sources; invalid values are
+// reported as errors before the stream starts.
+type Option = core.Option
+
+// WithWorkers bounds the source's worker pool. Zero selects GOMAXPROCS;
+// negative values are rejected.
+func WithWorkers(n int) Option { return core.WithWorkers(n) }
+
+// WithController names the permanently failing node excluded from
+// MTBF-style analyses (§III-I); the empty string disables the exclusion.
+// Required for log replay (log files do not record the controller);
+// overrides the profile's controller for simulations.
+func WithController(node string) Option { return core.WithController(node) }
+
+// WithObservers attaches external accumulators to the single pass.
+func WithObservers(obs ...Observer) Option { return core.WithObservers(obs...) }
+
+// WithoutDataset makes Analyze a pure-streaming run: dataset slices stay
+// empty while figures and attached observers are still fed.
+func WithoutDataset() Option { return core.WithoutDataset() }
+
+// Simulate returns the Source that executes the campaign described by
+// cfg on the streaming engine.
+func Simulate(cfg *Config) Source { return core.Simulate(cfg) }
+
+// Logs returns the Source that replays a directory of per-node log files
+// — the paper's actual workflow — through the parallel streaming loader.
+func Logs(dir string, opts ...Option) Source { return core.Logs(dir, opts...) }
+
+// Analyze drains src once and assembles the Study: dataset slices
+// (unless WithoutDataset), incremental figure accumulators and every
+// attached Observer are fed from the same single pass in canonical
+// order. Cancelling ctx aborts the run leak-free and returns ctx.Err().
+func Analyze(ctx context.Context, src Source, opts ...Option) (*Study, error) {
+	return core.Analyze(ctx, src, opts...)
+}
+
+// RunStudy executes a custom configuration.
+//
+// Deprecated: use Analyze(ctx, Simulate(cfg)) — identical output, plus
+// cancellation, custom observers and pure-streaming runs.
+func RunStudy(cfg *Config) *Study { return core.RunStudy(cfg) }
+
+// StudyFromLogs rebuilds a study from a directory of per-node log files.
+// controller optionally names the permanently failing node excluded from
+// MTBF-style analyses ("" disables); workers bounds the loader pool
+// (0 means GOMAXPROCS, negative is an error).
+//
+// Deprecated: use Analyze(ctx, Logs(dir, WithController(controller),
+// WithWorkers(workers))) — identical output, plus cancellation, custom
+// observers and pure-streaming runs.
+func StudyFromLogs(dir, controller string, workers int) (*Study, error) {
+	return core.StudyFromLogs(dir, controller, workers)
+}
+
 // StreamHandler receives the merged campaign stream; see StreamCampaign.
+//
+// Deprecated: implement Observer (or use FuncObserver) and attach it via
+// WithObservers, or range over Simulate(cfg).Events(ctx); unlike the
+// callbacks, the iterator can stop the producers mid-stream.
 type StreamHandler = campaign.StreamHandler
 
 // CampaignStats are the scalar aggregates StreamCampaign returns.
+//
+// Deprecated: the equivalent SourceStats arrive as the stream's
+// EventStats prologue.
 type CampaignStats = campaign.Stats
 
 // StreamCampaign executes a campaign and delivers faults and sessions
 // incrementally in the canonical (time, node, ...) order, without
-// materializing the dataset. The delivered sequence is identical to the
-// slices a RunStudy over the same Config would collect; use it when the
-// consumer aggregates on the fly (exporters, counters, online policies)
-// rather than analyzing the whole dataset at once.
+// materializing the dataset.
+//
+// Deprecated: range over Simulate(cfg).Events(ctx) — the same sequence,
+// with cancellation and early break stopping the engine leak-free
+// (StreamCampaign callbacks cannot abort the stream).
 func StreamCampaign(cfg *Config, h StreamHandler) *CampaignStats {
 	return campaign.Stream(cfg, h)
 }

@@ -1,18 +1,60 @@
 package unprotected_test
 
 import (
+	"context"
+	"fmt"
 	"os"
 
 	"unprotected"
 )
 
 // Example_quickstart runs the full calibrated 13-month study — 923 nodes,
-// >25M raw error logs, ~56k independent faults — and prints every §III
-// analysis with the paper's values alongside. It completes in about a
-// second.
+// >25M raw error logs, ~56k independent faults — through the unified
+// Analyze entry point and prints every §III analysis with the paper's
+// values alongside. It completes in about a second.
 func Example_quickstart() {
-	study := unprotected.RunPaperStudy(42)
+	study, err := unprotected.Analyze(context.Background(),
+		unprotected.Simulate(unprotected.DefaultConfig(42)))
+	if err != nil {
+		panic(err)
+	}
 	study.FullReport(os.Stdout, unprotected.ReportOptions{})
 	// Output is the full report; see EXPERIMENTS.md for the measured
 	// values at this seed.
+}
+
+// Example_observer attaches a custom one-pass accumulator to the campaign
+// stream — the extension point for downstream reliability workloads — and
+// runs without materializing the dataset: constant memory, one pass.
+func Example_observer() {
+	var multiBit int
+	counter := unprotected.FuncObserver{Fault: func(f unprotected.Fault) {
+		if f.BitCount() > 1 {
+			multiBit++
+		}
+	}}
+	_, err := unprotected.Analyze(context.Background(),
+		unprotected.Simulate(unprotected.DefaultConfig(42)),
+		unprotected.WithObservers(counter), unprotected.WithoutDataset())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("multi-bit faults:", multiBit)
+}
+
+// Example_events consumes the merged stream directly: the iterator yields
+// a stats prologue, then every fault, then every session, in canonical
+// order. Breaking out of the loop (or cancelling the context) stops the
+// simulation engine leak-free.
+func Example_events() {
+	ctx := context.Background()
+	for ev, err := range unprotected.Simulate(unprotected.DefaultConfig(42)).Events(ctx) {
+		if err != nil {
+			panic(err)
+		}
+		if ev.Kind == unprotected.EventFault {
+			fmt.Printf("first fault: node %v addr %#x\n", ev.Fault.Node, ev.Fault.Addr)
+			break // stops the engine; no goroutines are leaked
+		}
+	}
 }

@@ -4,29 +4,44 @@
 // ~0.39h) a long-running job must checkpoint far more often. The example
 // compares a static Young/Daly plan against a regime-adaptive plan over
 // the study's actual error timeline.
+//
+// Everything it needs is online-computable, so the study runs as a pure
+// stream: the regime split comes from the stock figure accumulators and
+// the failure timeline from a custom Observer riding the same single
+// pass — no dataset is ever materialized.
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 
 	"unprotected"
-	"unprotected/internal/analysis"
 	"unprotected/internal/checkpoint"
 )
 
 func main() {
 	fmt.Println("Running the 13-month study...")
-	study := unprotected.RunPaperStudy(42)
-
-	reg := analysis.ComputeRegimes(study.Dataset)
-	fmt.Printf("regimes: %d normal days (MTBF %.0f h), %d degraded days (MTBF %.2f h)\n\n",
-		reg.NormalDays, reg.MTBFNormalHours, reg.DegradedDays, reg.MTBFDegradedHours)
+	cfg := unprotected.DefaultConfig(42)
+	controller := cfg.Profile.ControllerNode
 
 	// A system-wide job sees every fault (excluding the retired node).
 	var failureHours []float64
-	for _, f := range study.Dataset.FaultsExcluding(study.ExcludedNodes()...) {
-		failureHours = append(failureHours, float64(f.FirstAt)/3600)
+	timeline := unprotected.FuncObserver{Fault: func(f unprotected.Fault) {
+		if f.Node != controller {
+			failureHours = append(failureHours, float64(f.FirstAt)/3600)
+		}
+	}}
+	study, err := unprotected.Analyze(context.Background(), unprotected.Simulate(cfg),
+		unprotected.WithObservers(timeline), unprotected.WithoutDataset())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkpointing:", err)
+		os.Exit(1)
 	}
+
+	reg := study.Figures.Regimes.Finish()
+	fmt.Printf("regimes: %d normal days (MTBF %.0f h), %d degraded days (MTBF %.2f h)\n\n",
+		reg.NormalDays, reg.MTBFNormalHours, reg.DegradedDays, reg.MTBFDegradedHours)
 
 	const cost = 0.1 // checkpoint cost in hours
 	staticIv := checkpoint.YoungDaly(cost, reg.MTBFNormalHours)

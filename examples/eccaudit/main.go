@@ -6,19 +6,29 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 
 	"unprotected"
 	"unprotected/internal/ecc"
 )
 
 func main() {
+	// The audit only needs (data, syndrome) pairs, so it rides the event
+	// stream with a custom Observer instead of materializing the dataset:
+	// the pairs are collected during the campaign's single pass.
 	fmt.Println("Running the 13-month study...")
-	study := unprotected.RunPaperStudy(42)
-
-	pairs := make([][2]uint32, 0, len(study.Dataset.Faults))
-	for _, f := range study.Dataset.Faults {
+	var pairs [][2]uint32
+	collect := unprotected.FuncObserver{Fault: func(f unprotected.Fault) {
 		pairs = append(pairs, [2]uint32{f.Expected, f.Expected ^ f.Actual})
+	}}
+	_, err := unprotected.Analyze(context.Background(),
+		unprotected.Simulate(unprotected.DefaultConfig(42)),
+		unprotected.WithObservers(collect), unprotected.WithoutDataset())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eccaudit:", err)
+		os.Exit(1)
 	}
 
 	sec := ecc.RunAudit(ecc.SECDED32{C: ecc.NewSECDED3932()}, pairs)

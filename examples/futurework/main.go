@@ -13,15 +13,32 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"time"
 
+	"unprotected"
 	"unprotected/internal/campaign"
 	"unprotected/internal/cluster"
 	"unprotected/internal/dram"
 	"unprotected/internal/rng"
 	"unprotected/internal/timebase"
 )
+
+// run streams one §VI campaign variant through the given per-fault
+// counter without materializing a dataset: the experiments only tally
+// faults by position and time, which a custom Observer does during the
+// engine's single pass.
+func run(cfg *campaign.Config, count func(unprotected.Fault)) {
+	_, err := unprotected.Analyze(context.Background(), unprotected.Simulate(cfg),
+		unprotected.WithObservers(unprotected.FuncObserver{Fault: count}),
+		unprotected.WithoutDataset())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "futurework:", err)
+		os.Exit(1)
+	}
+}
 
 func main() {
 	stressTest()
@@ -31,13 +48,12 @@ func main() {
 
 func stressTest() {
 	fmt.Println("== §VI stress test: SoC-12 powered all year ==")
-	res := campaign.Run(campaign.StressConfig(11))
 	hot, cold := 0, 0
 	over55 := 0
 	special := map[cluster.NodeID]bool{
 		{Blade: 2, SoC: 4}: true, {Blade: 4, SoC: 5}: true, {Blade: 58, SoC: 2}: true,
 	}
-	for _, f := range res.Faults {
+	run(campaign.StressConfig(11), func(f unprotected.Fault) {
 		switch {
 		case f.Node.SoC >= 11 && f.Node.SoC <= 13:
 			hot++
@@ -48,7 +64,7 @@ func stressTest() {
 		default:
 			cold++
 		}
-	}
+	})
 	fmt.Printf("faults on hot positions (SoC 11-13): %d, of which %d logged above 55°C\n", hot, over55)
 	fmt.Printf("ambient faults elsewhere:            %d\n", cold)
 	fmt.Println("conclusion: with the heaters left on, §III-F's missing temperature")
@@ -60,10 +76,9 @@ func swapExperiment() {
 	fmt.Println("== §VI component swap: faulty DIMM moves to a healthy node ==")
 	swapAt := timebase.FromTime(time.Date(2015, time.October, 15, 0, 0, 0, 0, time.UTC))
 	healthy := cluster.NodeID{Blade: 40, SoC: 6}
-	res := campaign.Run(campaign.SwapConfig(13, swapAt, healthy))
 	controller := cluster.NodeID{Blade: 2, SoC: 4}
 	var a0, a1, b0, b1 int
-	for _, f := range res.Faults {
+	run(campaign.SwapConfig(13, swapAt, healthy), func(f unprotected.Fault) {
 		switch f.Node {
 		case controller:
 			if f.FirstAt < swapAt {
@@ -78,7 +93,7 @@ func swapExperiment() {
 				b1++
 			}
 		}
-	}
+	})
 	fmt.Printf("node %v (donor):     %6d faults before swap, %6d after\n", controller, a0, a1)
 	fmt.Printf("node %v (recipient): %6d faults before swap, %6d after\n", healthy, b0, b1)
 	fmt.Println("conclusion: the error stream follows the component — root cause is the")

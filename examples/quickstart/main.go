@@ -1,14 +1,23 @@
-// Quickstart: run the full calibrated study and print the paper's headline
-// findings. This is the three-line entry point to the whole reproduction.
+// Quickstart: run the full calibrated study through the one public entry
+// point — Analyze over a simulation Source — and print the paper's
+// headline findings. This is the four-line entry point to the whole
+// reproduction.
 package main
 
 import (
+	"context"
+	"fmt"
 	"os"
 
 	"unprotected"
 )
 
 func main() {
-	study := unprotected.RunPaperStudy(42)
+	study, err := unprotected.Analyze(context.Background(),
+		unprotected.Simulate(unprotected.DefaultConfig(42)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
 	study.FullReport(os.Stdout, unprotected.ReportOptions{})
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -35,9 +36,18 @@ func main() {
 	fmt.Printf("integrated day(7-18h)/night flux ratio: %.2f (paper: ~2x for multi-bit errors)\n\n",
 		flux.DayNightRatio())
 
+	// The hour-of-day histogram is online-computable, so the study can run
+	// as a pure stream: WithoutDataset materializes nothing, and the stock
+	// figure accumulators carry the answer.
 	fmt.Println("Running the 13-month study...")
-	study := unprotected.RunPaperStudy(7)
-	hod := analysis.ComputeHourOfDay(study.Dataset.Faults)
+	study, err := unprotected.Analyze(context.Background(),
+		unprotected.Simulate(unprotected.DefaultConfig(7)),
+		unprotected.WithoutDataset())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "solarflux:", err)
+		os.Exit(1)
+	}
+	hod := study.Figures.HourOfDay
 
 	multi := hod.MultiBit()
 	all := hod.Total()

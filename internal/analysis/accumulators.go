@@ -59,3 +59,10 @@ func (a *Accumulators) ObserveSession(s eventlog.Session) {
 	a.Headline.ObserveSession(s)
 	a.Daily.ObserveSession(s)
 }
+
+// Finish completes the stream.Observer interface, making the bundle the
+// stock observer consumers attach via unprotected.WithObservers. The
+// individual accumulators expose their own finalizers (Headline,
+// Regimes.Finish, ...) which remain callable at any time after the
+// stream ends, so Finish itself has nothing to seal.
+func (a *Accumulators) Finish() error { return nil }

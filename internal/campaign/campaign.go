@@ -17,6 +17,8 @@
 package campaign
 
 import (
+	"context"
+	"iter"
 	"runtime"
 	"sort"
 	"sync"
@@ -32,6 +34,7 @@ import (
 	"unprotected/internal/scanner"
 	"unprotected/internal/sched"
 	"unprotected/internal/solar"
+	"unprotected/internal/stream"
 	"unprotected/internal/thermal"
 	"unprotected/internal/timebase"
 )
@@ -162,62 +165,7 @@ type nodeStream struct {
 // released mid-merge. The results channel is bounded by the worker count,
 // not the node count.
 func Stream(cfg *Config, h StreamHandler) *Stats {
-	if cfg.Topo == nil {
-		cfg.Topo = cluster.PaperTopology()
-	}
-	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
-	}
-	plans := cfg.Profile.build(cfg)
-	nodes := cfg.Topo.ScannedNodes()
-
-	jobs := make(chan *cluster.Node)
-	results := make(chan nodeStream, cfg.Workers)
-	needFaults, needSessions := h.Fault != nil, h.Session != nil
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for n := range jobs {
-				results <- finalizeNode(simulateNode(cfg, n, plans[n.ID]), needFaults, needSessions)
-			}
-		}()
-	}
-	go func() {
-		for _, n := range nodes {
-			jobs <- n
-		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
-
-	stats := &Stats{RawLogsByNode: make(map[cluster.NodeID]int64)}
-	faultStreams := make([][]extract.Fault, 0, len(nodes))
-	sessionStreams := make([][]eventlog.Session, 0, len(nodes))
-	for out := range results {
-		stats.Faults += out.faultCount
-		stats.Sessions += len(out.sessions)
-		stats.RawLogs += out.rawLogs
-		if out.rawLogs > 0 {
-			stats.RawLogsByNode[out.node] += out.rawLogs
-		}
-		stats.AllocFails += out.allocFails
-		// A nil callback's streams are dropped here, node by node, so a
-		// faults-only consumer never holds the session data (and vice
-		// versa) — the counts above are all that survives.
-		if len(out.faults) > 0 {
-			faultStreams = append(faultStreams, out.faults)
-		}
-		if h.Session != nil && len(out.sessions) > 0 {
-			sessionStreams = append(sessionStreams, out.sessions)
-		}
-	}
-	// Streams arrive in worker-completion order, but that cannot affect
-	// the output: each stream holds a single node and both comparators
-	// include the node key, so no two stream heads ever compare equal and
-	// the merge's emitted sequence is independent of stream order.
+	stats, faultStreams, sessionStreams, _ := collect(context.Background(), cfg, h.Fault != nil, h.Session != nil)
 	if h.Begin != nil {
 		h.Begin(stats)
 	}
@@ -231,6 +179,135 @@ func Stream(cfg *Config, h StreamHandler) *Stats {
 		kway.Merge(sessionStreams, eventlog.CompareSessions, h.Session)
 	}
 	return stats
+}
+
+// Events executes the campaign and yields the merged stream as an
+// iterator honouring the internal/stream contract: a stats prologue, then
+// every characterized fault in extract.Compare order, then every session
+// in eventlog.CompareSessions order. The delivered sequence is identical
+// to what Stream hands its callbacks over the same Config.
+//
+// Cancelling ctx aborts the campaign: unsimulated nodes are skipped, the
+// worker pool drains and exits before the iterator yields its final
+// (zero Event, ctx.Err()) pair, so an abandoned run leaks no goroutines.
+// Breaking out of the range mid-merge releases everything immediately —
+// by the first yield the pool has already wound down. Delivery itself
+// performs no per-event allocation.
+//
+// Events always produces the complete stream; a single-sided consumer
+// should use EventsFiltered, which skips the unwanted half's extraction
+// and sorting entirely (the counts in the prologue stay exact either
+// way).
+func Events(ctx context.Context, cfg *Config) iter.Seq2[stream.Event, error] {
+	return EventsFiltered(ctx, cfg, true, true)
+}
+
+// EventsFiltered is Events restricted to the halves the consumer wants:
+// a false needFaults (or needSessions) omits those deliveries and skips
+// their per-node classification, sorting and buffering, exactly like a
+// nil StreamHandler callback. The prologue's counts still cover the full
+// campaign.
+func EventsFiltered(ctx context.Context, cfg *Config, needFaults, needSessions bool) iter.Seq2[stream.Event, error] {
+	return func(yield func(stream.Event, error) bool) {
+		stats, faultStreams, sessionStreams, err := collect(ctx, cfg, needFaults, needSessions)
+		if err != nil {
+			yield(stream.Event{}, err)
+			return
+		}
+		stream.Deliver(ctx, yield, &stream.Stats{
+			Faults:        stats.Faults,
+			Sessions:      stats.Sessions,
+			RawLogs:       stats.RawLogs,
+			RawLogsByNode: stats.RawLogsByNode,
+			AllocFails:    stats.AllocFails,
+		}, faultStreams, sessionStreams)
+	}
+}
+
+// collect runs the simulation worker pool to completion (or cancellation)
+// and gathers the per-node sorted streams plus the scalar stats. It is
+// the shared engine under Stream and Events.
+//
+// Cancellation: the feeder stops handing out nodes, workers skip
+// simulating whatever is still queued, and the collector keeps draining
+// until the results channel closes — so by the time the ctx.Err() is
+// returned every pool goroutine has exited. A nil error guarantees the
+// pool is equally gone (the channels closed normally).
+func collect(ctx context.Context, cfg *Config, needFaults, needSessions bool) (*Stats, [][]extract.Fault, [][]eventlog.Session, error) {
+	if cfg.Topo == nil {
+		cfg.Topo = cluster.PaperTopology()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	plans := cfg.Profile.build(cfg)
+	nodes := cfg.Topo.ScannedNodes()
+
+	jobs := make(chan *cluster.Node)
+	results := make(chan nodeStream, cfg.Workers)
+	done := ctx.Done()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := range jobs {
+				if ctx.Err() != nil {
+					continue // cancelled: drain the queue without simulating
+				}
+				select {
+				case results <- finalizeNode(simulateNode(cfg, n, plans[n.ID]), needFaults, needSessions):
+				case <-done:
+				}
+			}
+		}()
+	}
+	go func() {
+	feed:
+		for _, n := range nodes {
+			select {
+			case jobs <- n:
+			case <-done:
+				break feed
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	stats := &Stats{RawLogsByNode: make(map[cluster.NodeID]int64)}
+	faultStreams := make([][]extract.Fault, 0, len(nodes))
+	sessionStreams := make([][]eventlog.Session, 0, len(nodes))
+	for out := range results {
+		if ctx.Err() != nil {
+			continue // cancelled: keep draining so the pool exits
+		}
+		stats.Faults += out.faultCount
+		stats.Sessions += len(out.sessions)
+		stats.RawLogs += out.rawLogs
+		if out.rawLogs > 0 {
+			stats.RawLogsByNode[out.node] += out.rawLogs
+		}
+		stats.AllocFails += out.allocFails
+		// A nil callback's streams are dropped here, node by node, so a
+		// faults-only consumer never holds the session data (and vice
+		// versa) — the counts above are all that survives.
+		if len(out.faults) > 0 {
+			faultStreams = append(faultStreams, out.faults)
+		}
+		if needSessions && len(out.sessions) > 0 {
+			sessionStreams = append(sessionStreams, out.sessions)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, nil, err
+	}
+	// Streams arrive in worker-completion order, but that cannot affect
+	// the output: each stream holds a single node and both comparators
+	// include the node key, so no two stream heads ever compare equal and
+	// the merge's emitted sequence is independent of stream order.
+	return stats, faultStreams, sessionStreams, nil
 }
 
 // finalizeNode turns a simulated node's raw output into its sorted stream

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+
+	"unprotected/internal/campaign"
+	"unprotected/internal/cluster"
+	"unprotected/internal/eventlog"
+	"unprotected/internal/extract"
+	"unprotected/internal/logstore"
+	"unprotected/internal/stream"
+)
+
+// Option configures Analyze and the built-in sources. Options are
+// validated when applied: Analyze (and the first Events call of a source
+// built with invalid options) reports a descriptive error instead of
+// silently clamping.
+type Option func(*options) error
+
+// options is the resolved option set.
+type options struct {
+	workers       int
+	controller    cluster.NodeID
+	hasController bool
+	observers     []stream.Observer
+	noDataset     bool
+}
+
+func (o *options) apply(opts []Option) error {
+	for _, opt := range opts {
+		if opt == nil {
+			return errors.New("nil Option")
+		}
+		if err := opt(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WithWorkers bounds the source's worker pool. Zero selects GOMAXPROCS;
+// negative values are rejected (they used to be silently clamped).
+func WithWorkers(n int) Option {
+	return func(o *options) error {
+		if n < 0 {
+			return fmt.Errorf("workers must be >= 0, got %d (0 selects GOMAXPROCS)", n)
+		}
+		o.workers = n
+		return nil
+	}
+}
+
+// WithController names the permanently failing node excluded from
+// MTBF-style analyses (§III-I). The empty string disables the exclusion.
+// For a simulation source this overrides the profile's controller node;
+// for a log-replay source it is the only way to identify it — log files
+// do not record which node was the controller.
+func WithController(node string) Option {
+	return func(o *options) error {
+		o.hasController = true
+		if node == "" {
+			o.controller = cluster.NodeID{}
+			return nil
+		}
+		id, err := cluster.ParseNodeID(node)
+		if err != nil {
+			return fmt.Errorf("bad controller node: %w", err)
+		}
+		o.controller = id
+		return nil
+	}
+}
+
+// WithObservers attaches external one-pass accumulators to the stream:
+// each observer sees every fault and session in canonical order, in the
+// same single pass that feeds the internal figure accumulators, and its
+// Finish runs once the stream ends. A Finish error fails Analyze.
+func WithObservers(obs ...stream.Observer) Option {
+	return func(o *options) error {
+		for _, ob := range obs {
+			if ob == nil {
+				return errors.New("nil Observer")
+			}
+		}
+		o.observers = append(o.observers, obs...)
+		return nil
+	}
+}
+
+// WithoutDataset makes Analyze a pure-streaming run: the Study's dataset
+// slices stay empty (nothing is materialized per event) while the figure
+// accumulators and any WithObservers attachments are still fed. Use it
+// when the consumers are the observers themselves; report sections that
+// recompute from the slices will see an empty dataset.
+func WithoutDataset() Option {
+	return func(o *options) error {
+		o.noDataset = true
+		return nil
+	}
+}
+
+// configurableSource lets Analyze exchange options with the built-in
+// sources: Analyze-level settings the source acts on (worker-pool size)
+// flow down, source-baked settings only Analyze can act on (observers,
+// WithoutDataset) flow up. configure returns the source to stream from —
+// a derived copy when something changed, so neither the caller's Config
+// nor a reusable Source is mutated by one Analyze call's options.
+type configurableSource interface {
+	configure(o *options) (stream.Source, error)
+}
+
+// studySource describes the study metadata a built-in source knows.
+// topology is only required to be final after Events has been drained
+// (the campaign engine defaults it during the run).
+type studySource interface {
+	controller() cluster.NodeID
+	pathological() cluster.NodeID
+	topology() *cluster.Topology
+}
+
+// simSource adapts the campaign engine to the Source interface.
+type simSource struct {
+	cfg *campaign.Config
+}
+
+// Simulate returns the Source that executes the campaign described by
+// cfg. Pass it to Analyze, or range over Events directly for a custom
+// consumer.
+func Simulate(cfg *campaign.Config) stream.Source { return &simSource{cfg: cfg} }
+
+func (s *simSource) Events(ctx context.Context) iter.Seq2[stream.Event, error] {
+	if s.cfg == nil {
+		return func(yield func(stream.Event, error) bool) {
+			yield(stream.Event{}, errors.New("unprotected: Simulate: nil Config (use DefaultConfig)"))
+		}
+	}
+	return campaign.Events(ctx, s.cfg)
+}
+
+func (s *simSource) configure(o *options) (stream.Source, error) {
+	if s.cfg == nil {
+		return nil, errors.New("Simulate: nil Config (use DefaultConfig)")
+	}
+	if o.workers > 0 && o.workers != s.cfg.Workers {
+		// Shallow-copy the Config so the override (and the engine's own
+		// defaulting) stays local to this Analyze call.
+		cfg := *s.cfg
+		cfg.Workers = o.workers
+		return &simSource{cfg: &cfg}, nil
+	}
+	return s, nil
+}
+
+func (s *simSource) controller() cluster.NodeID {
+	if s.cfg != nil && s.cfg.Profile != nil {
+		return s.cfg.Profile.ControllerNode
+	}
+	return cluster.NodeID{}
+}
+
+func (s *simSource) pathological() cluster.NodeID {
+	if s.cfg != nil && s.cfg.Profile != nil {
+		return s.cfg.Profile.PathologicalNode
+	}
+	return cluster.NodeID{}
+}
+
+func (s *simSource) topology() *cluster.Topology {
+	if s.cfg == nil {
+		return nil
+	}
+	return s.cfg.Topo
+}
+
+// logSource adapts the log-replay loader to the Source interface.
+type logSource struct {
+	dir  string
+	opts options
+	err  error // first constructor-option error, surfaced on use
+}
+
+// Logs returns the Source that replays a directory of per-node log files
+// — the paper's actual workflow. Options accepted here carry the same
+// meaning as on Analyze, which may override them (WithObservers and
+// WithoutDataset only take effect through Analyze — a raw Events range
+// has no sink to feed); an invalid option surfaces as the error of the
+// first Events delivery (and from Analyze before the stream starts).
+func Logs(dir string, opts ...Option) stream.Source {
+	s := &logSource{dir: dir}
+	s.err = s.opts.apply(opts)
+	return s
+}
+
+func (s *logSource) Events(ctx context.Context) iter.Seq2[stream.Event, error] {
+	if s.err != nil {
+		return func(yield func(stream.Event, error) bool) {
+			yield(stream.Event{}, fmt.Errorf("unprotected: Logs: %w", s.err))
+		}
+	}
+	return logstore.Events(ctx, s.dir, s.opts.workers)
+}
+
+func (s *logSource) configure(o *options) (stream.Source, error) {
+	if s.err != nil {
+		return nil, fmt.Errorf("Logs: %w", s.err)
+	}
+	// Analyze-level options that the source cannot act on by itself flow
+	// the other way: observers and WithoutDataset baked into the Logs call
+	// join Analyze's own set, so both spellings are equivalent.
+	o.observers = append(o.observers, s.opts.observers...)
+	if s.opts.noDataset {
+		o.noDataset = true
+	}
+	if o.workers > 0 && o.workers != s.opts.workers {
+		cp := *s
+		cp.opts.workers = o.workers
+		return &cp, nil
+	}
+	return s, nil
+}
+
+func (s *logSource) controller() cluster.NodeID   { return s.opts.controller }
+func (s *logSource) pathological() cluster.NodeID { return cluster.NodeID{} }
+
+// topology returns the prototype's layout: a replayed directory carries
+// no topology of its own, and the paper's is the only one the per-node
+// analyses know how to map.
+func (s *logSource) topology() *cluster.Topology { return cluster.PaperTopology() }
+
+// Analyze drains src once and assembles the Study: the dataset slices
+// (unless WithoutDataset), the incremental figure accumulators, and every
+// attached observer are all fed element by element from the same single
+// pass, in the canonical stream order. It is the one entry point both
+// dataset sources — and any external Source implementation — share.
+//
+// Cancelling ctx aborts the run: the source winds its producers down
+// leak-free and Analyze returns ctx.Err(). Invalid options (negative
+// workers, an unparseable controller node, a nil observer) are reported
+// before the stream starts.
+func Analyze(ctx context.Context, src stream.Source, opts ...Option) (*Study, error) {
+	if src == nil {
+		return nil, errors.New("unprotected: Analyze: nil Source")
+	}
+	var o options
+	if err := o.apply(opts); err != nil {
+		return nil, fmt.Errorf("unprotected: Analyze: %w", err)
+	}
+	if cs, ok := src.(configurableSource); ok {
+		configured, err := cs.configure(&o)
+		if err != nil {
+			return nil, fmt.Errorf("unprotected: Analyze: %w", err)
+		}
+		src = configured
+	}
+
+	var controller, pathological cluster.NodeID
+	meta, hasMeta := src.(studySource)
+	if hasMeta {
+		controller, pathological = meta.controller(), meta.pathological()
+	}
+	if o.hasController {
+		controller = o.controller
+	}
+
+	sink := newStreamSink(controller, pathological)
+	sink.collect = !o.noDataset
+	sink.observers = o.observers
+
+	var st stream.Stats
+	for ev, err := range src.Events(ctx) {
+		if err != nil {
+			return nil, err
+		}
+		switch ev.Kind {
+		case stream.KindStats:
+			if ev.Stats != nil {
+				st = *ev.Stats
+				if sink.collect {
+					sink.dataset.Faults = make([]extract.Fault, 0, st.Faults)
+					sink.dataset.Sessions = make([]eventlog.Session, 0, st.Sessions)
+				}
+			}
+		case stream.KindFault:
+			sink.fault(ev.Fault)
+		case stream.KindSession:
+			sink.session(ev.Session)
+		}
+	}
+	// Belt and braces: a well-behaved source surfaces cancellation as its
+	// final iterator error, but a custom one may just stop yielding.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, ob := range o.observers {
+		if err := ob.Finish(); err != nil {
+			return nil, fmt.Errorf("unprotected: Analyze: observer: %w", err)
+		}
+	}
+
+	topo := cluster.PaperTopology()
+	if hasMeta {
+		if t := meta.topology(); t != nil {
+			topo = t
+		}
+	}
+	study := sink.study(topo, st.RawLogs, st.RawLogsByNode)
+	if sim, ok := src.(*simSource); ok {
+		// Simulation studies keep carrying the campaign view, exactly as
+		// RunStudy always has — except under WithoutDataset, where a
+		// Result whose slices are deliberately empty but whose raw-log
+		// counters are full would be internally inconsistent; it stays
+		// nil, like a replayed study's.
+		study.Config = sim.cfg
+		if sink.collect {
+			study.Result = &campaign.Result{
+				Cfg:           sim.cfg,
+				Faults:        study.Dataset.Faults,
+				Sessions:      study.Dataset.Sessions,
+				RawLogs:       st.RawLogs,
+				RawLogsByNode: st.RawLogsByNode,
+				AllocFails:    st.AllocFails,
+			}
+		}
+	}
+	return study, nil
+}

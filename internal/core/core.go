@@ -4,29 +4,33 @@
 // the paper. cmd/ binaries and the examples talk to this package (via the
 // root unprotected package) rather than to the substrates directly.
 //
-// Both dataset sources — the campaign engine's merged simulation stream
-// and the log-replay loader's merged file stream — feed the same sink: it
-// collects the analysis dataset and simultaneously drives the incremental
-// figure accumulators, so every online-computable §III statistic is ready
-// the moment the stream ends, after exactly one pass over the source.
+// The entry point is Analyze(ctx, src): src is any stream.Source — the
+// campaign engine (Simulate), the log-replay loader (Logs), or an
+// external implementation — and every source feeds the same sink, which
+// collects the analysis dataset, drives the incremental figure
+// accumulators and fans out to attached observers, so every
+// online-computable §III statistic is ready the moment the stream ends,
+// after exactly one pass over the source. RunStudy and StudyFromLogs
+// survive as deprecated wrappers with byte-identical output.
 package core
 
 import (
-	"fmt"
+	"context"
 
 	"unprotected/internal/analysis"
 	"unprotected/internal/campaign"
 	"unprotected/internal/cluster"
 	"unprotected/internal/eventlog"
 	"unprotected/internal/extract"
-	"unprotected/internal/logstore"
+	"unprotected/internal/stream"
 )
 
 // Study is one executed campaign with its analysis-ready dataset.
 type Study struct {
 	Config *campaign.Config
 	// Result is the collected campaign output; nil for studies replayed
-	// from log files (the logs are the result).
+	// from log files (the logs are the result) and for pure-streaming
+	// runs (WithoutDataset collects nothing).
 	Result  *campaign.Result
 	Dataset *analysis.Dataset
 	// Figures holds the incremental figure accumulators fed during the
@@ -37,12 +41,15 @@ type Study struct {
 }
 
 // streamSink adapts a merged (faults, sessions) stream into a Study: it
-// collects the dataset slices and feeds the figure accumulators element by
-// element. Both campaign.Stream and logstore.Stream deliver the canonical
-// orders the accumulators require.
+// collects the dataset slices (when collect is set), feeds the figure
+// accumulators, and fans out to any attached external observers, element
+// by element. Every Source delivers the canonical orders the
+// accumulators require.
 type streamSink struct {
-	dataset *analysis.Dataset
-	figures *analysis.Accumulators
+	dataset   *analysis.Dataset
+	figures   *analysis.Accumulators
+	collect   bool
+	observers []stream.Observer
 }
 
 func newStreamSink(controller, pathological cluster.NodeID) *streamSink {
@@ -57,17 +64,28 @@ func newStreamSink(controller, pathological cluster.NodeID) *streamSink {
 			PathologicalNode: pathological,
 		},
 		figures: analysis.NewAccumulators(exclude...),
+		collect: true,
 	}
 }
 
 func (s *streamSink) fault(f extract.Fault) {
-	s.dataset.Faults = append(s.dataset.Faults, f)
+	if s.collect {
+		s.dataset.Faults = append(s.dataset.Faults, f)
+	}
 	s.figures.ObserveFault(f)
+	for _, ob := range s.observers {
+		ob.ObserveFault(f)
+	}
 }
 
 func (s *streamSink) session(sess eventlog.Session) {
-	s.dataset.Sessions = append(s.dataset.Sessions, sess)
+	if s.collect {
+		s.dataset.Sessions = append(s.dataset.Sessions, sess)
+	}
 	s.figures.ObserveSession(sess)
+	for _, ob := range s.observers {
+		ob.ObserveSession(sess)
+	}
 }
 
 // study finalizes the sink once the stream has ended.
@@ -85,68 +103,35 @@ func RunPaperStudy(seed uint64) *Study {
 	return RunStudy(cfg)
 }
 
-// RunStudy executes an arbitrary configuration. The campaign streams
-// through the shared sink: dataset collection and the incremental figure
-// computations happen during delivery, in one pass.
+// RunStudy executes an arbitrary configuration.
+//
+// Deprecated: RunStudy is the pre-iterator entry point, kept as a thin
+// wrapper over Analyze(ctx, Simulate(cfg)) — which it matches
+// byte-for-byte, and which adds cancellation, custom observers and
+// pure-streaming runs.
 func RunStudy(cfg *campaign.Config) *Study {
-	var controller, pathological cluster.NodeID
-	if cfg.Profile != nil {
-		controller = cfg.Profile.ControllerNode
-		pathological = cfg.Profile.PathologicalNode
-	}
-	sink := newStreamSink(controller, pathological)
-	st := campaign.Stream(cfg, campaign.StreamHandler{
-		Begin: func(st *campaign.Stats) {
-			sink.dataset.Faults = make([]extract.Fault, 0, st.Faults)
-			sink.dataset.Sessions = make([]eventlog.Session, 0, st.Sessions)
-		},
-		Fault:   sink.fault,
-		Session: sink.session,
-	})
-	study := sink.study(cfg.Topo, st.RawLogs, st.RawLogsByNode)
-	study.Config = cfg
-	study.Result = &campaign.Result{
-		Cfg:           cfg,
-		Faults:        study.Dataset.Faults,
-		Sessions:      study.Dataset.Sessions,
-		RawLogs:       st.RawLogs,
-		RawLogsByNode: st.RawLogsByNode,
-		AllocFails:    st.AllocFails,
+	study, err := Analyze(context.Background(), Simulate(cfg))
+	if err != nil {
+		// A simulation source under a background context with no options
+		// has no failure path.
+		panic("core: RunStudy: " + err.Error())
 	}
 	return study
 }
 
 // StudyFromLogs rebuilds a study from a directory of per-node log files —
-// the paper's actual workflow (§II-B kept one log file per node). The
-// directory streams through the same sink as a simulated campaign, so the
-// resulting Study is interchangeable with one from RunStudy: same canonical
-// orders, same figure accumulators, one pass over the corpus. controller
-// optionally names the permanently failing node excluded from MTBF-style
-// analyses (empty string disables the exclusion); workers bounds the
-// loader pool (0 means GOMAXPROCS). Output is identical for every workers
-// value.
+// the paper's actual workflow (§II-B kept one log file per node).
+// controller optionally names the permanently failing node excluded from
+// MTBF-style analyses (empty string disables the exclusion); workers
+// bounds the loader pool (0 means GOMAXPROCS, negative is an error).
+// Output is identical for every workers value.
+//
+// Deprecated: StudyFromLogs is the pre-iterator entry point, kept as a
+// thin wrapper over Analyze(ctx, Logs(dir, ...)) — which it matches
+// byte-for-byte, and which replaces the positional parameters with
+// options.
 func StudyFromLogs(dir, controller string, workers int) (*Study, error) {
-	var controllerID cluster.NodeID
-	if controller != "" {
-		id, err := cluster.ParseNodeID(controller)
-		if err != nil {
-			return nil, fmt.Errorf("bad controller node: %w", err)
-		}
-		controllerID = id
-	}
-	sink := newStreamSink(controllerID, cluster.NodeID{})
-	st, err := logstore.StreamWorkers(dir, workers, logstore.StreamHandler{
-		Begin: func(st *logstore.Stats) {
-			sink.dataset.Faults = make([]extract.Fault, 0, st.Faults)
-			sink.dataset.Sessions = make([]eventlog.Session, 0, st.Sessions)
-		},
-		Fault:   sink.fault,
-		Session: sink.session,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return sink.study(cluster.PaperTopology(), st.RawLogs, st.RawLogsByNode), nil
+	return Analyze(context.Background(), Logs(dir, WithController(controller), WithWorkers(workers)))
 }
 
 // DatasetOf adapts a campaign result for the analysis layer.

@@ -7,6 +7,8 @@
 // materializing the merged sequence.
 package kway
 
+import "iter"
+
 // Merge deterministically merges k individually sorted streams into one
 // ordered sequence, invoking emit once per element.
 //
@@ -15,31 +17,47 @@ package kway
 // merge is stable across runs even for equal elements. Exhausted streams
 // are released as soon as their last element is emitted.
 func Merge[T any](streams [][]T, cmp func(a, b *T) int, emit func(T)) {
-	h := make([]cursor[T], 0, len(streams))
-	for i, s := range streams {
-		if len(s) > 0 {
-			h = append(h, cursor[T]{items: s, idx: i})
-		}
+	for v := range MergeSeq(streams, cmp) {
+		emit(v)
 	}
-	less := func(a, b *cursor[T]) bool {
-		if c := cmp(&a.items[a.pos], &b.items[b.pos]); c != 0 {
-			return c < 0
+}
+
+// MergeSeq is Merge as a range-over-func iterator: the same deterministic
+// order and stability contract, but the consumer may stop early by
+// breaking out of the range, releasing the heap immediately. The iterator
+// allocates only its heap of k cursors up front — emitting an element
+// performs no allocation, so a delivery layer built on it stays
+// zero-alloc per event.
+func MergeSeq[T any](streams [][]T, cmp func(a, b *T) int) iter.Seq[T] {
+	return func(yield func(T) bool) {
+		h := make([]cursor[T], 0, len(streams))
+		for i, s := range streams {
+			if len(s) > 0 {
+				h = append(h, cursor[T]{items: s, idx: i})
+			}
 		}
-		return a.idx < b.idx
-	}
-	for i := len(h)/2 - 1; i >= 0; i-- {
-		siftDown(h, i, less)
-	}
-	for len(h) > 0 {
-		top := &h[0]
-		emit(top.items[top.pos])
-		top.pos++
-		if top.pos == len(top.items) {
-			h[0] = h[len(h)-1]
-			h[len(h)-1] = cursor[T]{} // drop the stale copy's reference
-			h = h[:len(h)-1]
+		less := func(a, b *cursor[T]) bool {
+			if c := cmp(&a.items[a.pos], &b.items[b.pos]); c != 0 {
+				return c < 0
+			}
+			return a.idx < b.idx
 		}
-		siftDown(h, 0, less)
+		for i := len(h)/2 - 1; i >= 0; i-- {
+			siftDown(h, i, less)
+		}
+		for len(h) > 0 {
+			top := &h[0]
+			if !yield(top.items[top.pos]) {
+				return
+			}
+			top.pos++
+			if top.pos == len(top.items) {
+				h[0] = h[len(h)-1]
+				h[len(h)-1] = cursor[T]{} // drop the stale copy's reference
+				h = h[:len(h)-1]
+			}
+			siftDown(h, 0, less)
+		}
 	}
 }
 

@@ -97,3 +97,59 @@ func TestMergeRandomizedAgainstSort(t *testing.T) {
 		}
 	}
 }
+
+// TestMergeSeqEarlyBreak: breaking out of the range stops the merge; a
+// fresh iterator over the same streams still delivers everything.
+func TestMergeSeqEarlyBreak(t *testing.T) {
+	streams := [][]int{{1, 4, 7}, {2, 5, 8}, {3, 6, 9}}
+	var got []int
+	for v := range MergeSeq(streams, cmpInt) {
+		got = append(got, v)
+		if len(got) == 4 {
+			break
+		}
+	}
+	if !reflect.DeepEqual(got, []int{1, 2, 3, 4}) {
+		t.Fatalf("early break delivered %v", got)
+	}
+	var all []int
+	for v := range MergeSeq(streams, cmpInt) {
+		all = append(all, v)
+	}
+	if !reflect.DeepEqual(all, []int{1, 2, 3, 4, 5, 6, 7, 8, 9}) {
+		t.Fatalf("re-iteration delivered %v", all)
+	}
+}
+
+// TestMergeSeqZeroAllocPerElement is the hard gate behind the stream
+// contract's "delivery is allocation-free per event": the merge allocates
+// only its cursor heap up front, so total allocations are identical for a
+// 10-element and a 100k-element merge — per element, zero.
+func TestMergeSeqZeroAllocPerElement(t *testing.T) {
+	build := func(perStream int) [][]int {
+		streams := make([][]int, 8)
+		for i := range streams {
+			for j := 0; j < perStream; j++ {
+				streams[i] = append(streams[i], j*8+i)
+			}
+		}
+		return streams
+	}
+	measure := func(streams [][]int) float64 {
+		var sink int
+		return testing.AllocsPerRun(10, func() {
+			for v := range MergeSeq(streams, cmpInt) {
+				sink += v
+			}
+		})
+	}
+	small, large := measure(build(10)), measure(build(100_000))
+	if small != large {
+		t.Fatalf("allocations scale with element count: %v for 80 elements, %v for 800k", small, large)
+	}
+	// The constant is the setup: cursor heap, comparator closure, and the
+	// iterator/yield closures of the range-over-func machinery.
+	if large > 5 {
+		t.Fatalf("merge setup allocates %v times, want <= 5", large)
+	}
+}

@@ -1,8 +1,10 @@
 package logstore
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"iter"
 	"os"
 	"runtime"
 	"sort"
@@ -12,6 +14,7 @@ import (
 	"unprotected/internal/eventlog"
 	"unprotected/internal/extract"
 	"unprotected/internal/kway"
+	"unprotected/internal/stream"
 )
 
 // StreamHandler receives the merged replay stream, mirroring the campaign
@@ -83,9 +86,86 @@ func Stream(dir string, h StreamHandler) (*Stats, error) {
 // StreamWorkers is Stream with an explicit worker-pool size (0 or negative
 // means GOMAXPROCS).
 func StreamWorkers(dir string, workers int, h StreamHandler) (*Stats, error) {
-	files, err := ListNodeFiles(dir)
+	stats, streams, err := collect(context.Background(), dir, workers, h.Fault != nil, h.Session != nil)
 	if err != nil {
 		return nil, err
+	}
+	if h.Begin != nil {
+		h.Begin(stats)
+	}
+	if h.Fault != nil {
+		kway.Merge(faultStreams(streams), extract.Compare, h.Fault)
+	}
+	if h.Session != nil {
+		kway.Merge(sessionStreams(streams), eventlog.CompareSessions, h.Session)
+	}
+	return stats, nil
+}
+
+// Events replays the directory and yields the merged stream as an
+// iterator honouring the internal/stream contract, mirroring the campaign
+// engine's Events: a stats prologue, faults in extract.Compare order,
+// then sessions in eventlog.CompareSessions order — exactly the sequence
+// StreamWorkers hands its callbacks over the same directory, for any
+// worker count (0 means GOMAXPROCS).
+//
+// Cancelling ctx aborts the replay: unread files are skipped, the loader
+// pool drains and exits before the iterator yields its final (zero Event,
+// ctx.Err()) pair, so an abandoned replay leaks no goroutines. By the
+// first yield the pool has already wound down, so breaking out of the
+// range releases everything immediately. Delivery itself performs no
+// per-event allocation.
+func Events(ctx context.Context, dir string, workers int) iter.Seq2[stream.Event, error] {
+	return func(yield func(stream.Event, error) bool) {
+		stats, streams, err := collect(ctx, dir, workers, true, true)
+		if err != nil {
+			yield(stream.Event{}, err)
+			return
+		}
+		stream.Deliver(ctx, yield, &stream.Stats{
+			Faults:        stats.Faults,
+			Sessions:      stats.Sessions,
+			RawLogs:       stats.RawLogs,
+			RawLogsByNode: stats.RawLogsByNode,
+		}, faultStreams(streams), sessionStreams(streams))
+	}
+}
+
+// faultStreams projects the non-empty per-node fault slices in file order.
+func faultStreams(streams []nodeStream) [][]extract.Fault {
+	out := make([][]extract.Fault, 0, len(streams))
+	for _, ns := range streams {
+		if len(ns.faults) > 0 {
+			out = append(out, ns.faults)
+		}
+	}
+	return out
+}
+
+// sessionStreams projects the non-empty per-node session slices in file
+// order.
+func sessionStreams(streams []nodeStream) [][]eventlog.Session {
+	out := make([][]eventlog.Session, 0, len(streams))
+	for _, ns := range streams {
+		if len(ns.sessions) > 0 {
+			out = append(out, ns.sessions)
+		}
+	}
+	return out
+}
+
+// collect runs the loader pool to completion (or cancellation) and
+// gathers the per-file sorted streams, restored to file order, plus the
+// scalar stats. It is the shared engine under StreamWorkers and Events.
+//
+// Cancellation: the feeder stops handing out files, workers skip loading
+// whatever is still queued, and the collector keeps draining until the
+// results channel closes — so by the time ctx.Err() is returned every
+// pool goroutine has exited.
+func collect(ctx context.Context, dir string, workers int, needFaults, needSessions bool) (*Stats, []nodeStream, error) {
+	files, err := ListNodeFiles(dir)
+	if err != nil {
+		return nil, nil, err
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -101,24 +181,35 @@ func StreamWorkers(dir string, workers int, h StreamHandler) (*Stats, error) {
 	}
 	jobs := make(chan job)
 	results := make(chan nodeStream, workers)
-	needFaults, needSessions := h.Fault != nil, h.Session != nil
+	done := ctx.Done()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				if ctx.Err() != nil {
+					continue // cancelled: drain the queue without loading
+				}
 				ns := loadNodeFile(j.path, j.node, needFaults, needSessions)
 				ns.order = j.order
-				results <- ns
+				select {
+				case results <- ns:
+				case <-done:
+				}
 			}
 		}()
 	}
 	stats := &Stats{RawLogsByNode: make(map[cluster.NodeID]int64)}
 	go func() {
+	feed:
 		for i, path := range files {
 			node, _ := nodeOfFile(path)
-			jobs <- job{path: path, node: node, order: i}
+			select {
+			case jobs <- job{path: path, node: node, order: i}:
+			case <-done:
+				break feed
+			}
 		}
 		close(jobs)
 		wg.Wait()
@@ -132,6 +223,9 @@ func StreamWorkers(dir string, workers int, h StreamHandler) (*Stats, error) {
 	var streams []nodeStream
 	var firstErr *nodeStream
 	for ns := range results {
+		if ctx.Err() != nil {
+			continue // cancelled: keep draining so the pool exits
+		}
 		if ns.err != nil {
 			// Keep draining so the pool exits, but remember the failure of
 			// the lowest-indexed file — deterministic no matter which
@@ -152,36 +246,17 @@ func StreamWorkers(dir string, workers int, h StreamHandler) (*Stats, error) {
 			streams = append(streams, ns)
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	if firstErr != nil {
-		return nil, firstErr.err
+		return nil, nil, firstErr.err
 	}
 	// Streams arrive in worker-completion order; restore file order so the
 	// merge's equal-key tiebreak (stream index) is deterministic even if a
 	// directory holds two files for one node.
 	sort.Slice(streams, func(i, j int) bool { return streams[i].order < streams[j].order })
-
-	if h.Begin != nil {
-		h.Begin(stats)
-	}
-	if h.Fault != nil {
-		faultStreams := make([][]extract.Fault, 0, len(streams))
-		for _, ns := range streams {
-			if len(ns.faults) > 0 {
-				faultStreams = append(faultStreams, ns.faults)
-			}
-		}
-		kway.Merge(faultStreams, extract.Compare, h.Fault)
-	}
-	if h.Session != nil {
-		sessionStreams := make([][]eventlog.Session, 0, len(streams))
-		for _, ns := range streams {
-			if len(ns.sessions) > 0 {
-				sessionStreams = append(sessionStreams, ns.sessions)
-			}
-		}
-		kway.Merge(sessionStreams, eventlog.CompareSessions, h.Session)
-	}
-	return stats, nil
+	return stats, streams, nil
 }
 
 // loadNodeFile runs one file through the §II-C pipeline on the worker:

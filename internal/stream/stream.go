@@ -1,0 +1,184 @@
+// Package stream defines the unified campaign event stream: the single
+// shape every dataset source in this module produces and every consumer
+// reads. A Source — the campaign simulator, the log-replay loader, or any
+// external implementation — yields one merged, canonically ordered
+// sequence of faults and sessions as a Go 1.23 range-over-func iterator;
+// an Observer is a pluggable one-pass accumulator fed from that sequence.
+//
+// The contract (DESIGN.md §7):
+//
+//   - A stream is a stats prologue (KindStats, exactly once, carrying the
+//     scalar aggregates so collecting consumers can preallocate), followed
+//     by every fault in the canonical extract.Compare order
+//     (time, node, address, ...), followed by every session in
+//     eventlog.CompareSessions order (start time, host).
+//   - The iterator is driven by the consumer's goroutine. Breaking out of
+//     the range, or cancelling the context passed to Events, stops the
+//     producers: built-in sources wind their worker pools down before the
+//     iterator returns control, so an abandoned stream leaks nothing.
+//   - On cancellation the iterator yields a final (zero Event, ctx.Err())
+//     pair. Any other delivery is (event, nil) or, for source failures
+//     such as an unreadable log file, (zero Event, err) — after an error
+//     the iterator yields nothing further.
+//   - Delivery is allocation-free per event: Event is a value, and the
+//     built-in sources' merge layer performs no per-element allocation.
+package stream
+
+import (
+	"context"
+	"iter"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/eventlog"
+	"unprotected/internal/extract"
+	"unprotected/internal/kway"
+)
+
+// Kind discriminates the variants of the Event sum type.
+type Kind uint8
+
+const (
+	// KindStats is the stream prologue: Event.Stats carries the scalar
+	// aggregates, known before the first fault is delivered.
+	KindStats Kind = iota + 1
+	// KindFault delivers Event.Fault, in extract.Compare order.
+	KindFault
+	// KindSession delivers Event.Session, in eventlog.CompareSessions
+	// order, after every fault.
+	KindSession
+)
+
+// Event is one element of the merged campaign stream: a tagged union of
+// the stats prologue, a fault, and a session. Exactly the field named by
+// Kind is meaningful; the others are zero.
+type Event struct {
+	Kind Kind
+	// Fault is valid for KindFault events.
+	Fault extract.Fault
+	// Session is valid for KindSession events.
+	Session eventlog.Session
+	// Stats is valid for the single KindStats event. The pointed-to value
+	// (including its RawLogsByNode map) is owned by the consumer once
+	// yielded; sources do not retain or mutate it afterwards.
+	Stats *Stats
+}
+
+// Stats are the scalar aggregates of a stream, delivered as its prologue.
+type Stats struct {
+	// Faults and Sessions count the full dataset behind the stream. For a
+	// complete Events stream (the Source contract) they are exactly the
+	// deliveries that follow the prologue, so a collecting consumer can
+	// preallocate; an explicitly filtered stream (campaign.EventsFiltered)
+	// omits one half's deliveries but still reports its true count.
+	Faults   int
+	Sessions int
+	// RawLogs counts every ERROR record behind the stream (each fault is a
+	// collapsed run of many raw records).
+	RawLogs int64
+	// RawLogsByNode splits the raw volume per node (nodes with zero raw
+	// logs have no entry).
+	RawLogsByNode map[cluster.NodeID]int64
+	// AllocFails counts scanner sessions that could not allocate any
+	// memory. Always zero for replayed log directories, which never wrote
+	// a record for such sessions.
+	AllocFails int
+}
+
+// StatsEvent wraps the stream prologue.
+func StatsEvent(st *Stats) Event { return Event{Kind: KindStats, Stats: st} }
+
+// FaultEvent wraps one fault delivery.
+func FaultEvent(f extract.Fault) Event { return Event{Kind: KindFault, Fault: f} }
+
+// SessionEvent wraps one session delivery.
+func SessionEvent(s eventlog.Session) Event { return Event{Kind: KindSession, Session: s} }
+
+// Deliver emits the standard stream shape — stats prologue, merged
+// faults, merged sessions — from per-source sorted slices, so every
+// built-in Source encodes the contract (ordering, per-delivery
+// cancellation check, yield-false handling) exactly once. The merges run
+// through kway.MergeSeq, which keeps delivery allocation-free per event.
+// Cancellation between deliveries yields a final (zero Event, ctx.Err())
+// pair; a false yield stops everything immediately.
+func Deliver(ctx context.Context, yield func(Event, error) bool,
+	st *Stats, faultStreams [][]extract.Fault, sessionStreams [][]eventlog.Session) {
+	if !yield(StatsEvent(st), nil) {
+		return
+	}
+	done := ctx.Done()
+	for f := range kway.MergeSeq(faultStreams, extract.Compare) {
+		select {
+		case <-done:
+			yield(Event{}, ctx.Err())
+			return
+		default:
+		}
+		if !yield(FaultEvent(f), nil) {
+			return
+		}
+	}
+	for s := range kway.MergeSeq(sessionStreams, eventlog.CompareSessions) {
+		select {
+		case <-done:
+			yield(Event{}, ctx.Err())
+			return
+		default:
+		}
+		if !yield(SessionEvent(s), nil) {
+			return
+		}
+	}
+}
+
+// Source yields the merged campaign stream. The built-in implementations
+// are the campaign simulator and the log-replay loader; external packages
+// may implement Source to feed their own datasets through the same
+// one-pass analysis machinery.
+type Source interface {
+	// Events returns the stream as a single-use iterator honouring the
+	// package contract above. Each call restarts the source from scratch;
+	// ctx cancellation and early break both stop the producers leak-free.
+	Events(ctx context.Context) iter.Seq2[Event, error]
+}
+
+// Observer is a pluggable one-pass accumulator over the stream. Faults
+// arrive in the canonical extract.Compare order and sessions in
+// eventlog.CompareSessions order — the orders the internal figure
+// accumulators rely on — and Finish is called exactly once, after the
+// final delivery, so an observer can seal derived state or report that
+// the stream it saw was unusable.
+type Observer interface {
+	ObserveFault(extract.Fault)
+	ObserveSession(eventlog.Session)
+	Finish() error
+}
+
+// FuncObserver adapts free functions to the Observer interface; any nil
+// field is skipped. The zero value is a valid no-op observer.
+type FuncObserver struct {
+	Fault   func(extract.Fault)
+	Session func(eventlog.Session)
+	Done    func() error
+}
+
+// ObserveFault implements Observer.
+func (o FuncObserver) ObserveFault(f extract.Fault) {
+	if o.Fault != nil {
+		o.Fault(f)
+	}
+}
+
+// ObserveSession implements Observer.
+func (o FuncObserver) ObserveSession(s eventlog.Session) {
+	if o.Session != nil {
+		o.Session(s)
+	}
+}
+
+// Finish implements Observer.
+func (o FuncObserver) Finish() error {
+	if o.Done != nil {
+		return o.Done()
+	}
+	return nil
+}

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # bench.sh — run the substrate benchmark suite and capture the trajectory.
 #
-# Runs the BenchmarkSubstrate* group (root package) plus
-# BenchmarkLogstoreStream (internal/logstore) with -benchmem -count=5 and
+# Runs the BenchmarkSubstrate* group and the iterator-vs-callback pair
+# BenchmarkAnalyzeIterator/BenchmarkCampaignStream (root package; equal
+# allocs/op proves the iterator delivery layer adds no per-event
+# allocations) plus BenchmarkLogstoreStream (internal/logstore) with
+# -benchmem -count=5 and
 # writes BENCH_PR3.json mapping each benchmark to its best observed
 # {ns_per_op, mb_per_s, b_per_op, allocs_per_op} (minimum ns/op across the
 # five runs — the least-noise sample; B/op and allocs/op are deterministic).
@@ -22,7 +25,7 @@ count="${BENCH_COUNT:-5}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run='^$' -bench='^BenchmarkSubstrate' -benchmem -count="$count" "$@" . | tee "$tmp"
+go test -run='^$' -bench='^BenchmarkSubstrate|^BenchmarkAnalyzeIterator$|^BenchmarkCampaignStream$' -benchmem -count="$count" "$@" . | tee "$tmp"
 go test -run='^$' -bench='^BenchmarkLogstoreStream$' -benchmem -count="$count" "$@" ./internal/logstore | tee -a "$tmp"
 
 awk '
