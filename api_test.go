@@ -36,6 +36,7 @@ var publicSurface = []string{
 	"NodeID",
 	"Observer",
 	"Option",
+	"ParseSweepAxes",
 	"ReportOptions",
 	"RunPaperStudy",
 	"RunStudy",
@@ -47,8 +48,18 @@ var publicSurface = []string{
 	"StreamHandler",
 	"Study",
 	"StudyFromLogs",
+	"Sweep",
+	"SweepAxis",
+	"SweepOption",
+	"SweepPoint",
+	"SweepResult",
+	"SweepScenario",
+	"SweepScenarioResult",
+	"SweepSpec",
+	"SweepSummary",
 	"WithController",
 	"WithObservers",
+	"WithSweepBudget",
 	"WithWorkers",
 	"WithoutDataset",
 }
@@ -200,6 +211,56 @@ func TestPublicAnalyze(t *testing.T) {
 	if itFaults != faults || itFaults != cb.Faults || itSessions != sessions || itSessions != cb.Sessions {
 		t.Fatalf("iterator delivered %d/%d, callbacks %d/%d (stats %d/%d)",
 			itFaults, itSessions, faults, sessions, cb.Faults, cb.Sessions)
+	}
+}
+
+// TestSweepPublicAPI drives the sweep surface end to end: parsed axes,
+// cartesian expansion, a budgeted run and the rendered comparison — all
+// through package unprotected.
+func TestSweepPublicAPI(t *testing.T) {
+	axes, err := unprotected.ParseSweepAxes([]string{"blades=2", "seed=1,2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &unprotected.SweepSpec{Base: unprotected.DefaultConfig(42), Axes: axes}
+	scenarios, err := spec.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 2 {
+		t.Fatalf("expanded %d scenarios, want 2", len(scenarios))
+	}
+	res, err := unprotected.Sweep(context.Background(), spec, unprotected.WithSweepBudget(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenarios) != 2 {
+		t.Fatalf("sweep returned %d scenarios, want 2", len(res.Scenarios))
+	}
+	for i, sc := range res.Scenarios {
+		if sc.Summary.Faults == 0 || sc.Study == nil {
+			t.Fatalf("scenario %d (%s) has no results: %+v", i, sc.Scenario.Name, sc.Summary)
+		}
+		if len(sc.Study.Dataset.Faults) != 0 {
+			t.Fatalf("scenario %d materialized its dataset (%d faults)", i, len(sc.Study.Dataset.Faults))
+		}
+	}
+	if res.Scenarios[0].Scenario.Name >= res.Scenarios[1].Scenario.Name {
+		t.Fatalf("results not sorted by name: %q, %q",
+			res.Scenarios[0].Scenario.Name, res.Scenarios[1].Scenario.Name)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Cross-scenario comparison") ||
+		!strings.Contains(buf.String(), "blades=2,seed=1") {
+		t.Fatalf("comparison render incomplete:\n%s", buf.String())
+	}
+
+	if _, err := unprotected.ParseSweepAxes([]string{"voltage=3"}); err == nil {
+		t.Fatal("unknown axis accepted")
+	}
+	if _, err := unprotected.Sweep(context.Background(), &unprotected.SweepSpec{}); err == nil {
+		t.Fatal("nil base accepted")
 	}
 }
 

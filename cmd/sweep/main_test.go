@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file")
+
+// goldenArgs is the acceptance sweep: a 2x2 grid (pattern x seed) on a
+// two-blade cluster, fixed seeds, explicit -parallel.
+var goldenArgs = []string{
+	"-axis", "blades=2",
+	"-axis", "pattern=flip,counter",
+	"-axis", "seed=1,2",
+	"-parallel", "2",
+}
+
+// TestSweepCommandGolden pins the full cmd/sweep output for a small 2x2
+// sweep: the scenario count line plus the cross-scenario comparison
+// table, byte for byte. The same invocation must render identically for
+// every -parallel value (the cmd-level determinism contract).
+func TestSweepCommandGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), goldenArgs, &buf, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "sweep_2x2.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test ./cmd/sweep -run TestSweepCommandGolden -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("output diverges from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, buf.Bytes(), want)
+	}
+
+	// Same sweep, serialized: -parallel must never change the bytes.
+	serial := append([]string{}, goldenArgs[:len(goldenArgs)-2]...)
+	serial = append(serial, "-parallel", "1")
+	var again bytes.Buffer
+	if err := run(context.Background(), serial, &again, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), want) {
+		t.Fatalf("-parallel 1 diverges from golden:\n%s", again.Bytes())
+	}
+}
+
+// TestSweepCommandErrors: flag and spec defects surface as errors, not
+// output.
+func TestSweepCommandErrors(t *testing.T) {
+	cases := []struct {
+		args    []string
+		wantSub string
+	}{
+		{nil, "no -axis"},
+		{[]string{"-axis", "voltage=1"}, "unknown axis"},
+		{[]string{"-axis", "seed=1", "-axis", "seed=2"}, "duplicate axis"},
+		{[]string{"-axis", "altitude=0:3000:0"}, "step must be > 0"},
+		{[]string{"-axis", "seed=1", "-parallel", "-1"}, "-parallel must be >= 0"},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		err := run(context.Background(), tc.args, &buf, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Fatalf("run(%v) error %v, want mention of %q", tc.args, err, tc.wantSub)
+		}
+		// A failing invocation must not print a plausible-looking
+		// scenario-count header first.
+		if buf.Len() != 0 {
+			t.Fatalf("run(%v) wrote %q to stdout before failing", tc.args, buf.String())
+		}
+	}
+
+	// Flag-parse failures are reported once, by the flag package itself
+	// (error + usage on stderr); run signals them with errUsage so main
+	// does not print them a second time.
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{"-bogus"}, &stdout, &stderr)
+	if !errors.Is(err, errUsage) {
+		t.Fatalf("bad flag returned %v, want errUsage", err)
+	}
+	if !strings.Contains(stderr.String(), "-bogus") || !strings.Contains(stderr.String(), "Usage") {
+		t.Fatalf("flag package output missing from stderr: %q", stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("bad flag wrote %q to stdout", stdout.String())
+	}
+}

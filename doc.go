@@ -67,6 +67,7 @@ import (
 	"unprotected/internal/eventlog"
 	"unprotected/internal/extract"
 	"unprotected/internal/stream"
+	"unprotected/internal/sweep"
 )
 
 // Study is one executed campaign with its analysis-ready dataset.
@@ -182,6 +183,56 @@ func Logs(dir string, opts ...Option) Source { return core.Logs(dir, opts...) }
 // order. Cancelling ctx aborts the run leak-free and returns ctx.Err().
 func Analyze(ctx context.Context, src Source, opts ...Option) (*Study, error) {
 	return core.Analyze(ctx, src, opts...)
+}
+
+// SweepSpec is a declarative parameter sweep: a base Config plus axes to
+// vary, expanding by cartesian product into scenarios. The paper is one
+// environment; a sweep asks how its headline figures move with altitude
+// flux, scan cadence, cluster size, pattern mix or seed replicates.
+type SweepSpec = sweep.Spec
+
+// SweepAxis is one sweep dimension: a named, ordered set of points.
+type SweepAxis = sweep.Axis
+
+// SweepPoint is one value on an axis: a label plus the mutation it
+// applies to a scenario's private Config copy.
+type SweepPoint = sweep.Point
+
+// SweepScenario is one expanded axis combination with its own Config.
+type SweepScenario = sweep.Scenario
+
+// SweepResult is a completed sweep: per-scenario summaries sorted by
+// scenario name, renderable as a cross-scenario comparison table that is
+// byte-identical for every worker budget and submission order.
+type SweepResult = sweep.Result
+
+// SweepScenarioResult pairs one scenario with its comparison summary and
+// the pure-streaming Study behind it.
+type SweepScenarioResult = sweep.ScenarioResult
+
+// SweepSummary is one scenario's headline comparison row: raw error
+// rate, multi-bit fraction, day/night contrast, worst node.
+type SweepSummary = analysis.ScenarioSummary
+
+// SweepOption configures Sweep; invalid values are reported as errors
+// before any scenario starts.
+type SweepOption = sweep.Option
+
+// WithSweepBudget bounds the sweep's global worker budget: a shared
+// semaphore caps concurrent node simulations across all scenarios, so N
+// campaigns never oversubscribe the machine. Zero selects GOMAXPROCS.
+func WithSweepBudget(n int) SweepOption { return sweep.WithBudget(n) }
+
+// ParseSweepAxes parses "name=v1,v2,..." axis specs (numeric axes accept
+// lo:hi:step ranges) into sweep axes; see cmd/sweep for the grammar and
+// the known axis names. Malformed specs are descriptive errors.
+func ParseSweepAxes(specs []string) ([]SweepAxis, error) { return sweep.ParseAxes(specs) }
+
+// Sweep expands the spec and runs every scenario concurrently under one
+// worker budget, each as its own Simulate source through Analyze in
+// pure-streaming mode. Cancelling ctx drains the whole fleet leak-free.
+func Sweep(ctx context.Context, spec *SweepSpec, opts ...SweepOption) (*SweepResult, error) {
+	return sweep.Run(ctx, spec, opts...)
 }
 
 // RunStudy executes a custom configuration.

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/render"
+	"unprotected/internal/units"
+)
+
+// ScenarioSummary is one scenario's headline row in a cross-scenario
+// comparison (internal/sweep): the paper's key aggregates — raw error
+// rate, multi-bit fraction, day/night contrast, worst node — reduced to
+// the scalars that move when an environmental or configuration axis
+// moves. It is computed from the streaming accumulators, so a sweep
+// scenario never needs to materialize its dataset.
+type ScenarioSummary struct {
+	// Name identifies the scenario ("altitude=1500,seed=2"), or the
+	// study for a standalone summary.
+	Name string
+
+	// Faults is the independent-fault count (§III-B).
+	Faults int
+	// FaultsPerTBh is the raw error rate the paper's headline normalizes
+	// to: independent faults per terabyte-hour of scanned memory.
+	FaultsPerTBh float64
+	// NodeMTBFHours is monitored node-hours per independent fault.
+	NodeMTBFHours float64
+
+	// MultiBitFaults counts faults corrupting >1 bit of one word, and
+	// MultiBitFraction is their share of all faults (§III-C).
+	MultiBitFaults   int
+	MultiBitFraction float64
+
+	// DayNightAll and DayNightMultiBit are the §III-E 7:00–17:59 vs
+	// night ratios (paper: ~1 for all errors, ~2 for multi-bit).
+	DayNightAll      float64
+	DayNightMultiBit float64
+
+	// WorstNode is the node with the largest raw-log volume and
+	// WorstNodeRawShare its share of RawLogs (§III-B's ~98% node).
+	WorstNode         cluster.NodeID
+	WorstNodeRawShare float64
+
+	// RawLogs, TotalTBh and NodeHours carry the denominators so rates
+	// stay auditable side by side.
+	RawLogs   int64
+	TotalTBh  units.TBh
+	NodeHours units.NodeHours
+}
+
+// Summarize reduces a finalized headline plus the hour-of-day figure to
+// one comparison row. It is pure arithmetic over already-accumulated
+// state, so calling it never perturbs the accumulators.
+func Summarize(name string, h Headline, hod *HourOfDay) ScenarioSummary {
+	s := ScenarioSummary{
+		Name:              name,
+		Faults:            h.IndependentFaults,
+		NodeMTBFHours:     h.NodeMTBFHours,
+		MultiBitFaults:    h.MultiBitFaults,
+		WorstNode:         h.TopRawNode,
+		WorstNodeRawShare: h.TopNodeRawShare,
+		RawLogs:           h.RawLogs,
+		TotalTBh:          h.TotalTBh,
+		NodeHours:         h.NodeHours,
+	}
+	if h.TotalTBh > 0 {
+		s.FaultsPerTBh = float64(h.IndependentFaults) / float64(h.TotalTBh)
+	}
+	if h.IndependentFaults > 0 {
+		s.MultiBitFraction = float64(h.MultiBitFaults) / float64(h.IndependentFaults)
+	}
+	if hod != nil {
+		s.DayNightAll = DayNightRatio(hod.Total())
+		s.DayNightMultiBit = DayNightRatio(hod.MultiBit())
+	}
+	return s
+}
+
+// Row renders the summary as the comparison table's cells, in the
+// RenderComparison column order. The formatting is deterministic: every
+// cell is a pure function of the summary, so two runs producing equal
+// summaries render byte-identical rows.
+func (s ScenarioSummary) Row() []string {
+	worst := "-"
+	var zero cluster.NodeID
+	if s.RawLogs > 0 && s.WorstNode != zero {
+		worst = fmt.Sprintf("%v (%.1f%%)", s.WorstNode, 100*s.WorstNodeRawShare)
+	}
+	return []string{
+		s.Name,
+		fmt.Sprint(s.Faults),
+		formatRate(s.FaultsPerTBh),
+		fmt.Sprintf("%d (%.2f%%)", s.MultiBitFaults, 100*s.MultiBitFraction),
+		formatRate(s.DayNightAll),
+		formatRate(s.DayNightMultiBit),
+		worst,
+		fmt.Sprint(s.RawLogs),
+		fmt.Sprintf("%.1f", float64(s.TotalTBh)),
+	}
+}
+
+// formatRate renders a ratio with enough precision to compare scenarios
+// without drowning the table ("0" stays "0", NaN/Inf stay explicit).
+func formatRate(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Sprint(v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// comparisonHeaders are the side-by-side columns, matching Row.
+var comparisonHeaders = []string{
+	"scenario", "faults", "faults/TBh", "multi-bit", "d/n all", "d/n multi", "worst raw node", "raw logs", "TBh",
+}
+
+// RenderComparison lays the scenario rows side by side, in the given
+// order, with numeric columns right-aligned. The caller owns the row
+// order; the sweep engine passes rows sorted by scenario name so output
+// is independent of completion and submission order.
+func RenderComparison(rows []ScenarioSummary) *render.Table {
+	t := &render.Table{
+		Title:   "Cross-scenario comparison",
+		Headers: comparisonHeaders,
+		// Every column but the scenario and worst-node labels is numeric.
+		RightAlign: []bool{false, true, true, true, true, true, false, true, true},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Row()...)
+	}
+	return t
+}

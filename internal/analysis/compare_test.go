@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/units"
+)
+
+// TestSweepSummarize: the comparison row derives the paper's headline
+// rates from the accumulated aggregates, with guarded denominators.
+func TestSweepSummarize(t *testing.T) {
+	h := Headline{
+		RawLogs:           1000,
+		TopRawNode:        cluster.NodeID{Blade: 17, SoC: 9},
+		TopNodeRawShare:   0.98,
+		IndependentFaults: 200,
+		MultiBitFaults:    10,
+		NodeHours:         units.NodeHours(400),
+		TotalTBh:          units.TBh(50),
+		NodeMTBFHours:     2,
+	}
+	hod := NewHourOfDay()
+	// 6 multi-bit day errors, 3 multi-bit night errors, 4 single night.
+	for i := 0; i < 6; i++ {
+		hod.Counts[2][12]++
+	}
+	for i := 0; i < 3; i++ {
+		hod.Counts[2][2]++
+	}
+	for i := 0; i < 4; i++ {
+		hod.Counts[1][3]++
+	}
+	s := Summarize("x=1", h, hod)
+	if s.Name != "x=1" || s.Faults != 200 || s.MultiBitFaults != 10 {
+		t.Fatalf("summary counts: %+v", s)
+	}
+	if s.FaultsPerTBh != 4 {
+		t.Fatalf("FaultsPerTBh %v, want 4", s.FaultsPerTBh)
+	}
+	if s.MultiBitFraction != 0.05 {
+		t.Fatalf("MultiBitFraction %v, want 0.05", s.MultiBitFraction)
+	}
+	if s.DayNightMultiBit != 2 {
+		t.Fatalf("DayNightMultiBit %v, want 2", s.DayNightMultiBit)
+	}
+	if got := s.DayNightAll; got != 6.0/7 {
+		t.Fatalf("DayNightAll %v, want 6/7", got)
+	}
+	if s.WorstNode != h.TopRawNode || s.WorstNodeRawShare != 0.98 {
+		t.Fatalf("worst node: %+v", s)
+	}
+
+	row := s.Row()
+	want := []string{"x=1", "200", "4", "10 (5.00%)", "0.8571", "2", "17-09 (98.0%)", "1000", "50.0"}
+	if strings.Join(row, "|") != strings.Join(want, "|") {
+		t.Fatalf("row %v, want %v", row, want)
+	}
+
+	// Empty study: every guarded denominator renders benignly.
+	empty := Summarize("empty", Headline{}, NewHourOfDay())
+	erow := empty.Row()
+	ewant := []string{"empty", "0", "0", "0 (0.00%)", "0", "0", "-", "0", "0.0"}
+	if strings.Join(erow, "|") != strings.Join(ewant, "|") {
+		t.Fatalf("empty row %v, want %v", erow, ewant)
+	}
+
+	// A nil hour-of-day figure (hand-built summaries) is tolerated.
+	if s := Summarize("n", h, nil); s.DayNightMultiBit != 0 {
+		t.Fatalf("nil hod summary: %+v", s)
+	}
+}
+
+// TestSweepRenderComparison: rows land side by side in caller order with
+// right-aligned numeric columns.
+func TestSweepRenderComparison(t *testing.T) {
+	a := Summarize("alt=0", Headline{IndependentFaults: 5, TotalTBh: 10}, NewHourOfDay())
+	b := Summarize("alt=3000", Headline{IndependentFaults: 40, MultiBitFaults: 4, TotalTBh: 10}, NewHourOfDay())
+	var buf bytes.Buffer
+	RenderComparison([]ScenarioSummary{a, b}).Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Cross-scenario comparison", "scenario", "faults/TBh", "alt=0", "alt=3000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("comparison output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "alt=0") > strings.Index(out, "alt=3000") {
+		t.Fatalf("row order not caller order:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	for _, l := range lines[1:] {
+		if len(l) != len(lines[1]) {
+			t.Fatalf("ragged table rows:\n%s", out)
+		}
+	}
+}

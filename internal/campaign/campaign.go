@@ -61,6 +61,16 @@ type Config struct {
 	SoC12OffFrom timebase.T
 	// Workers bounds parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Gate, when non-nil, is a shared counting semaphore (a buffered
+	// channel) bounding concurrent node simulations across every campaign
+	// carrying the same channel: each worker acquires a token before
+	// simulating a node and releases it immediately after, so N
+	// concurrent campaigns with per-campaign pools never run more than
+	// cap(Gate) simulations at once. The sweep engine (internal/sweep)
+	// uses this to keep a whole scenario fleet inside one worker budget.
+	// Scheduling never affects the merged stream, so output is identical
+	// with or without a Gate.
+	Gate chan struct{}
 
 	// StressSoC12 enables the paper's §VI stress-test proposal: the
 	// overheating SoC-12 positions stay powered all year and
@@ -255,8 +265,23 @@ func collect(ctx context.Context, cfg *Config, needFaults, needSessions bool) (*
 				if ctx.Err() != nil {
 					continue // cancelled: drain the queue without simulating
 				}
+				if cfg.Gate != nil {
+					select {
+					case cfg.Gate <- struct{}{}:
+					case <-done:
+						continue
+					}
+				}
+				out := finalizeNode(simulateNode(cfg, n, plans[n.ID]), needFaults, needSessions)
+				if cfg.Gate != nil {
+					// Release before the results send: the token covers the
+					// CPU-heavy simulation only, never a wait on the
+					// collector, so sibling campaigns sharing the gate can
+					// proceed while this one drains.
+					<-cfg.Gate
+				}
 				select {
-				case results <- finalizeNode(simulateNode(cfg, n, plans[n.ID]), needFaults, needSessions):
+				case results <- out:
 				case <-done:
 				}
 			}

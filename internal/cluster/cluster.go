@@ -290,6 +290,21 @@ func NewTopology(cfg Config) *Topology {
 // Node returns the node with the given ID.
 func (t *Topology) Node(id NodeID) *Node { return t.Nodes[id.Index()] }
 
+// Clone returns a deep copy of the topology: fresh Node values with
+// independent outage slices. The campaign engine records profile-driven
+// monitoring gaps onto its topology's nodes, so runs that would otherwise
+// share one instance — the scenarios of a parameter sweep, or repeated
+// campaigns over one Config — must each work on their own clone.
+func (t *Topology) Clone() *Topology {
+	cp := &Topology{Nodes: make([]*Node, len(t.Nodes))}
+	for i, n := range t.Nodes {
+		nn := *n
+		nn.Outages = append([]Outage(nil), n.Outages...)
+		cp.Nodes[i] = &nn
+	}
+	return cp
+}
+
 // ScannedNodes returns the nodes participating in the study, ordered by
 // index for deterministic iteration.
 func (t *Topology) ScannedNodes() []*Node {

@@ -203,3 +203,38 @@ func TestNodeIDRenderParseAllocationFree(t *testing.T) {
 		t.Errorf("ParseNodeIDBytes allocates %v times per run", avg)
 	}
 }
+
+func TestTopologyClone(t *testing.T) {
+	orig := PaperTopology()
+	id := NodeID{Blade: 2, SoC: 4}
+	orig.Node(id).Outages = append(orig.Node(id).Outages, Outage{From: 1, To: 2, Reason: "x"})
+	cp := orig.Clone()
+
+	if len(cp.Nodes) != len(orig.Nodes) {
+		t.Fatalf("clone has %d nodes, want %d", len(cp.Nodes), len(orig.Nodes))
+	}
+	for i, n := range orig.Nodes {
+		c := cp.Nodes[i]
+		if c == n {
+			t.Fatalf("node %d aliases the original", i)
+		}
+		if c.ID != n.ID || c.Role != n.Role || len(c.Outages) != len(n.Outages) {
+			t.Fatalf("node %d differs after clone: %+v vs %+v", i, c, n)
+		}
+	}
+
+	// Mutations must not travel in either direction — the campaign
+	// engine appends outages and parameter sweeps flip roles.
+	cp.Node(id).Outages = append(cp.Node(id).Outages, Outage{From: 3, To: 4})
+	cp.Node(id).Role = Dead
+	if got := len(orig.Node(id).Outages); got != 1 {
+		t.Fatalf("clone append leaked into original (%d outages)", got)
+	}
+	if orig.Node(id).Role == Dead {
+		t.Fatal("clone role change leaked into original")
+	}
+	orig.Node(id).Outages[0].Reason = "changed"
+	if cp.Node(id).Outages[0].Reason != "x" {
+		t.Fatal("original mutation leaked into clone")
+	}
+}

@@ -155,6 +155,15 @@ func (s *Study) FullReport(w io.Writer, opt ReportOptions) {
 	s.eccSection(w)
 }
 
+// ScenarioSummary reduces the study to its cross-scenario comparison row
+// (raw rate, multi-bit fraction, day/night contrast, worst node) under
+// the given scenario name. Like FullReport it prefers the stream-fed
+// accumulators and falls back to the slice computations, so summaries of
+// pure-streaming sweeps and of hand-assembled studies agree.
+func (s *Study) ScenarioSummary(name string) analysis.ScenarioSummary {
+	return analysis.Summarize(name, s.headline(), s.hourOfDay())
+}
+
 // The figure accessors below prefer the stream-fed accumulators and fall
 // back to the slice computations for hand-assembled studies.
 

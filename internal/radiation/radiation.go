@@ -34,18 +34,24 @@ type Flux struct {
 }
 
 // NewFlux returns the flux model for a site, calibrated for the paper.
+// Site altitude is the one environmental knob: it feeds AltitudeScale, so
+// sweeping a campaign across altitudes (internal/sweep's altitude axis)
+// scales the whole strike process the way moving the machine would.
 func NewFlux(site solar.Site) *Flux {
 	return &Flux{
 		Site:           site,
 		SolarGain:      4.2,
-		AltitudeFactor: altitudeScale(site.AltMeters),
+		AltitudeFactor: AltitudeScale(site.AltMeters),
 	}
 }
 
-// altitudeScale approximates the neutron-flux altitude dependence
+// AltitudeScale approximates the neutron-flux altitude dependence
 // exp(alt / L) with attenuation length L ≈ 2165 m of air ≈ scaling that
-// doubles roughly every 1500 m.
-func altitudeScale(altMeters float64) float64 {
+// doubles roughly every 1500 m. Sea level maps to 1. It is exported as the
+// sweepable altitude/flux axis: a follow-up study at a high-altitude site
+// (Boixaderas et al. measured ~6.6× at the Pic du Midi, 2877 m) is the
+// paper's configuration with only this multiplier moved.
+func AltitudeScale(altMeters float64) float64 {
 	return math.Exp(altMeters / 2165)
 }
 

@@ -30,15 +30,15 @@ func TestDayNightRatioCalibration(t *testing.T) {
 }
 
 func TestAltitudeScaling(t *testing.T) {
-	sea := altitudeScale(0)
+	sea := AltitudeScale(0)
 	if math.Abs(sea-1) > 1e-12 {
 		t.Fatalf("sea level scale %v", sea)
 	}
-	high := altitudeScale(3000)
+	high := AltitudeScale(3000)
 	if high < 3 || high > 4.5 {
 		t.Fatalf("3000m scale %v, want roughly 4x sea level", high)
 	}
-	if altitudeScale(1500) <= altitudeScale(100) {
+	if AltitudeScale(1500) <= AltitudeScale(100) {
 		t.Fatal("flux must increase with altitude")
 	}
 }

@@ -149,6 +149,10 @@ type Table struct {
 	Title   string
 	Headers []string
 	Rows    [][]string
+	// RightAlign marks columns to align right (numeric columns in
+	// comparison tables); missing or short means all-left, the historic
+	// behaviour.
+	RightAlign []bool
 }
 
 // AddRow appends a row of cells.
@@ -175,7 +179,11 @@ func (t *Table) Render(w io.Writer) {
 			if i >= len(widths) {
 				break
 			}
-			fmt.Fprintf(w, "%-*s  ", widths[i], c)
+			if i < len(t.RightAlign) && t.RightAlign[i] {
+				fmt.Fprintf(w, "%*s  ", widths[i], c)
+			} else {
+				fmt.Fprintf(w, "%-*s  ", widths[i], c)
+			}
 		}
 		fmt.Fprintln(w)
 	}

@@ -126,3 +126,30 @@ func TestStrip(t *testing.T) {
 		t.Fatalf("markers missing: %q", out)
 	}
 }
+
+func TestTableRightAlign(t *testing.T) {
+	tbl := &Table{
+		Headers:    []string{"name", "count"},
+		RightAlign: []bool{false, true},
+	}
+	tbl.AddRow("a", "7")
+	tbl.AddRow("bb", "12345")
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	want := "name  count  \n" +
+		"----  -----  \n" +
+		"a         7  \n" +
+		"bb    12345  \n"
+	if buf.String() != want {
+		t.Fatalf("right-aligned table:\n%q\nwant:\n%q", buf.String(), want)
+	}
+
+	// A short or missing RightAlign keeps the historic all-left layout.
+	left := &Table{Headers: []string{"name", "count"}}
+	left.AddRow("a", "7")
+	var lb bytes.Buffer
+	left.Render(&lb)
+	if !strings.Contains(lb.String(), "a     7      \n") {
+		t.Fatalf("left-aligned default changed:\n%q", lb.String())
+	}
+}

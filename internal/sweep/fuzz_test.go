@@ -1,0 +1,80 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"unprotected/internal/campaign"
+)
+
+// FuzzSweepParseAxis: the axis grammar must never panic, and every
+// accepted spec must yield a well-formed axis — non-empty name, at least
+// one point, unique non-empty labels, callable Apply — with a fully
+// deterministic re-parse.
+func FuzzSweepParseAxis(f *testing.F) {
+	for _, seed := range []string{
+		"seed=1,2",
+		"altitude=0:3000:1500",
+		"altitude=100,2877",
+		"ambient=4e-6,8e-6",
+		"scrub=6,14,48",
+		"blades=2,8,72",
+		"pattern=flip,counter,mixed",
+		"seed=0:3:1,10",
+		"seed=",
+		"=1",
+		"altitude=0:3000:0",
+		"altitude=3000:0:100",
+		"seed=1.5",
+		"seed=1,1",
+		"pattern=zigzag",
+		"voltage=12",
+		"altitude=NaN",
+		"seed=0:10000:1",
+		"altitude=0:9000:1e-300",
+		"altitude=-0:+3e2:1e1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		ax, err := ParseAxis(spec)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("empty error message")
+			}
+			return
+		}
+		if ax.Name == "" {
+			t.Fatalf("accepted %q with empty axis name", spec)
+		}
+		if len(ax.Points) == 0 || len(ax.Points) > maxAxisPoints {
+			t.Fatalf("accepted %q with %d points", spec, len(ax.Points))
+		}
+		seen := make(map[string]bool, len(ax.Points))
+		for i, p := range ax.Points {
+			if p.Label == "" {
+				t.Fatalf("accepted %q with empty label at point %d", spec, i)
+			}
+			if seen[p.Label] {
+				t.Fatalf("accepted %q with duplicate label %q", spec, p.Label)
+			}
+			seen[p.Label] = true
+			if p.Apply == nil {
+				t.Fatalf("accepted %q with nil Apply at %q", spec, p.Label)
+			}
+		}
+		// Applying any point to a private config copy must not panic.
+		for _, p := range ax.Points {
+			cfg := *campaign.DefaultConfig(1)
+			p.Apply(&cfg)
+		}
+		// Re-parsing is deterministic: same labels in the same order.
+		again, err2 := ParseAxis(spec)
+		if err2 != nil {
+			t.Fatalf("re-parse of accepted %q failed: %v", spec, err2)
+		}
+		if strings.Join(labels(again), "|") != strings.Join(labels(ax), "|") {
+			t.Fatalf("re-parse of %q diverged: %v vs %v", spec, labels(again), labels(ax))
+		}
+	})
+}

@@ -1,0 +1,283 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"unprotected/internal/campaign"
+	"unprotected/internal/cluster"
+)
+
+// The declarative sweep grammar, used by cmd/sweep:
+//
+//	axis  ::= name "=" value ("," value)*
+//	value ::= scalar | lo ":" hi ":" step      (numeric axes only)
+//
+// Known axes (each mutates one knob of the scenario's private Config):
+//
+//	altitude=0:3000:1500   site altitude in meters -> neutron flux
+//	                       (radiation.AltitudeScale; 0..9000)
+//	scrub=6,14,48          mean busy+idle cycle hours, i.e. how often a
+//	                       node gets a scan (scrub) opportunity (>0)
+//	ambient=4e-6,8e-6      background strike rate per node-hour (>=0)
+//	pattern=flip,counter   scanner pattern mix: flip (all 0xFF/0x00
+//	                       flip sessions), counter (all counter mode),
+//	                       mixed (the paper's 15% counter share)
+//	blades=2,8,72          cluster size: only blades 1..N of the base
+//	                       topology participate
+//	seed=1:8:1             RNG seed replicates (non-negative integer)
+//
+// Every malformed spec — unknown axis, empty value list, a degenerate
+// range (step <= 0, hi < lo), out-of-domain values — is a descriptive
+// error; the parser never panics (FuzzSweepParseAxis enforces it).
+
+// maxAxisPoints bounds a single axis expansion.
+const maxAxisPoints = 256
+
+// numericAxis describes one float-valued knob.
+type numericAxis struct {
+	min, max float64
+	integer  bool
+	apply    func(*campaign.Config, float64)
+}
+
+var numericAxes = map[string]numericAxis{
+	"altitude": {min: 0, max: 9000, apply: func(cfg *campaign.Config, v float64) {
+		cfg.Site.AltMeters = v
+	}},
+	"scrub": {min: 0.1, max: 24 * 365, apply: func(cfg *campaign.Config, v float64) {
+		cfg.Sched.CycleHours = v
+	}},
+	"ambient": {min: 0, max: 1, apply: func(cfg *campaign.Config, v float64) {
+		cfg.AmbientRatePerHour = v
+	}},
+	"blades": {min: 1, max: cluster.TotalBlades, integer: true, apply: func(cfg *campaign.Config, v float64) {
+		cfg.Topo = topologyWithBlades(cfg.Topo, int(v))
+	}},
+	"seed": {min: 0, max: 1 << 53, integer: true, apply: func(cfg *campaign.Config, v float64) {
+		cfg.Seed = uint64(v)
+	}},
+}
+
+// patternMixes are the categorical pattern axis values, mapped to the
+// counter-mode session fraction.
+var patternMixes = map[string]float64{
+	"flip":    0,
+	"counter": 1,
+	"mixed":   0.15, // the paper: "most of the study" used flip mode
+}
+
+// ParseAxes parses a list of axis specs, rejecting duplicate axis names
+// across the list.
+func ParseAxes(specs []string) ([]Axis, error) {
+	axes := make([]Axis, 0, len(specs))
+	seen := make(map[string]bool, len(specs))
+	for _, s := range specs {
+		ax, err := ParseAxis(s)
+		if err != nil {
+			return nil, err
+		}
+		if seen[ax.Name] {
+			return nil, fmt.Errorf("sweep: duplicate axis %q", ax.Name)
+		}
+		seen[ax.Name] = true
+		axes = append(axes, ax)
+	}
+	return axes, nil
+}
+
+// ParseAxis parses one "name=v1,v2,..." axis spec.
+func ParseAxis(spec string) (Axis, error) {
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok {
+		return Axis{}, fmt.Errorf("sweep: axis %q: missing '=' (want name=v1,v2,...)", spec)
+	}
+	if name == "" {
+		return Axis{}, fmt.Errorf("sweep: axis %q: empty name", spec)
+	}
+	if rest == "" {
+		return Axis{}, fmt.Errorf("sweep: axis %q: empty value list", name)
+	}
+	if name == "pattern" {
+		return parsePatternAxis(rest)
+	}
+	def, ok := numericAxes[name]
+	if !ok {
+		return Axis{}, fmt.Errorf("sweep: unknown axis %q (known: altitude, ambient, blades, pattern, scrub, seed)", name)
+	}
+	return parseNumericAxis(name, rest, def)
+}
+
+// parsePatternAxis expands the categorical pattern axis.
+func parsePatternAxis(rest string) (Axis, error) {
+	ax := Axis{Name: "pattern"}
+	seen := make(map[string]bool)
+	for _, tok := range strings.Split(rest, ",") {
+		tok = strings.TrimSpace(tok)
+		frac, ok := patternMixes[tok]
+		if !ok {
+			return Axis{}, fmt.Errorf("sweep: axis \"pattern\": unknown value %q (want flip, counter or mixed)", tok)
+		}
+		if seen[tok] {
+			return Axis{}, fmt.Errorf("sweep: axis \"pattern\": duplicate value %q", tok)
+		}
+		seen[tok] = true
+		ax.Points = append(ax.Points, Point{
+			Label: tok,
+			Apply: func(cfg *campaign.Config) { cfg.CounterModeFrac = frac },
+		})
+	}
+	return ax, nil
+}
+
+// parseNumericAxis expands comma-separated scalars and lo:hi:step ranges
+// into validated, canonically labeled points.
+func parseNumericAxis(name, rest string, def numericAxis) (Axis, error) {
+	ax := Axis{Name: name}
+	seen := make(map[string]bool)
+	add := func(v float64) error {
+		if !def.integer {
+			// Snap decimal-grid noise before labeling: 0.1:2:0.1 must
+			// yield "0.3", not "0.30000000000000004", and the duplicate
+			// check must see through the representation. Integer axes
+			// stay untouched — their values are exact and 12 significant
+			// digits would corrupt large seeds.
+			v = roundSig(v)
+		}
+		if err := validateValue(name, v, def); err != nil {
+			return err
+		}
+		label := strconv.FormatFloat(v, 'g', -1, 64)
+		if def.integer {
+			// Integer axes label in plain decimal: shortest-float form
+			// would render seed=1000000 as "1e+06", which is unreadable
+			// and defeats the natural (numeric-aware) row ordering.
+			label = strconv.FormatInt(int64(v), 10)
+		}
+		if seen[label] {
+			return fmt.Errorf("sweep: axis %q: duplicate value %s", name, label)
+		}
+		seen[label] = true
+		if len(ax.Points) >= maxAxisPoints {
+			return fmt.Errorf("sweep: axis %q: more than %d points", name, maxAxisPoints)
+		}
+		ax.Points = append(ax.Points, Point{Label: label, Apply: func(cfg *campaign.Config) { def.apply(cfg, v) }})
+		return nil
+	}
+	for _, tok := range strings.Split(rest, ",") {
+		tok = strings.TrimSpace(tok)
+		if strings.Contains(tok, ":") {
+			if err := expandRange(name, tok, add); err != nil {
+				return Axis{}, err
+			}
+			continue
+		}
+		v, err := parseScalar(name, tok)
+		if err != nil {
+			return Axis{}, err
+		}
+		if err := add(v); err != nil {
+			return Axis{}, err
+		}
+	}
+	return ax, nil
+}
+
+// expandRange expands "lo:hi:step" inclusively. Degenerate ranges —
+// missing parts, step <= 0, hi < lo — are errors.
+func expandRange(name, tok string, add func(float64) error) error {
+	parts := strings.Split(tok, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("sweep: axis %q: bad range %q (want lo:hi:step)", name, tok)
+	}
+	lo, err := parseScalar(name, parts[0])
+	if err != nil {
+		return err
+	}
+	hi, err := parseScalar(name, parts[1])
+	if err != nil {
+		return err
+	}
+	step, err := parseScalar(name, parts[2])
+	if err != nil {
+		return err
+	}
+	if step <= 0 {
+		return fmt.Errorf("sweep: axis %q: range %q: step must be > 0", name, tok)
+	}
+	if hi < lo {
+		return fmt.Errorf("sweep: axis %q: range %q: hi < lo", name, tok)
+	}
+	// Bound the ratio while it is still a float: a tiny step makes it
+	// overflow int (implementation-defined, negative on amd64), which
+	// would skip both the cap check and the emit loop and silently
+	// produce a zero-point axis.
+	ratio := (hi - lo) / step
+	if !(ratio < float64(maxAxisPoints)) {
+		return fmt.Errorf("sweep: axis %q: range %q expands to more than %d points", name, tok, maxAxisPoints)
+	}
+	// Index-based stepping avoids accumulating float error over the walk;
+	// the epsilon admits hi itself when (hi-lo)/step is integral.
+	n := int(ratio + 1e-9)
+	for i := 0; i <= n; i++ {
+		if err := add(lo + float64(i)*step); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// roundSig snaps v to 12 significant decimal digits via a shortest-form
+// round trip, absorbing binary float noise from decimal range walks
+// (the endpoint of 0.1:1:0.3 is 1, not 0.9999999999999999).
+func roundSig(v float64) float64 {
+	r, err := strconv.ParseFloat(strconv.FormatFloat(v, 'g', 12, 64), 64)
+	if err != nil {
+		return v
+	}
+	return r
+}
+
+// parseScalar parses one numeric token, rejecting NaN/Inf.
+func parseScalar(name, tok string) (float64, error) {
+	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("sweep: axis %q: bad number %q", name, tok)
+	}
+	return v, nil
+}
+
+// validateValue range-checks one axis value.
+func validateValue(name string, v float64, def numericAxis) error {
+	if def.integer && v != math.Trunc(v) {
+		return fmt.Errorf("sweep: axis %q: value %v must be an integer", name, v)
+	}
+	if v < def.min || v > def.max {
+		return fmt.Errorf("sweep: axis %q: value %v out of range [%g, %g]", name, v, def.min, def.max)
+	}
+	return nil
+}
+
+// topologyWithBlades is the cluster-size axis: the base roster restricted
+// to blades 1..n (everything beyond is excluded, like the chassis
+// dedicated to another study). The restriction applies to a clone of the
+// configured topology — a customized base roster (extra dead nodes, a
+// stress layout) keeps its structure at every size — falling back to the
+// paper roster when the base leaves Topo nil. Login and dead nodes within
+// range keep their roles, so small clusters stay structurally faithful.
+func topologyWithBlades(base *cluster.Topology, n int) *cluster.Topology {
+	var topo *cluster.Topology
+	if base != nil {
+		topo = base.Clone()
+	} else {
+		topo = cluster.PaperTopology()
+	}
+	for _, node := range topo.Nodes {
+		if node.ID.Blade > n && node.Role == cluster.Scanned {
+			node.Role = cluster.Excluded
+		}
+	}
+	return topo
+}

@@ -1,0 +1,174 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"unprotected/internal/campaign"
+	"unprotected/internal/cluster"
+)
+
+// labels extracts an axis's point labels.
+func labels(ax Axis) []string {
+	out := make([]string, len(ax.Points))
+	for i, p := range ax.Points {
+		out[i] = p.Label
+	}
+	return out
+}
+
+// TestSweepParseAxis: the value grammar — scalars, lo:hi:step ranges,
+// categorical patterns — expands to canonically labeled points whose
+// Apply mutations land on the right Config knob.
+func TestSweepParseAxis(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []string
+	}{
+		{"seed=1,2", []string{"1", "2"}},
+		{"altitude=0:3000:1500", []string{"0", "1500", "3000"}},
+		{"altitude=0:2999:1500", []string{"0", "1500"}},
+		{"altitude= 100 , 2877", []string{"100", "2877"}},
+		{"ambient=4e-6,8e-6", []string{"4e-06", "8e-06"}},
+		{"scrub=6,14,48", []string{"6", "14", "48"}},
+		{"blades=2,8,72", []string{"2", "8", "72"}},
+		{"pattern=flip,counter,mixed", []string{"flip", "counter", "mixed"}},
+		{"seed=0:3:1,10", []string{"0", "1", "2", "3", "10"}},
+		// Integer axes label in plain decimal, never exponent form.
+		{"seed=2,1000000,1e7", []string{"2", "1000000", "10000000"}},
+		// Decimal grids must not leak binary float noise into labels:
+		// the walk emits 0.1+i*0.3 but labels snap to the decimal grid,
+		// including the endpoint (0.9999999999999999 -> 1).
+		{"scrub=0.1:2:0.3", []string{"0.1", "0.4", "0.7", "1", "1.3", "1.6", "1.9"}},
+		{"scrub=0.1:1:0.3", []string{"0.1", "0.4", "0.7", "1"}},
+	}
+	for _, tc := range cases {
+		ax, err := ParseAxis(tc.spec)
+		if err != nil {
+			t.Fatalf("ParseAxis(%q): %v", tc.spec, err)
+		}
+		got := labels(ax)
+		if strings.Join(got, "|") != strings.Join(tc.want, "|") {
+			t.Fatalf("ParseAxis(%q) labels %v, want %v", tc.spec, got, tc.want)
+		}
+	}
+
+	// Apply effects: each axis must mutate exactly its knob.
+	apply := func(spec string, i int) *campaign.Config {
+		t.Helper()
+		ax, err := ParseAxis(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := *campaign.DefaultConfig(7)
+		ax.Points[i].Apply(&cfg)
+		return &cfg
+	}
+	if cfg := apply("altitude=2877", 0); cfg.Site.AltMeters != 2877 {
+		t.Fatalf("altitude axis applied %v", cfg.Site.AltMeters)
+	}
+	if cfg := apply("scrub=6", 0); cfg.Sched.CycleHours != 6 {
+		t.Fatalf("scrub axis applied %v", cfg.Sched.CycleHours)
+	}
+	if cfg := apply("ambient=8e-6", 0); cfg.AmbientRatePerHour != 8e-6 {
+		t.Fatalf("ambient axis applied %v", cfg.AmbientRatePerHour)
+	}
+	if cfg := apply("seed=9", 0); cfg.Seed != 9 {
+		t.Fatalf("seed axis applied %v", cfg.Seed)
+	}
+	if cfg := apply("pattern=counter", 0); cfg.CounterModeFrac != 1 {
+		t.Fatalf("pattern=counter applied %v", cfg.CounterModeFrac)
+	}
+	if cfg := apply("pattern=flip", 0); cfg.CounterModeFrac != 0 {
+		t.Fatalf("pattern=flip applied %v", cfg.CounterModeFrac)
+	}
+	cfg := apply("blades=2", 0)
+	scanned := cfg.Topo.CountByRole()[cluster.Scanned]
+	if scanned != 28 { // 2 blades x 15 SoCs - 2 login (SoC 1 of blades 1,2)
+		t.Fatalf("blades=2 topology has %d scanned nodes, want 28", scanned)
+	}
+	if cfg.Topo.Node(cluster.NodeID{Blade: 3, SoC: 2}).Role == cluster.Scanned {
+		t.Fatal("blades=2 topology still scans blade 3")
+	}
+
+	// The blades axis restricts the *configured* roster, not a fresh
+	// paper one: a customized base keeps its structure at every size,
+	// and the base itself is never mutated.
+	ax, err := ParseAxis("blades=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	custom := *campaign.DefaultConfig(7)
+	dead := cluster.NodeID{Blade: 1, SoC: 5}
+	custom.Topo.Node(dead).Role = cluster.Dead
+	ax.Points[0].Apply(&custom)
+	if custom.Topo.Node(dead).Role != cluster.Dead {
+		t.Fatal("blades axis discarded the customized base roster")
+	}
+	if got := custom.Topo.CountByRole()[cluster.Scanned]; got != 27 {
+		t.Fatalf("customized blades=2 topology has %d scanned nodes, want 27", got)
+	}
+}
+
+// TestSweepParseAxisErrors: malformed specs — unknown axes, bad numbers,
+// degenerate ranges, duplicates, out-of-domain values — are descriptive
+// errors, never panics.
+func TestSweepParseAxisErrors(t *testing.T) {
+	cases := []struct {
+		spec    string
+		wantSub string
+	}{
+		{"altitude", "missing '='"},
+		{"=1,2", "empty name"},
+		{"seed=", "empty value list"},
+		{"voltage=1,2", "unknown axis"},
+		{"seed=abc", "bad number"},
+		{"altitude=NaN", "bad number"},
+		{"altitude=+Inf", "bad number"},
+		{"seed=1,,2", "bad number"},
+		{"altitude=0:3000", "bad range"},
+		{"altitude=0:3000:1500:10", "bad range"},
+		{"altitude=0:3000:0", "step must be > 0"},
+		{"altitude=0:3000:-5", "step must be > 0"},
+		{"altitude=3000:0:100", "hi < lo"},
+		{"seed=0:10000:1", "more than 256 points"},
+		// A tiny step must hit the cap check while the ratio is still a
+		// float: converted to int it overflows (negative on amd64) and
+		// used to slip past both the cap and the emit loop, yielding an
+		// accepted axis with zero points.
+		{"altitude=0:9000:1e-300", "more than 256 points"},
+		{"scrub=1:8760:0.5", "more than 256 points"},
+		{"seed=1.5", "must be an integer"},
+		{"seed=-1", "out of range"},
+		{"blades=0", "out of range"},
+		{"blades=99", "out of range"},
+		{"blades=2.5", "must be an integer"},
+		{"altitude=-100", "out of range"},
+		{"altitude=99999", "out of range"},
+		{"scrub=0", "out of range"},
+		{"ambient=2", "out of range"},
+		{"seed=1,1", "duplicate value"},
+		{"seed=1,1.0", "duplicate value"},          // canonical labels collide
+		{"scrub=0.3,0.1:2:0.1", "duplicate value"}, // range noise snaps onto the scalar
+		{"pattern=zigzag", "unknown value"},
+		{"pattern=flip,flip", "duplicate value"},
+	}
+	for _, tc := range cases {
+		ax, err := ParseAxis(tc.spec)
+		if err == nil {
+			t.Fatalf("ParseAxis(%q) accepted %v, want error mentioning %q", tc.spec, labels(ax), tc.wantSub)
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Fatalf("ParseAxis(%q) error %q does not mention %q", tc.spec, err, tc.wantSub)
+		}
+	}
+
+	// ParseAxes adds cross-axis duplicate detection.
+	if _, err := ParseAxes([]string{"seed=1", "seed=2"}); err == nil ||
+		!strings.Contains(err.Error(), "duplicate axis") {
+		t.Fatalf("ParseAxes duplicate axis error: %v", err)
+	}
+	if _, err := ParseAxes([]string{"seed=1", "voltage=2"}); err == nil {
+		t.Fatal("ParseAxes accepted an unknown axis")
+	}
+}

@@ -1,0 +1,231 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"unprotected/internal/analysis"
+	"unprotected/internal/campaign"
+	"unprotected/internal/core"
+	"unprotected/internal/render"
+)
+
+// Option configures a sweep run; invalid values are reported as errors
+// before any scenario starts.
+type Option func(*runner) error
+
+// WithBudget sets the global worker budget: the shared semaphore bounding
+// concurrent node simulations across the whole fleet, and the maximum
+// number of scenarios in flight. Zero selects GOMAXPROCS; negative values
+// are rejected.
+func WithBudget(n int) Option {
+	return func(r *runner) error {
+		if n < 0 {
+			return fmt.Errorf("budget must be >= 0, got %d (0 selects GOMAXPROCS)", n)
+		}
+		r.budget = n
+		return nil
+	}
+}
+
+// withAfterScenario installs the in-package test seam: fn runs after
+// each successful scenario, on that scenario's goroutine, with its
+// submission index. The cancellation tests use it to cancel the sweep
+// between scenarios.
+func withAfterScenario(fn func(i int)) Option {
+	return func(r *runner) error {
+		r.afterScenario = fn
+		return nil
+	}
+}
+
+// runner is the resolved run configuration.
+type runner struct {
+	budget int
+	// afterScenario is a test seam observing each completed scenario by
+	// index, from the scenario's own goroutine (used by the cancellation
+	// tests to pull the plug between scenarios).
+	afterScenario func(i int)
+	// analyze is a test seam for injecting scenario failures; nil selects
+	// the real pipeline.
+	analyze func(ctx context.Context, cfg *campaign.Config) (*core.Study, error)
+}
+
+// ScenarioResult pairs a scenario with its comparison summary and the
+// pure-streaming Study behind it (figures only; the dataset slices stay
+// empty, so holding a large fleet's results is cheap).
+type ScenarioResult struct {
+	Scenario Scenario
+	Summary  analysis.ScenarioSummary
+	Study    *core.Study
+}
+
+// Result is the completed sweep, with scenarios in natural
+// (numeric-aware) name order.
+type Result struct {
+	Scenarios []ScenarioResult
+}
+
+// Table builds the cross-scenario comparison table, rows in the sorted
+// scenario order.
+func (r *Result) Table() *render.Table {
+	rows := make([]analysis.ScenarioSummary, len(r.Scenarios))
+	for i, sc := range r.Scenarios {
+		rows[i] = sc.Summary
+	}
+	return analysis.RenderComparison(rows)
+}
+
+// Render writes the comparison table. Output is byte-identical for any
+// worker budget and any scenario submission order.
+func (r *Result) Render(w io.Writer) { r.Table().Render(w) }
+
+// Run expands the spec and executes every scenario; see RunScenarios.
+func Run(ctx context.Context, spec *Spec, opts ...Option) (*Result, error) {
+	scenarios, err := spec.Scenarios()
+	if err != nil {
+		return nil, err
+	}
+	return RunScenarios(ctx, scenarios, opts...)
+}
+
+// RunScenarios executes an explicit scenario list concurrently under one
+// worker budget: at most budget scenarios are in flight, and a shared
+// campaign gate bounds the fleet's concurrent node simulations to the
+// same budget, so per-campaign pools never oversubscribe the machine.
+// Each scenario runs as its own Simulate source through core.Analyze in
+// pure-streaming mode (WithoutDataset) and reduces to its comparison row.
+//
+// Cancelling ctx drains the whole sweep leak-free: unlaunched scenarios
+// are skipped, in-flight campaigns wind their pools down exactly as a
+// lone Analyze would, and RunScenarios returns ctx.Err(). A scenario
+// error aborts the sweep: the remaining fleet is cancelled instead of
+// simulated to completion, and the reported error deterministically
+// prefers the first genuine failure by submission index over the
+// cancellation fallout of its siblings. Results are sorted in natural
+// (numeric-aware) scenario-name order, making the output independent of
+// submission order.
+func RunScenarios(ctx context.Context, scenarios []Scenario, opts ...Option) (*Result, error) {
+	if len(scenarios) == 0 {
+		return nil, fmt.Errorf("sweep: no scenarios")
+	}
+	seen := make(map[string]bool, len(scenarios))
+	for i, sc := range scenarios {
+		if sc.Config == nil {
+			return nil, fmt.Errorf("sweep: scenario %d (%q): nil Config", i, sc.Name)
+		}
+		if sc.Name == "" {
+			return nil, fmt.Errorf("sweep: scenario %d: empty name", i)
+		}
+		if seen[sc.Name] {
+			return nil, fmt.Errorf("sweep: duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+	}
+	r := &runner{}
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, fmt.Errorf("sweep: nil Option")
+		}
+		if err := opt(r); err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+	}
+	budget := r.budget
+	if budget == 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+
+	// One token pool serves both levels: sem admits at most budget
+	// scenarios, gate admits at most budget node simulations across all
+	// admitted campaigns. Each campaign's pool is sized to the full
+	// budget so a lone in-flight scenario can still saturate it.
+	//
+	// The derived context turns any scenario failure into a fleet-wide
+	// abort: siblings stop at their next cancellation check instead of
+	// simulating a doomed sweep to completion.
+	ictx, abort := context.WithCancel(ctx)
+	defer abort()
+	gate := make(chan struct{}, budget)
+	sem := make(chan struct{}, budget)
+	results := make([]ScenarioResult, len(scenarios))
+	errs := make([]error, len(scenarios))
+	var wg sync.WaitGroup
+launch:
+	for i := range scenarios {
+		select {
+		case sem <- struct{}{}:
+		case <-ictx.Done():
+			break launch
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if r.runOne(ictx, i, scenarios[i], budget, gate, &results[i], &errs[i]) != nil {
+				abort()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Caller cancellation wins; otherwise report the first genuine
+	// scenario failure by submission index, skipping the context-canceled
+	// errors the abort itself induced on in-flight siblings.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	if first != nil {
+		return nil, first
+	}
+	sortByName(results)
+	return &Result{Scenarios: results}, nil
+}
+
+// runOne executes a single scenario on its own Config copy; the shared
+// gate and the budget-sized pool flow in via the campaign Config. The
+// returned error (also recorded in errOut) tells the launcher to abort
+// the rest of the fleet.
+func (r *runner) runOne(ctx context.Context, i int, sc Scenario, budget int, gate chan struct{}, res *ScenarioResult, errOut *error) error {
+	cfg := *sc.Config
+	if cfg.Topo != nil {
+		// Re-running the same scenario value must stay safe even when the
+		// caller reuses a []Scenario (the determinism proofs do): the
+		// campaign mutates its topology, so each run works on a clone.
+		cfg.Topo = cfg.Topo.Clone()
+	}
+	cfg.Workers = budget
+	cfg.Gate = gate
+	analyze := r.analyze
+	if analyze == nil {
+		analyze = func(ctx context.Context, cfg *campaign.Config) (*core.Study, error) {
+			return core.Analyze(ctx, core.Simulate(cfg), core.WithoutDataset())
+		}
+	}
+	study, err := analyze(ctx, &cfg)
+	if err != nil {
+		*errOut = fmt.Errorf("sweep: scenario %q: %w", sc.Name, err)
+		return *errOut
+	}
+	*res = ScenarioResult{Scenario: sc, Summary: study.ScenarioSummary(sc.Name), Study: study}
+	if r.afterScenario != nil {
+		r.afterScenario(i)
+	}
+	return nil
+}

@@ -1,0 +1,259 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"unprotected/internal/campaign"
+	"unprotected/internal/core"
+)
+
+// renderSweep runs the scenarios and renders the comparison table.
+func renderSweep(t *testing.T, scenarios []Scenario, opts ...Option) []byte {
+	t.Helper()
+	res, err := RunScenarios(context.Background(), scenarios, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	return buf.Bytes()
+}
+
+// TestSweepDeterminism is the sweep-layer extension of the PR 2/4
+// determinism proofs: the rendered comparison must be byte-identical
+// across worker budgets (the -parallel axis of cmd/sweep) and across
+// shuffled scenario submission orders.
+func TestSweepDeterminism(t *testing.T) {
+	scenarios, err := testSpec(t).Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderSweep(t, scenarios, WithBudget(1))
+	if !bytes.Contains(want, []byte("pattern=flip,seed=1")) {
+		t.Fatalf("comparison table missing scenario rows:\n%s", want)
+	}
+	for _, budget := range []int{2, 8, 0} {
+		got := renderSweep(t, scenarios, WithBudget(budget))
+		if !bytes.Equal(got, want) {
+			t.Fatalf("budget %d diverged:\n%s\nvs budget 1:\n%s", budget, got, want)
+		}
+	}
+
+	// Shuffled submission orders: reversed, and a fixed permutation.
+	perms := [][]int{{3, 2, 1, 0}, {2, 0, 3, 1}}
+	for _, perm := range perms {
+		shuffled := make([]Scenario, len(scenarios))
+		for i, p := range perm {
+			shuffled[i] = scenarios[p]
+		}
+		got := renderSweep(t, shuffled, WithBudget(3))
+		if !bytes.Equal(got, want) {
+			t.Fatalf("submission order %v diverged:\n%s\nvs:\n%s", perm, got, want)
+		}
+	}
+}
+
+// TestSweepBaseMatchesStandalone is the acceptance criterion: the base
+// scenario's comparison row must be byte-identical to a standalone
+// Analyze run of the same configuration.
+func TestSweepBaseMatchesStandalone(t *testing.T) {
+	// pattern=mixed and seed=42 reproduce the base config exactly.
+	axes, err := ParseAxes([]string{"pattern=mixed", "seed=42"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &Spec{Base: testBase(42), Axes: axes}
+	res, err := Run(context.Background(), spec, WithBudget(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenarios) != 1 {
+		t.Fatalf("got %d scenarios, want 1", len(res.Scenarios))
+	}
+	name := res.Scenarios[0].Scenario.Name
+
+	study, err := core.Analyze(context.Background(), core.Simulate(testBase(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRow := study.ScenarioSummary(name).Row()
+	gotRow := res.Scenarios[0].Summary.Row()
+	if strings.Join(gotRow, "|") != strings.Join(wantRow, "|") {
+		t.Fatalf("sweep row %v\ndiverges from standalone Analyze row %v", gotRow, wantRow)
+	}
+}
+
+// TestSweepRunValidation: defects in the scenario list and the options
+// are descriptive errors reported before any scenario starts.
+func TestSweepRunValidation(t *testing.T) {
+	ctx := context.Background()
+	ok := Scenario{Name: "ok", Config: testBase(1)}
+	check := func(wantSub string, _ *Result, err error) {
+		t.Helper()
+		if err == nil {
+			t.Fatalf("no error, want one mentioning %q", wantSub)
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Fatalf("error %q does not mention %q", err, wantSub)
+		}
+	}
+	r, err := RunScenarios(ctx, nil)
+	check("no scenarios", r, err)
+	r, err = RunScenarios(ctx, []Scenario{{Name: "x"}})
+	check("nil Config", r, err)
+	r, err = RunScenarios(ctx, []Scenario{{Config: testBase(1)}})
+	check("empty name", r, err)
+	r, err = RunScenarios(ctx, []Scenario{ok, ok})
+	check("duplicate scenario name", r, err)
+	r, err = RunScenarios(ctx, []Scenario{ok}, WithBudget(-2))
+	check("budget", r, err)
+	r, err = RunScenarios(ctx, []Scenario{ok}, nil)
+	check("nil Option", r, err)
+	r, err = Run(ctx, &Spec{}, WithBudget(1))
+	check("nil base", r, err)
+}
+
+// TestSweepScenarioErrorAborts: a failing scenario cancels the rest of
+// the fleet instead of letting it simulate to completion, and the
+// reported error is the genuine failure, not its siblings' cancellation
+// fallout.
+func TestSweepScenarioErrorAborts(t *testing.T) {
+	scenarios, err := testSpec(t).Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+	boom := errors.New("boom")
+	var launched, completed int
+	r := &runner{
+		budget: 1,
+		analyze: func(ctx context.Context, cfg *campaign.Config) (*core.Study, error) {
+			launched++
+			if launched == 2 {
+				return nil, boom
+			}
+			study, err := core.Analyze(ctx, core.Simulate(cfg), core.WithoutDataset())
+			if err == nil {
+				completed++
+			}
+			return study, err
+		},
+	}
+	res, err := RunScenarios(context.Background(), scenarios,
+		func(rr *runner) error { *rr = *r; return nil })
+	if res != nil || !errors.Is(err, boom) {
+		t.Fatalf("got (%v, %v), want the injected scenario error", res, err)
+	}
+	if !strings.Contains(err.Error(), scenarios[1].Name) {
+		t.Fatalf("error %q does not name the failing scenario %q", err, scenarios[1].Name)
+	}
+	// The fleet was aborted: at most the scenarios already in flight at
+	// failure time finished; the tail was cancelled, not simulated.
+	if completed == len(scenarios)-1 {
+		t.Fatalf("all %d surviving scenarios ran to completion despite the abort", completed)
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// TestSweepNaturalOrder: multi-digit labels sort numerically in the
+// result, so seed=10 lands after seed=2, and the order stays total over
+// textually distinct but numerically equal names.
+func TestSweepNaturalOrder(t *testing.T) {
+	cases := []struct {
+		a, b string
+		less bool
+	}{
+		{"seed=2", "seed=10", true},
+		{"seed=10", "seed=2", false},
+		{"altitude=100,seed=9", "altitude=100,seed=11", true},
+		{"altitude=1500", "altitude=150", false},
+		{"pattern=counter", "pattern=flip", true},
+		{"seed=1", "seed=1", false},
+		{"seed=01", "seed=1", true}, // numeric tie broken textually
+		{"seed=1", "seed=01", false},
+	}
+	for _, tc := range cases {
+		if got := naturalLess(tc.a, tc.b); got != tc.less {
+			t.Fatalf("naturalLess(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.less)
+		}
+	}
+
+	rs := []ScenarioResult{
+		{Scenario: Scenario{Name: "seed=10"}},
+		{Scenario: Scenario{Name: "seed=2"}},
+		{Scenario: Scenario{Name: "seed=1"}},
+	}
+	sortByName(rs)
+	want := []string{"seed=1", "seed=2", "seed=10"}
+	for i, w := range want {
+		if rs[i].Scenario.Name != w {
+			t.Fatalf("sorted order %v, want %v at %d", rs[i].Scenario.Name, w, i)
+		}
+	}
+}
+
+// waitForGoroutines polls until the goroutine count drops back to the
+// baseline, failing after a deadline (same gate as the analyze and
+// campaign leak tests).
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSweepCancelMidScenario: cancelling while campaigns are simulating
+// must drain every scenario's pool and the sweep's own goroutines.
+func TestSweepCancelMidScenario(t *testing.T) {
+	scenarios, err := testSpec(t).Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(3*time.Millisecond, cancel)
+	res, err := RunScenarios(ctx, scenarios, WithBudget(4))
+	timer.Stop()
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got (%v, %v), want context.Canceled", res, err)
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// TestSweepCancelBetweenScenarios: with a serializing budget, cancelling
+// right after the first scenario completes must skip the rest, return
+// ctx.Err() and leak nothing.
+func TestSweepCancelBetweenScenarios(t *testing.T) {
+	scenarios, err := testSpec(t).Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	completed := 0
+	res, err := RunScenarios(ctx, scenarios, WithBudget(1),
+		withAfterScenario(func(int) {
+			if completed++; completed == 1 {
+				cancel()
+			}
+		}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got (%v, %v), want context.Canceled", res, err)
+	}
+	if completed > 2 {
+		t.Fatalf("%d scenarios completed after the cancellation point", completed)
+	}
+	waitForGoroutines(t, baseline)
+}

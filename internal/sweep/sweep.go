@@ -1,0 +1,213 @@
+// Package sweep turns one campaign configuration into a fleet of
+// parameterized scenarios and runs them concurrently under a single
+// global worker budget, producing a deterministic cross-scenario
+// comparison of the paper's headline figures.
+//
+// The paper's measurements are a single environment: one site (Barcelona,
+// ~100 m), one scan cadence, one cluster, one pattern mix. The obvious
+// follow-up questions — how the raw rate, the multi-bit fraction or the
+// day/night contrast move with altitude-driven neutron flux, scrub
+// cadence, cluster size or pattern choice — are exactly what later field
+// studies asked. A Spec answers them in one invocation: a base
+// campaign.Config plus declarative axes expands (cartesian product) into
+// scenarios, each executed as its own Simulate source through
+// core.Analyze in pure-streaming mode, all sharing one worker budget via
+// campaign.Config.Gate so N scenarios never oversubscribe the machine.
+//
+// Determinism contract: every scenario is an ordinary campaign, already
+// proven byte-identical for any worker count; the sweep layer adds no
+// cross-scenario communication and sorts its result rows by scenario
+// name, so the rendered comparison is byte-identical for any budget and
+// any submission order (see TestSweepDeterminism).
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"unprotected/internal/campaign"
+)
+
+// maxScenarios bounds the cartesian expansion: a runaway spec (three
+// 100-point axes) should fail loudly, not allocate a million campaigns.
+const maxScenarios = 4096
+
+// Point is one value on an axis: a human-readable label plus the
+// mutation it applies to a scenario's private Config copy. Apply must
+// only overwrite fields (or replace pointers with fresh values); it must
+// never mutate state shared with other scenarios through the base
+// config, such as the topology's nodes or the scheduler calendar map.
+type Point struct {
+	Label string
+	Apply func(*campaign.Config)
+}
+
+// Axis is one sweep dimension: a named, ordered set of points. Axes
+// combine by cartesian product, so two 2-point axes yield 4 scenarios.
+type Axis struct {
+	Name   string
+	Points []Point
+}
+
+// Spec is a declarative sweep: a base configuration plus the axes to
+// vary. The zero axes case is legal and expands to the single "base"
+// scenario, which makes "sweep of one" trivially comparable against a
+// standalone Analyze run.
+type Spec struct {
+	Base *campaign.Config
+	Axes []Axis
+}
+
+// Scenario is one expanded combination: its own Config copy under a
+// name built from its axis labels ("altitude=1500,seed=2"). The copy is
+// shallow — in particular, scenarios whose axes leave the topology
+// untouched share the base roster. That is safe through RunScenarios,
+// which clones the topology per run (the campaign engine records
+// outages onto its roster's nodes); a caller executing a scenario
+// Config directly through core.Analyze must give it a private
+// cfg.Topo.Clone() first.
+type Scenario struct {
+	Name   string
+	Config *campaign.Config
+}
+
+// Scenarios validates the spec and expands the cartesian product, in
+// odometer order (last axis fastest). Every defect — nil base, an
+// unnamed axis, duplicate axis names, an empty axis, a degenerate point
+// — is a descriptive error, never a panic, matching the option
+// validation style of core.Analyze.
+func (s *Spec) Scenarios() ([]Scenario, error) {
+	if s == nil || s.Base == nil {
+		return nil, fmt.Errorf("sweep: nil base Config (use campaign.DefaultConfig)")
+	}
+	total := 1
+	seenAxis := make(map[string]bool, len(s.Axes))
+	for i, ax := range s.Axes {
+		if ax.Name == "" {
+			return nil, fmt.Errorf("sweep: axis %d: empty name", i)
+		}
+		if seenAxis[ax.Name] {
+			return nil, fmt.Errorf("sweep: duplicate axis %q", ax.Name)
+		}
+		seenAxis[ax.Name] = true
+		if len(ax.Points) == 0 {
+			return nil, fmt.Errorf("sweep: axis %q: no points", ax.Name)
+		}
+		seenLabel := make(map[string]bool, len(ax.Points))
+		for j, p := range ax.Points {
+			if p.Label == "" {
+				return nil, fmt.Errorf("sweep: axis %q: point %d: empty label", ax.Name, j)
+			}
+			if p.Apply == nil {
+				return nil, fmt.Errorf("sweep: axis %q: point %q: nil Apply", ax.Name, p.Label)
+			}
+			if seenLabel[p.Label] {
+				return nil, fmt.Errorf("sweep: axis %q: duplicate point %q", ax.Name, p.Label)
+			}
+			seenLabel[p.Label] = true
+		}
+		if total > maxScenarios/len(ax.Points) {
+			return nil, fmt.Errorf("sweep: expansion exceeds %d scenarios", maxScenarios)
+		}
+		total *= len(ax.Points)
+	}
+
+	out := make([]Scenario, 0, total)
+	idx := make([]int, len(s.Axes))
+	for {
+		// A shallow copy only: the runner clones the topology just
+		// before each run, so expanding thousands of scenarios does not
+		// hold thousands of roster clones live (a blades-axis Apply
+		// installs its own private clone anyway).
+		cfg := *s.Base
+		parts := make([]string, len(s.Axes))
+		for a, ax := range s.Axes {
+			p := ax.Points[idx[a]]
+			p.Apply(&cfg)
+			parts[a] = ax.Name + "=" + p.Label
+		}
+		name := strings.Join(parts, ",")
+		if name == "" {
+			name = "base"
+		}
+		out = append(out, Scenario{Name: name, Config: &cfg})
+
+		// Odometer increment, last axis fastest.
+		a := len(idx) - 1
+		for ; a >= 0; a-- {
+			idx[a]++
+			if idx[a] < len(s.Axes[a].Points) {
+				break
+			}
+			idx[a] = 0
+		}
+		if a < 0 {
+			return out, nil
+		}
+	}
+}
+
+// sortByName orders scenario results canonically so rendered output is
+// independent of submission and completion order. The order is natural:
+// digit runs compare numerically, so "seed=2" sorts before "seed=10".
+func sortByName(rs []ScenarioResult) {
+	sort.Slice(rs, func(i, j int) bool { return naturalLess(rs[i].Scenario.Name, rs[j].Scenario.Name) })
+}
+
+// naturalLess is a numeric-aware string order: embedded runs of digits
+// compare by value, everything else bytewise, with a plain string
+// comparison breaking natural ties ("seed=01" vs "seed=1") so the order
+// stays total over distinct names.
+func naturalLess(a, b string) bool {
+	if c := naturalCmp(a, b); c != 0 {
+		return c < 0
+	}
+	return a < b
+}
+
+func naturalCmp(a, b string) int {
+	for a != "" && b != "" {
+		if isDigit(a[0]) && isDigit(b[0]) {
+			da, ra := digitRun(a)
+			db, rb := digitRun(b)
+			// Compare the runs as integers without parsing: after
+			// stripping leading zeros, a longer run is a larger value and
+			// equal-length runs compare lexically.
+			ta, tb := strings.TrimLeft(da, "0"), strings.TrimLeft(db, "0")
+			if len(ta) != len(tb) {
+				if len(ta) < len(tb) {
+					return -1
+				}
+				return 1
+			}
+			if ta != tb {
+				if ta < tb {
+					return -1
+				}
+				return 1
+			}
+			a, b = ra, rb
+			continue
+		}
+		if a[0] != b[0] {
+			if a[0] < b[0] {
+				return -1
+			}
+			return 1
+		}
+		a, b = a[1:], b[1:]
+	}
+	return len(a) - len(b)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// digitRun splits s after its leading run of digits.
+func digitRun(s string) (run, rest string) {
+	i := 0
+	for i < len(s) && isDigit(s[i]) {
+		i++
+	}
+	return s[:i], s[i:]
+}

@@ -1,0 +1,143 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"unprotected/internal/campaign"
+	"unprotected/internal/cluster"
+)
+
+// testBase returns a fast base config: the paper profile restricted to
+// two blades (28 scanned nodes), so a scenario simulates in tens of
+// milliseconds instead of a second while keeping the controller node
+// (02-04) and its full fault population in play.
+func testBase(seed uint64) *campaign.Config {
+	cfg := campaign.DefaultConfig(seed)
+	cfg.Topo = topologyWithBlades(cfg.Topo, 2)
+	return cfg
+}
+
+// testSpec is the canonical small 2x2 sweep the determinism and leak
+// tests share.
+func testSpec(t *testing.T) *Spec {
+	t.Helper()
+	axes, err := ParseAxes([]string{"pattern=flip,counter", "seed=1,2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Spec{Base: testBase(42), Axes: axes}
+}
+
+// TestSweepExpansion: cartesian product in odometer order, private
+// config copies, cloned topologies, "base" for the zero-axes spec.
+func TestSweepExpansion(t *testing.T) {
+	base := testBase(42)
+	spec := &Spec{
+		Base: base,
+		Axes: []Axis{
+			{Name: "A", Points: []Point{
+				{Label: "a1", Apply: func(cfg *campaign.Config) { cfg.Seed = 101 }},
+				{Label: "a2", Apply: func(cfg *campaign.Config) { cfg.Seed = 102 }},
+			}},
+			{Name: "B", Points: []Point{
+				{Label: "b1", Apply: func(cfg *campaign.Config) { cfg.AmbientRatePerHour = 1e-9 }},
+				{Label: "b2", Apply: func(cfg *campaign.Config) { cfg.AmbientRatePerHour = 2e-9 }},
+			}},
+		},
+	}
+	scs, err := spec.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{"A=a1,B=b1", "A=a1,B=b2", "A=a2,B=b1", "A=a2,B=b2"}
+	if len(scs) != len(wantNames) {
+		t.Fatalf("expanded %d scenarios, want %d", len(scs), len(wantNames))
+	}
+	for i, want := range wantNames {
+		if scs[i].Name != want {
+			t.Fatalf("scenario %d named %q, want %q", i, scs[i].Name, want)
+		}
+	}
+	if scs[2].Config.Seed != 102 || scs[2].Config.AmbientRatePerHour != 1e-9 {
+		t.Fatalf("scenario 2 config not the applied combination: %+v", scs[2].Config)
+	}
+	if base.Seed != 42 {
+		t.Fatalf("expansion mutated the base config (seed %d)", base.Seed)
+	}
+	// Expansion is shallow: axes that leave the roster untouched share
+	// the base topology (the runner clones per run, so a fleet of
+	// thousands does not hold thousands of roster clones live), while a
+	// topology-installing axis keeps its clone private.
+	if scs[0].Config.Topo != base.Topo {
+		t.Fatal("expansion cloned the topology eagerly")
+	}
+	bladed, err := ParseAxis("blades=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	withTopo := &Spec{Base: base, Axes: []Axis{bladed}}
+	bscs, err := withTopo.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bscs[0].Config.Topo == base.Topo {
+		t.Fatal("blades axis left the scenario on the shared base roster")
+	}
+	if base.Topo.Node(cluster.NodeID{Blade: 1, SoC: 2}).Role != cluster.Scanned {
+		t.Fatal("blades axis mutated the base roster")
+	}
+
+	// Zero axes: the single "base" scenario.
+	solo, err := (&Spec{Base: testBase(1)}).Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(solo) != 1 || solo[0].Name != "base" {
+		t.Fatalf("zero-axes spec expanded to %v", solo)
+	}
+}
+
+// TestSweepSpecValidation: every malformed spec is a descriptive error,
+// in the option-validation style (never a panic, never silent clamping).
+func TestSweepSpecValidation(t *testing.T) {
+	noop := func(*campaign.Config) {}
+	wide := Axis{Name: "wide"}
+	for i := 0; i < 70; i++ {
+		wide.Points = append(wide.Points, Point{Label: fmt.Sprint(i), Apply: noop})
+	}
+	wide2 := wide
+	wide2.Name = "wide2"
+	cases := []struct {
+		name    string
+		spec    *Spec
+		wantSub string
+	}{
+		{"nil spec", nil, "nil base"},
+		{"nil base", &Spec{}, "nil base"},
+		{"empty axis name", &Spec{Base: testBase(1), Axes: []Axis{{Points: []Point{{Label: "x", Apply: noop}}}}}, "empty name"},
+		{"duplicate axis", &Spec{Base: testBase(1), Axes: []Axis{
+			{Name: "seed", Points: []Point{{Label: "1", Apply: noop}}},
+			{Name: "seed", Points: []Point{{Label: "2", Apply: noop}}},
+		}}, `duplicate axis "seed"`},
+		{"no points", &Spec{Base: testBase(1), Axes: []Axis{{Name: "seed"}}}, "no points"},
+		{"empty label", &Spec{Base: testBase(1), Axes: []Axis{{Name: "seed", Points: []Point{{Apply: noop}}}}}, "empty label"},
+		{"nil apply", &Spec{Base: testBase(1), Axes: []Axis{{Name: "seed", Points: []Point{{Label: "1"}}}}}, "nil Apply"},
+		{"duplicate label", &Spec{Base: testBase(1), Axes: []Axis{
+			{Name: "seed", Points: []Point{{Label: "1", Apply: noop}, {Label: "1", Apply: noop}}},
+		}}, `duplicate point "1"`},
+		{"too many scenarios", &Spec{Base: testBase(1), Axes: []Axis{wide, wide2}}, "exceeds"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			scs, err := tc.spec.Scenarios()
+			if err == nil {
+				t.Fatalf("expanded %d scenarios, want error mentioning %q", len(scs), tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
