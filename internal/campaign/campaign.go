@@ -261,6 +261,11 @@ func collect(ctx context.Context, cfg *Config, needFaults, needSessions bool) (*
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One scratch per worker, recycled node to node and — via the
+			// package pool — across campaigns: a sweep's scenario fleet
+			// resimulates with the buffers its predecessors grew.
+			sc := scratchPool.Get().(*nodeScratch)
+			defer scratchPool.Put(sc)
 			for n := range jobs {
 				if ctx.Err() != nil {
 					continue // cancelled: drain the queue without simulating
@@ -272,7 +277,7 @@ func collect(ctx context.Context, cfg *Config, needFaults, needSessions bool) (*
 						continue
 					}
 				}
-				out := finalizeNode(simulateNode(cfg, n, plans[n.ID]), needFaults, needSessions)
+				out := finalizeNode(simulateNode(cfg, n, plans[n.ID], sc), needFaults, needSessions)
 				if cfg.Gate != nil {
 					// Release before the results send: the token covers the
 					// CPU-heavy simulation only, never a wait on the
@@ -388,11 +393,30 @@ func Run(cfg *Config) *Result {
 	return res
 }
 
-// simulateNode runs one node's full-year simulation.
-func simulateNode(cfg *Config, node *cluster.Node, plan *faults.Plan) nodeOutput {
+// nodeScratch is the reusable per-worker simulation state: the window and
+// raw-run buffers a node simulation fills and its finalization drains.
+// Nothing in a finished nodeStream aliases the scratch (faults are
+// classified into a fresh slice, sessions are node-owned), so one scratch
+// serves every node a worker simulates, and the package-level pool carries
+// the grown buffers across campaigns — the sweep engine's scenarios
+// resimulate million-session fleets without regrowing them.
+type nodeScratch struct {
+	windows []sched.Window
+	runs    []extract.RawRun
+}
+
+// scratchPool recycles nodeScratch values across workers, campaigns and
+// sweep scenarios.
+var scratchPool = sync.Pool{New: func() any { return new(nodeScratch) }}
+
+// simulateNode runs one node's full-year simulation. The returned output's
+// runs slice is backed by sc and is only valid until the next simulateNode
+// call with the same scratch — finalizeNode consumes it before then.
+func simulateNode(cfg *Config, node *cluster.Node, plan *faults.Plan, sc *nodeScratch) nodeOutput {
 	r := rng.Derive(cfg.Seed, uint64(node.ID.Index()))
 	gen := sched.NewGenerator(cfg.Sched)
-	windows := gen.NodeWindows(node, r)
+	sc.windows = gen.AppendNodeWindows(sc.windows[:0], node, r)
+	windows := sc.windows
 
 	out := nodeOutput{node: node.ID}
 	therm := thermal.New()
@@ -418,6 +442,23 @@ func simulateNode(cfg *Config, node *cluster.Node, plan *faults.Plan) nodeOutput
 		windows = trimmed
 	}
 
+	// One SessionCtx (and one temperature closure) serves every window of
+	// the node: only the per-session fields change between windows.
+	// Allocating these per window used to be the single largest campaign
+	// allocation site after the timezone cache.
+	soc12Off := cfg.SoC12OffFrom
+	nodeID := node.ID
+	ctx := &faults.SessionCtx{
+		Node: nodeID,
+		Rng:  r,
+		Temp: func(at timebase.T) float64 {
+			return therm.NodeTemp(nodeID, at, at < soc12Off, r)
+		},
+		Polarity:  polarity,
+		Scrambler: scrambler,
+	}
+	out.sessions = make([]eventlog.Session, 0, len(windows))
+	out.runs = sc.runs[:0]
 	for _, w := range windows {
 		avail := cfg.Leak.Available(r)
 		alloc := scanner.Allocate(avail)
@@ -429,20 +470,11 @@ func simulateNode(cfg *Config, node *cluster.Node, plan *faults.Plan) nodeOutput
 		if r.Bernoulli(cfg.CounterModeFrac) {
 			mode = scanner.CounterMode
 		}
-		ctx := &faults.SessionCtx{
-			Node:    node.ID,
-			Window:  w,
-			Alloc:   alloc,
-			Mode:    mode,
-			IterDur: scanner.IterDuration(alloc),
-			Words:   alloc / 4,
-			Rng:     r,
-			Temp: func(at timebase.T) float64 {
-				return therm.NodeTemp(node.ID, at, at < cfg.SoC12OffFrom, r)
-			},
-			Polarity:  polarity,
-			Scrambler: scrambler,
-		}
+		ctx.Window = w
+		ctx.Alloc = alloc
+		ctx.Mode = mode
+		ctx.IterDur = scanner.IterDuration(alloc)
+		ctx.Words = alloc / 4
 		if plan != nil {
 			for _, src := range plan.Sources {
 				out.rawLogs += src.Emit(ctx, &out.runs)
@@ -456,6 +488,8 @@ func simulateNode(cfg *Config, node *cluster.Node, plan *faults.Plan) nodeOutput
 			AllocBytes: alloc, Truncated: w.HardReboot,
 		})
 	}
+	// Keep the grown runs buffer for the worker's next node.
+	sc.runs = out.runs
 	return out
 }
 

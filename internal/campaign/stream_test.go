@@ -23,8 +23,12 @@ func legacyCollectAll(cfg *Config) *Result {
 	plans := cfg.Profile.build(cfg)
 	res := &Result{Cfg: cfg, RawLogsByNode: make(map[cluster.NodeID]int64)}
 	var allRuns []extract.RawRun
+	// One shared scratch across every node, like a single worker would
+	// use: the runs are copied out below before the next node overwrites
+	// the buffer, so reuse here doubles as a reuse-safety check.
+	sc := new(nodeScratch)
 	for _, n := range cfg.Topo.ScannedNodes() {
-		out := simulateNode(cfg, n, plans[n.ID])
+		out := simulateNode(cfg, n, plans[n.ID], sc)
 		if !out.excluded {
 			allRuns = append(allRuns, out.runs...)
 		}

@@ -77,19 +77,98 @@ func (f Fault) HasTemp() bool { return thermal.HasReading(f.TempC) }
 // iterations apart; 60 s covers several iterations of a 3 GB scan.
 const DefaultGap = 60 // seconds
 
+// Columns is struct-of-arrays storage for raw runs: one backing slice
+// per RawRun field. Accumulating column-wise costs eight amortized slice
+// appends per run instead of one heap object per fault, and Reset keeps
+// every column's capacity for the next batch — the Collapser's finished
+// runs live here so replaying a million-record file allocates only
+// logarithmically many column growths.
+type Columns struct {
+	Node     []cluster.NodeID
+	Addr     []dram.Addr
+	FirstAt  []timebase.T
+	LastAt   []timebase.T
+	Logs     []int
+	Expected []uint32
+	Actual   []uint32
+	TempC    []float64
+}
+
+// Len returns the number of stored runs.
+func (c *Columns) Len() int { return len(c.Addr) }
+
+// Append stores one run column-wise.
+func (c *Columns) Append(r RawRun) {
+	c.Node = append(c.Node, r.Node)
+	c.Addr = append(c.Addr, r.Addr)
+	c.FirstAt = append(c.FirstAt, r.FirstAt)
+	c.LastAt = append(c.LastAt, r.LastAt)
+	c.Logs = append(c.Logs, r.Logs)
+	c.Expected = append(c.Expected, r.Expected)
+	c.Actual = append(c.Actual, r.Actual)
+	c.TempC = append(c.TempC, r.TempC)
+}
+
+// Row materializes run i as a RawRun value.
+func (c *Columns) Row(i int) RawRun {
+	return RawRun{
+		Node: c.Node[i], Addr: c.Addr[i], FirstAt: c.FirstAt[i],
+		LastAt: c.LastAt[i], Logs: c.Logs[i],
+		Expected: c.Expected[i], Actual: c.Actual[i], TempC: c.TempC[i],
+	}
+}
+
+// AppendRows materializes every stored run onto dst, in storage order.
+func (c *Columns) AppendRows(dst []RawRun) []RawRun {
+	for i := range c.Addr {
+		dst = append(dst, c.Row(i))
+	}
+	return dst
+}
+
+// Reset truncates every column, keeping its capacity.
+func (c *Columns) Reset() {
+	c.Node = c.Node[:0]
+	c.Addr = c.Addr[:0]
+	c.FirstAt = c.FirstAt[:0]
+	c.LastAt = c.LastAt[:0]
+	c.Logs = c.Logs[:0]
+	c.Expected = c.Expected[:0]
+	c.Actual = c.Actual[:0]
+	c.TempC = c.TempC[:0]
+}
+
 // Collapser streams eventlog records into runs. Feed records of a single
-// node in time order (per-node log files guarantee this); Close flushes
-// still-open runs.
+// node in time order (per-node log files guarantee this); Close drains
+// every run and resets the collapser, so one instance (or a pooled one —
+// see Reset) can process file after file without reallocating.
+//
+// Internally runs never exist as individual heap objects: finished runs
+// accumulate in struct-of-arrays Columns, and still-open runs live in a
+// reusable slab indexed by address, with freed slots recycled.
 type Collapser struct {
-	Gap  timebase.T // maximum FirstAt..next gap within a run, seconds
-	open map[dram.Addr]*RawRun
-	done []RawRun
+	Gap  timebase.T          // maximum FirstAt..next gap within a run, seconds
+	open map[dram.Addr]int32 // address → slot in slab
+	slab []RawRun            // open-run storage; free slots are recycled
+	free []int32             // slab slots available for reuse
+	done Columns
 	raw  int64
 }
 
 // NewCollapser returns a collapser with the default gap tolerance.
 func NewCollapser() *Collapser {
-	return &Collapser{Gap: DefaultGap, open: make(map[dram.Addr]*RawRun)}
+	return &Collapser{Gap: DefaultGap, open: make(map[dram.Addr]int32)}
+}
+
+// slot returns a free slab index, recycling closed runs' slots.
+func (c *Collapser) slot() int32 {
+	if n := len(c.free); n > 0 {
+		s := c.free[n-1]
+		c.free = c.free[:n-1]
+		return s
+	}
+	c.slab = append(c.slab, RawRun{})
+	return int32(len(c.slab) - 1)
 }
 
 // Observe consumes one record; non-ERROR records are ignored.
@@ -109,15 +188,16 @@ func (c *Collapser) Observe(rec eventlog.Record) {
 		// exactly one run, verbatim. Re-applying the gap heuristic here
 		// would merge faults the original extraction deemed independent.
 		c.raw += int64(rec.Logs)
-		if run, ok := c.open[addr]; ok {
-			c.done = append(c.done, *run)
+		if i, ok := c.open[addr]; ok {
+			c.done.Append(c.slab[i])
+			c.free = append(c.free, i)
 			delete(c.open, addr)
 		}
 		last := rec.LastAt
 		if last < rec.At {
 			last = rec.At
 		}
-		c.done = append(c.done, RawRun{
+		c.done.Append(RawRun{
 			Node: rec.Host, Addr: addr, FirstAt: rec.At, LastAt: last,
 			Logs: rec.Logs, Expected: rec.Expected, Actual: rec.Actual,
 			TempC: rec.TempC,
@@ -125,36 +205,52 @@ func (c *Collapser) Observe(rec eventlog.Record) {
 		return
 	}
 	c.raw++
-	run, ok := c.open[addr]
-	samePattern := ok && run.Expected^run.Actual == rec.Expected^rec.Actual
-	if ok && samePattern && rec.At-run.LastAt <= c.Gap {
-		run.LastAt = rec.At
-		run.Logs++
-		return
-	}
+	i, ok := c.open[addr]
 	if ok {
-		c.done = append(c.done, *run)
+		run := &c.slab[i]
+		if run.Expected^run.Actual == rec.Expected^rec.Actual && rec.At-run.LastAt <= c.Gap {
+			run.LastAt = rec.At
+			run.Logs++
+			return
+		}
+		c.done.Append(*run)
+	} else {
+		i = c.slot()
+		c.open[addr] = i
 	}
-	c.open[addr] = &RawRun{
+	c.slab[i] = RawRun{
 		Node: rec.Host, Addr: addr, FirstAt: rec.At, LastAt: rec.At, Logs: 1,
 		Expected: rec.Expected, Actual: rec.Actual, TempC: rec.TempC,
 	}
 }
 
 // Close flushes open runs and returns every run in first-seen order along
-// with the raw record count.
+// with the raw record count, then resets the collapser for reuse. The
+// returned slice is freshly allocated and owned by the caller.
 func (c *Collapser) Close() ([]RawRun, int64) {
-	for _, run := range c.open {
-		c.done = append(c.done, *run)
+	out := c.done.AppendRows(make([]RawRun, 0, c.done.Len()+len(c.open)))
+	for _, i := range c.open {
+		out = append(out, c.slab[i])
 	}
-	c.open = make(map[dram.Addr]*RawRun)
-	sort.Slice(c.done, func(i, j int) bool {
-		if c.done[i].FirstAt != c.done[j].FirstAt {
-			return c.done[i].FirstAt < c.done[j].FirstAt
+	raw := c.raw
+	c.Reset()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FirstAt != out[j].FirstAt {
+			return out[i].FirstAt < out[j].FirstAt
 		}
-		return c.done[i].Addr < c.done[j].Addr
+		return out[i].Addr < out[j].Addr
 	})
-	return c.done, c.raw
+	return out, raw
+}
+
+// Reset returns the collapser to its empty state, keeping every backing
+// allocation (columns, slab, address map) for the next batch of records.
+func (c *Collapser) Reset() {
+	clear(c.open)
+	c.slab = c.slab[:0]
+	c.free = c.free[:0]
+	c.done.Reset()
+	c.raw = 0
 }
 
 // Faults classifies a slice of runs.

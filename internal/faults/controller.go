@@ -187,7 +187,7 @@ func (c *Controller) emitGlitch(ctx *SessionCtx, at timebase.T, n int, force boo
 		return 0
 	}
 	var raw int64
-	picks := ctx.Rng.PickN(n, len(c.AddrPool))
+	picks := ctx.pickN(n, len(c.AddrPool))
 	for _, pi := range picks {
 		addr := c.AddrPool[pi]
 		if int64(addr) >= ctx.Words {

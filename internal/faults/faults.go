@@ -48,6 +48,19 @@ type SessionCtx struct {
 	Polarity *dram.PolarityMap
 	// Scrambler maps physical cell runs to logical bit sets.
 	Scrambler *dram.Scrambler
+
+	// picks is scratch for address sampling, reused across glitches and —
+	// since the campaign engine reuses one SessionCtx per node — across
+	// windows. Sources borrow it through pickN.
+	picks []int
+}
+
+// pickN samples n distinct ints from [0, m) without replacement, exactly
+// like ctx.Rng.PickN, into session-owned scratch: the returned slice is
+// valid until the next pickN call on this ctx.
+func (c *SessionCtx) pickN(n, m int) []int {
+	c.picks = c.Rng.PickNAppend(c.picks[:0], n, m)
+	return c.picks
 }
 
 // iterAt returns the scan iteration containing t.

@@ -61,6 +61,65 @@ func MergeSeq[T any](streams [][]T, cmp func(a, b *T) int) iter.Seq[T] {
 	}
 }
 
+// MergeBlocks is the block-granular form of the merge: it drains the same
+// deterministic sequence as MergeSeq, but moves it in caller-owned blocks
+// instead of element-wise yields. Each merged element is converted by conv
+// (the delivery layer maps faults and sessions into its Event sum type
+// here, so blocks are built in one pass over the heap) and appended to
+// buf; emit is invoked once per full block and once for the final partial
+// one, and must consume the block before returning — buf is recycled for
+// the next block. An emit returning false stops the merge immediately;
+// MergeBlocks reports whether the sequence was fully drained.
+//
+// Ordering, stability and the allocation contract are exactly MergeSeq's:
+// block boundaries carry no meaning, cmp ties break on stream index, and
+// beyond the k-cursor heap nothing is allocated — with a pooled buf,
+// block delivery is allocation-free in steady state. len(buf) is the
+// block size and must be at least 1.
+func MergeBlocks[S, T any](streams [][]S, cmp func(a, b *S) int, buf []T, conv func(S) T, emit func([]T) bool) bool {
+	if len(buf) == 0 {
+		panic("kway: MergeBlocks: empty block buffer")
+	}
+	h := make([]cursor[S], 0, len(streams))
+	for i, s := range streams {
+		if len(s) > 0 {
+			h = append(h, cursor[S]{items: s, idx: i})
+		}
+	}
+	less := func(a, b *cursor[S]) bool {
+		if c := cmp(&a.items[a.pos], &b.items[b.pos]); c != 0 {
+			return c < 0
+		}
+		return a.idx < b.idx
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(h, i, less)
+	}
+	n := 0
+	for len(h) > 0 {
+		top := &h[0]
+		buf[n] = conv(top.items[top.pos])
+		n++
+		top.pos++
+		if top.pos == len(top.items) {
+			h[0] = h[len(h)-1]
+			h[len(h)-1] = cursor[S]{} // drop the stale copy's reference
+			h = h[:len(h)-1]
+		}
+		siftDown(h, 0, less)
+		if n == len(buf) {
+			if !emit(buf[:n]) {
+				return false
+			}
+			n = 0
+		}
+	}
+	if n > 0 {
+		return emit(buf[:n])
+	}
+	return true
+}
+
 // cursor is one stream's read position in the merge heap.
 type cursor[T any] struct {
 	items []T

@@ -153,3 +153,64 @@ func TestMergeSeqZeroAllocPerElement(t *testing.T) {
 		t.Fatalf("merge setup allocates %v times, want <= 5", large)
 	}
 }
+
+// TestMergeBlocksMatchesMerge: the block-granular merge must flatten to
+// exactly the element-wise sequence for every block size, deliver full
+// blocks plus one final partial, honour an emit-false stop, and report
+// drained status accordingly.
+func TestMergeBlocksMatchesMerge(t *testing.T) {
+	streams := [][]int{{1, 4, 7, 10}, {2, 5, 8}, {}, {3, 6, 9, 11, 12}}
+	var want []int
+	Merge(streams, cmpInt, func(v int) { want = append(want, v) })
+
+	ident := func(v int) int { return v }
+	for _, size := range []int{1, 2, 3, 5, 12, 13, 64} {
+		var got []int
+		blocks := 0
+		drained := MergeBlocks(streams, cmpInt, make([]int, size), ident, func(b []int) bool {
+			if len(b) > size {
+				t.Fatalf("size %d: oversized block of %d", size, len(b))
+			}
+			if len(b) < size && blocks >= 0 {
+				blocks = -1 // only the final block may be partial
+			} else if blocks == -1 {
+				t.Fatalf("size %d: block after the partial one", size)
+			}
+			got = append(got, b...)
+			return true
+		})
+		if !drained {
+			t.Fatalf("size %d: full consumption reported undrained", size)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("size %d: merged %v, want %v", size, got, want)
+		}
+	}
+
+	// emit-false stops the merge mid-way and reports undrained.
+	var got []int
+	drained := MergeBlocks(streams, cmpInt, make([]int, 4), ident, func(b []int) bool {
+		got = append(got, b...)
+		return false
+	})
+	if drained || !reflect.DeepEqual(got, []int{1, 2, 3, 4}) {
+		t.Fatalf("stopped merge: drained=%v got=%v", drained, got)
+	}
+
+	// Empty input: no emit at all, trivially drained.
+	calls := 0
+	if !MergeBlocks(nil, cmpInt, make([]int, 4), ident, func([]int) bool { calls++; return true }) || calls != 0 {
+		t.Fatalf("empty merge: %d emits", calls)
+	}
+}
+
+// TestMergeBlocksEmptyBufPanics: a zero-length block buffer can never
+// make progress; it must panic instead of looping.
+func TestMergeBlocksEmptyBufPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty buffer")
+		}
+	}()
+	MergeBlocks([][]int{{1}}, cmpInt, nil, func(v int) int { return v }, func([]int) bool { return true })
+}

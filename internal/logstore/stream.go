@@ -259,6 +259,11 @@ func collect(ctx context.Context, dir string, workers int, needFaults, needSessi
 	return stats, streams, nil
 }
 
+// collapserPool recycles per-file collapsers — and with them the
+// struct-of-arrays run columns and the open-run slab they carry — across
+// every file of a directory and across directories.
+var collapserPool = sync.Pool{New: func() any { return extract.NewCollapser() }}
+
 // loadNodeFile runs one file through the §II-C pipeline on the worker:
 // records are collapsed into runs and sessions as they are read, then the
 // node's faults and sessions are classified and sorted locally so the
@@ -271,7 +276,13 @@ func loadNodeFile(path string, node cluster.NodeID, needFaults, needSessions boo
 		return ns
 	}
 	defer f.Close()
-	collapser := extract.NewCollapser()
+	collapser := collapserPool.Get().(*extract.Collapser)
+	defer func() {
+		// Close already resets on the success path; Reset again is a no-op
+		// there and cleans up after mid-file read errors.
+		collapser.Reset()
+		collapserPool.Put(collapser)
+	}()
 	acct := eventlog.NewAccounting()
 	r := eventlog.NewReader(f)
 	for {

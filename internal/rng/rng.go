@@ -154,22 +154,48 @@ func (s *Stream) WeightedIndex(weights []float64) int {
 // PickN samples n distinct ints from [0, m) without replacement. If n >= m
 // it returns the full range in random order. The result is not sorted.
 func (s *Stream) PickN(n, m int) []int {
+	return s.PickNAppend(nil, n, m)
+}
+
+// PickNAppend is PickN appending into dst, drawing the exact same values
+// in the exact same order — pass a buffer reused across calls (dst[:0])
+// and sampling allocates nothing beyond the buffer's first growth. The
+// fault models sample addresses once per glitch, so the per-call map and
+// slice of the old shape were a top campaign allocation site.
+func (s *Stream) PickNAppend(dst []int, n, m int) []int {
+	base := len(dst)
 	if n >= m {
-		out := s.Perm(m)
-		return out
+		// Mirrors rand/v2 Perm: fill 0..m-1, then one Shuffle pass.
+		for i := 0; i < m; i++ {
+			dst = append(dst, i)
+		}
+		out := dst[base:]
+		s.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return dst
 	}
-	// Floyd's algorithm: O(n) expected, no O(m) allocation.
-	chosen := make(map[int]struct{}, n)
-	out := make([]int, 0, n)
+	// Floyd's algorithm: O(n) expected, no O(m) work. Membership is a
+	// linear scan over the picks so far — n is a glitch burst (dozens at
+	// most), where scanning a dozen ints beats a map in both time and the
+	// allocation the map used to cost.
 	for j := m - n; j < m; j++ {
 		t := s.IntN(j + 1)
-		if _, ok := chosen[t]; ok {
+		if containsInt(dst[base:], t) {
 			t = j
 		}
-		chosen[t] = struct{}{}
-		out = append(out, t)
+		dst = append(dst, t)
 	}
 	// Shuffle so ordering carries no bias from the insertion pattern.
+	out := dst[base:]
 	s.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
-	return out
+	return dst
+}
+
+// containsInt reports whether v occurs in xs.
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }

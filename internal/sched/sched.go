@@ -97,10 +97,18 @@ func NewGenerator(p Profile) *Generator {
 // scanner dies with the power, logging no END — accounted as a hard
 // reboot, matching the paper's conservative 0-hour rule).
 func (g *Generator) NodeWindows(node *cluster.Node, r *rng.Stream) []Window {
+	return g.AppendNodeWindows(nil, node, r)
+}
+
+// AppendNodeWindows is NodeWindows appending into dst, so a caller
+// simulating many nodes (the campaign worker pool) can reuse one backing
+// buffer across nodes instead of growing a fresh slice per node. The
+// windows appended for a node are identical to a standalone NodeWindows
+// call; dst's existing contents are preserved.
+func (g *Generator) AppendNodeWindows(dst []Window, node *cluster.Node, r *rng.Stream) []Window {
 	if node.Role != cluster.Scanned {
-		return nil
+		return dst
 	}
-	var out []Window
 	t := g.From
 	// Desynchronize nodes: a random initial busy phase.
 	t += timebase.T(r.Float64() * g.Profile.CycleHours * 3600)
@@ -118,18 +126,26 @@ func (g *Generator) NodeWindows(node *cluster.Node, r *rng.Stream) []Window {
 			break
 		}
 		hard := r.Bernoulli(g.Profile.HardRebootProb)
-		out = append(out, clipWindow(node, Window{From: idleFrom, To: idleTo, HardReboot: hard}, g.Profile.MinWindow)...)
+		dst = appendClipped(dst, node, Window{From: idleFrom, To: idleTo, HardReboot: hard}, g.Profile.MinWindow)
 		t = idleTo
 	}
-	return out
+	return dst
 }
 
-// clipWindow intersects a window with the node's availability, splitting
-// around outages. Segments cut short by an outage are marked HardReboot.
-func clipWindow(node *cluster.Node, w Window, minDur time.Duration) []Window {
-	segments := []Window{w}
+// appendClipped intersects a window with the node's availability, splitting
+// around outages, and appends the surviving segments to dst. Segments cut
+// short by an outage are marked HardReboot. The split works in small
+// stack scratch (an outage turns one segment into at most two, and nodes
+// carry a handful of outages at most), so clipping allocates nothing
+// beyond dst's own growth — it runs once per busy/idle cycle of every
+// node, which made the old allocate-a-slice-per-call shape a top
+// campaign allocation site.
+func appendClipped(dst []Window, node *cluster.Node, w Window, minDur time.Duration) []Window {
+	var bufA, bufB [8]Window
+	segments := append(bufA[:0], w)
+	spare := bufB[:0]
 	for _, o := range node.Outages {
-		var next []Window
+		next := spare[:0]
 		for _, s := range segments {
 			// No overlap.
 			if o.To <= s.From || o.From >= s.To {
@@ -144,15 +160,14 @@ func clipWindow(node *cluster.Node, w Window, minDur time.Duration) []Window {
 				next = append(next, Window{From: o.To, To: s.To, HardReboot: s.HardReboot})
 			}
 		}
-		segments = next
+		segments, spare = next, segments
 	}
-	var out []Window
 	for _, s := range segments {
 		if s.Duration() >= minDur {
-			out = append(out, s)
+			dst = append(dst, s)
 		}
 	}
-	return out
+	return dst
 }
 
 // IdleFraction estimates the profile's long-run idle fraction by averaging

@@ -80,7 +80,7 @@ func TestOutageTruncationMarksHardReboot(t *testing.T) {
 		},
 	}
 	w := Window{From: 1000, To: 7000}
-	segs := clipWindow(node, w, time.Minute)
+	segs := appendClipped(nil, node, w, time.Minute)
 	if len(segs) != 1 {
 		t.Fatalf("segments: %v", segs)
 	}
@@ -88,7 +88,7 @@ func TestOutageTruncationMarksHardReboot(t *testing.T) {
 		t.Fatalf("leading segment should end at outage and be a hard stop: %+v", segs[0])
 	}
 	// A window spanning the whole outage splits in two.
-	segs = clipWindow(node, Window{From: 1000, To: 12000}, time.Minute)
+	segs = appendClipped(segs[:0], node, Window{From: 1000, To: 12000}, time.Minute)
 	if len(segs) != 2 || segs[1].From != 9000 {
 		t.Fatalf("split segments: %+v", segs)
 	}

@@ -27,6 +27,8 @@ package stream
 import (
 	"context"
 	"iter"
+	"sync"
+	"sync/atomic"
 
 	"unprotected/internal/cluster"
 	"unprotected/internal/eventlog"
@@ -93,14 +95,103 @@ func FaultEvent(f extract.Fault) Event { return Event{Kind: KindFault, Fault: f}
 // SessionEvent wraps one session delivery.
 func SessionEvent(s eventlog.Session) Event { return Event{Kind: KindSession, Session: s} }
 
+// batchSize is the internal delivery granularity: the k-way merges fill
+// []Event blocks of this many elements before the per-event yield loop
+// walks them. Large enough to amortize block handling, small enough that
+// one pooled block stays cache-resident (512 events ≈ 64 KiB).
+const batchSize = 512
+
+// batchPool recycles the []Event delivery blocks across Deliver calls —
+// one campaign, a replayed directory and every scenario of a sweep all
+// draw from the same pool, so steady-state block delivery allocates
+// nothing no matter how many sources run.
+var batchPool = sync.Pool{New: func() any {
+	b := make([]Event, batchSize)
+	return &b
+}}
+
+// liveBatches counts pool blocks currently checked out. It exists for the
+// leak gates: every Deliver return path — drained, consumer break,
+// cancellation mid-batch — must put its block back, and the tests pin
+// LiveBatches to zero after each of them.
+var liveBatches atomic.Int64
+
+func getBatch() *[]Event {
+	liveBatches.Add(1)
+	return batchPool.Get().(*[]Event)
+}
+
+func putBatch(b *[]Event) {
+	batchPool.Put(b)
+	liveBatches.Add(-1)
+}
+
+// LiveBatches reports how many pooled delivery blocks are checked out
+// right now; zero whenever no Deliver is in flight. Test instrumentation
+// for the pool-ownership contract (DESIGN.md §9).
+func LiveBatches() int64 { return liveBatches.Load() }
+
 // Deliver emits the standard stream shape — stats prologue, merged
 // faults, merged sessions — from per-source sorted slices, so every
 // built-in Source encodes the contract (ordering, per-delivery
-// cancellation check, yield-false handling) exactly once. The merges run
-// through kway.MergeSeq, which keeps delivery allocation-free per event.
+// cancellation check, yield-false handling) exactly once.
+//
+// Internally delivery is batched: the k-way merges move pooled []Event
+// blocks (kway.MergeBlocks) and the yield loop walks each block
+// element-wise. The observable sequence is the unbatched one — block
+// boundaries are invisible to consumers, every delivery still gets its
+// own cancellation check, and deliverUnbatched remains in-tree as the
+// executable reference the differential and fuzz gates compare against.
 // Cancellation between deliveries yields a final (zero Event, ctx.Err())
-// pair; a false yield stops everything immediately.
+// pair; a false yield stops everything immediately. Either way the block
+// returns to the pool before Deliver does.
 func Deliver(ctx context.Context, yield func(Event, error) bool,
+	st *Stats, faultStreams [][]extract.Fault, sessionStreams [][]eventlog.Session) {
+	bp := getBatch()
+	defer putBatch(bp)
+	deliverBatched(ctx, yield, st, faultStreams, sessionStreams, *bp)
+}
+
+// deliverBatched is Deliver over an explicit block buffer; the fuzz gate
+// drives it with adversarial block sizes.
+func deliverBatched(ctx context.Context, yield func(Event, error) bool,
+	st *Stats, faultStreams [][]extract.Fault, sessionStreams [][]eventlog.Session, buf []Event) {
+	if !yield(StatsEvent(st), nil) {
+		return
+	}
+	emit := func(block []Event) bool { return yieldBlock(ctx, yield, block) }
+	if !kway.MergeBlocks(faultStreams, extract.Compare, buf, FaultEvent, emit) {
+		return
+	}
+	kway.MergeBlocks(sessionStreams, eventlog.CompareSessions, buf, SessionEvent, emit)
+}
+
+// yieldBlock hands one merged block to the consumer element-wise,
+// preserving the per-delivery contract: a cancellation check before every
+// event (a mid-batch cancel delivers nothing further from the block) and
+// immediate stop on a false yield.
+func yieldBlock(ctx context.Context, yield func(Event, error) bool, block []Event) bool {
+	done := ctx.Done()
+	for _, ev := range block {
+		select {
+		case <-done:
+			yield(Event{}, ctx.Err())
+			return false
+		default:
+		}
+		if !yield(ev, nil) {
+			return false
+		}
+	}
+	return true
+}
+
+// deliverUnbatched is the reference delivery implementation: the merges
+// yield element-wise with no block layer in between. It encodes the
+// observable contract Deliver must match exactly — the differential
+// harness (internal/core) and FuzzEventBatchRoundTrip diff batched
+// delivery against it — and is not used on any production path.
+func deliverUnbatched(ctx context.Context, yield func(Event, error) bool,
 	st *Stats, faultStreams [][]extract.Fault, sessionStreams [][]eventlog.Session) {
 	if !yield(StatsEvent(st), nil) {
 		return

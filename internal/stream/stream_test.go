@@ -1,0 +1,265 @@
+package stream
+
+import (
+	"context"
+	"testing"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/dram"
+	"unprotected/internal/eventlog"
+	"unprotected/internal/extract"
+	"unprotected/internal/timebase"
+)
+
+// --- deterministic stream synthesis ---
+// A tiny LCG keyed by an explicit seed keeps every synthesized dataset
+// reproducible; streams are sorted per-stream (the Deliver precondition)
+// and deliberately share keys across streams to exercise the merge's
+// stream-index tiebreak.
+
+type lcg uint64
+
+func (l *lcg) next() uint64 {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return uint64(*l) >> 11
+}
+
+func synthFaultStreams(seed uint64, streams, perStream int) [][]extract.Fault {
+	r := lcg(seed + 1)
+	out := make([][]extract.Fault, streams)
+	for s := range out {
+		fs := make([]extract.Fault, perStream)
+		for i := range fs {
+			run := extract.RawRun{
+				Node:     cluster.NodeID{Blade: int(r.next()%40) + 1, SoC: int(r.next()%12) + 1},
+				Addr:     dram.Addr(r.next() % 1024), // small space → frequent ties
+				FirstAt:  timebase.T(r.next() % 512),
+				Logs:     int(r.next()%9) + 1,
+				Expected: uint32(r.next()),
+				Actual:   uint32(r.next()),
+			}
+			run.LastAt = run.FirstAt + timebase.T(r.next()%64)
+			fs[i] = extract.Classify(run)
+		}
+		extract.SortFaults(fs)
+		out[s] = fs
+	}
+	return out
+}
+
+func synthSessionStreams(seed uint64, streams, perStream int) [][]eventlog.Session {
+	r := lcg(seed + 2)
+	out := make([][]eventlog.Session, streams)
+	for s := range out {
+		ss := make([]eventlog.Session, perStream)
+		for i := range ss {
+			from := timebase.T(r.next() % 512)
+			ss[i] = eventlog.Session{
+				Host:       cluster.NodeID{Blade: int(r.next()%40) + 1, SoC: int(r.next()%12) + 1},
+				From:       from,
+				To:         from + timebase.T(r.next()%3600),
+				AllocBytes: int64(r.next() % (3 << 30)),
+				Truncated:  r.next()%8 == 0,
+			}
+		}
+		sortSessions(ss)
+		out[s] = ss
+	}
+	return out
+}
+
+func sortSessions(ss []eventlog.Session) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && eventlog.CompareSessions(&ss[j-1], &ss[j]) > 0; j-- {
+			ss[j-1], ss[j] = ss[j], ss[j-1]
+		}
+	}
+}
+
+// delivery is one recorded yield.
+type delivery struct {
+	ev  Event
+	err error
+}
+
+func record(deliver func(yield func(Event, error) bool)) []delivery {
+	var got []delivery
+	deliver(func(ev Event, err error) bool {
+		got = append(got, delivery{ev, err})
+		return true
+	})
+	return got
+}
+
+func assertSameDeliveries(t *testing.T, want, got []delivery) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("delivery counts differ: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if (w.err == nil) != (g.err == nil) {
+			t.Fatalf("delivery %d: error %v vs %v", i, w.err, g.err)
+		}
+		if w.ev.Kind != g.ev.Kind {
+			t.Fatalf("delivery %d: kind %v vs %v", i, w.ev.Kind, g.ev.Kind)
+		}
+		switch w.ev.Kind {
+		case KindFault:
+			if w.ev.Fault != g.ev.Fault {
+				t.Fatalf("delivery %d: fault %+v vs %+v", i, w.ev.Fault, g.ev.Fault)
+			}
+		case KindSession:
+			if w.ev.Session != g.ev.Session {
+				t.Fatalf("delivery %d: session %+v vs %+v", i, w.ev.Session, g.ev.Session)
+			}
+		}
+	}
+}
+
+// TestDeliverMatchesUnbatched: the tentpole equivalence — batched Deliver
+// produces the exact delivery sequence of the element-wise reference,
+// across stream shapes from empty to heavily tied.
+func TestDeliverMatchesUnbatched(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		name               string
+		streams, perStream int
+	}{
+		{"empty", 0, 0},
+		{"one-element", 1, 1},
+		{"single-stream", 1, 300},
+		{"many-small", 16, 7},
+		{"block-boundary", 2, batchSize},   // fault merge ends exactly on a block
+		{"multi-block", 4, batchSize + 37}, // several full blocks + partial
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := &Stats{Faults: tc.streams * tc.perStream, Sessions: tc.streams * tc.perStream}
+			faults := synthFaultStreams(77, tc.streams, tc.perStream)
+			sessions := synthSessionStreams(99, tc.streams, tc.perStream)
+			want := record(func(y func(Event, error) bool) { deliverUnbatched(ctx, y, st, faults, sessions) })
+			got := record(func(y func(Event, error) bool) { Deliver(ctx, y, st, faults, sessions) })
+			assertSameDeliveries(t, want, got)
+			if n := LiveBatches(); n != 0 {
+				t.Fatalf("%d pooled batches leaked", n)
+			}
+		})
+	}
+}
+
+// TestDeliverBlockSizes: block boundaries must be invisible for any block
+// size, including the degenerate size 1 and sizes straddling the stream
+// lengths.
+func TestDeliverBlockSizes(t *testing.T) {
+	ctx := context.Background()
+	st := &Stats{}
+	faults := synthFaultStreams(5, 3, 101)
+	sessions := synthSessionStreams(6, 3, 101)
+	want := record(func(y func(Event, error) bool) { deliverUnbatched(ctx, y, st, faults, sessions) })
+	for _, size := range []int{1, 2, 3, 100, 101, 302, 303, 304, 1024} {
+		buf := make([]Event, size)
+		got := record(func(y func(Event, error) bool) { deliverBatched(ctx, y, st, faults, sessions, buf) })
+		assertSameDeliveries(t, want, got)
+	}
+}
+
+// TestDeliverEmptyBlockPanics: a zero-length block buffer is a programming
+// error, not a silent stall.
+func TestDeliverEmptyBlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty block buffer")
+		}
+	}()
+	deliverBatched(context.Background(), func(Event, error) bool { return true },
+		&Stats{}, synthFaultStreams(1, 1, 4), nil, nil)
+}
+
+// TestDeliverConsumerBreak: a false yield mid-block stops everything and
+// still returns the pooled block.
+func TestDeliverConsumerBreak(t *testing.T) {
+	st := &Stats{}
+	faults := synthFaultStreams(8, 4, 200)
+	sessions := synthSessionStreams(9, 4, 200)
+	for _, stop := range []int{0, 1, 50, batchSize, batchSize + 1, 799} {
+		n := 0
+		Deliver(context.Background(), func(ev Event, err error) bool {
+			n++
+			return n <= stop
+		}, st, faults, sessions)
+		if n != stop+1 {
+			t.Fatalf("stop=%d: %d deliveries after a false yield", stop, n)
+		}
+		if live := LiveBatches(); live != 0 {
+			t.Fatalf("stop=%d: %d pooled batches leaked", stop, live)
+		}
+	}
+}
+
+// TestDeliverCancelMidBatch: cancelling while a block is being walked must
+// deliver nothing further from that block — the consumer sees exactly the
+// pre-cancel prefix, one final (zero, ctx.Err()) pair, and the block goes
+// back to the pool.
+func TestDeliverCancelMidBatch(t *testing.T) {
+	st := &Stats{}
+	faults := synthFaultStreams(3, 4, 300)
+	sessions := synthSessionStreams(4, 4, 300)
+	full := record(func(y func(Event, error) bool) {
+		Deliver(context.Background(), y, st, faults, sessions)
+	})
+
+	for _, after := range []int{1, 17, batchSize - 1, batchSize, batchSize + 5} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var got []delivery
+		Deliver(ctx, func(ev Event, err error) bool {
+			got = append(got, delivery{ev, err})
+			if len(got) == after {
+				cancel() // mid-batch: the block walk sees done on its next event
+			}
+			return true
+		}, st, faults, sessions)
+		cancel()
+
+		if len(got) != after+1 {
+			t.Fatalf("after=%d: %d deliveries, want prefix plus the error pair", after, len(got))
+		}
+		last := got[len(got)-1]
+		if last.err != context.Canceled || last.ev != (Event{}) {
+			t.Fatalf("after=%d: final delivery (%+v, %v), want (zero, context.Canceled)", after, last.ev, last.err)
+		}
+		assertSameDeliveries(t, full[:after], got[:after])
+		if live := LiveBatches(); live != 0 {
+			t.Fatalf("after=%d: %d pooled batches leaked on cancellation", after, live)
+		}
+	}
+}
+
+// TestDeliverAllocBudget: with a warm pool, delivering thousands of events
+// must cost only the two merge heaps — the per-event budget is zero.
+func TestDeliverAllocBudget(t *testing.T) {
+	ctx := context.Background()
+	st := &Stats{}
+	faults := synthFaultStreams(11, 8, 1024)
+	sessions := synthSessionStreams(12, 8, 1024)
+	events := 1 + 2*8*1024
+	drain := func() {
+		n := 0
+		Deliver(ctx, func(ev Event, err error) bool {
+			if err != nil {
+				t.Fatal(err)
+			}
+			n++
+			return true
+		}, st, faults, sessions)
+		if n != events {
+			t.Fatalf("delivered %d events, want %d", n, events)
+		}
+	}
+	drain() // warm the batch pool
+	allocs := testing.AllocsPerRun(5, drain)
+	// Two cursor heaps plus pool noise; 16k+ events must not show up.
+	if allocs > 8 {
+		t.Fatalf("Deliver allocated %.0f times for %d events, budget 8 total", allocs, events)
+	}
+}

@@ -59,6 +59,46 @@ func TestSweepDeterminism(t *testing.T) {
 	}
 }
 
+// TestSweepScratchReuseMatchesIsolated: scenarios running concurrently
+// under one shared gate draw their per-node scratch and their delivery
+// blocks from process-wide pools (internal/campaign's scratch pool,
+// internal/stream's batch pool), so a buffer released by one scenario is
+// immediately rewritten by a sibling mid-flight. Every scenario's summary
+// must nonetheless be byte-identical to an isolated Analyze run of the
+// same configuration — extending TestSweepDeterminism from "any worker
+// budget" to "pool state shared with arbitrary concurrent siblings".
+func TestSweepScratchReuseMatchesIsolated(t *testing.T) {
+	scenarios, err := testSpec(t).Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget 2 keeps two scenarios in flight at once, interleaving their
+	// pool traffic under the shared gate.
+	res, err := RunScenarios(context.Background(), scenarios, WithBudget(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenarios) != len(scenarios) {
+		t.Fatalf("sweep returned %d scenarios, want %d", len(res.Scenarios), len(scenarios))
+	}
+	for _, sr := range res.Scenarios {
+		cfg := *sr.Scenario.Config
+		if cfg.Topo != nil {
+			cfg.Topo = cfg.Topo.Clone()
+		}
+		study, err := core.Analyze(context.Background(), core.Simulate(&cfg), core.WithoutDataset())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := strings.Join(study.ScenarioSummary(sr.Scenario.Name).Row(), "|")
+		got := strings.Join(sr.Summary.Row(), "|")
+		if got != want {
+			t.Fatalf("scenario %q under shared pools:\n%s\nisolated run:\n%s",
+				sr.Scenario.Name, got, want)
+		}
+	}
+}
+
 // TestSweepBaseMatchesStandalone is the acceptance criterion: the base
 // scenario's comparison row must be byte-identical to a standalone
 // Analyze run of the same configuration.

@@ -89,13 +89,22 @@ func IsCEST(t time.Time) bool {
 	return !t.Before(start) && t.Before(end)
 }
 
+// The two fixed-offset locations are shared: time.FixedZone allocates a
+// fresh *Location on every call, and ToLocal sits under every per-window
+// Month/HourOfDay lookup of the simulation hot path — constructing the
+// zones per call used to be over half of a campaign's total allocations.
+var (
+	zoneCEST = time.FixedZone("CEST", 2*3600)
+	zoneCET  = time.FixedZone("CET", 1*3600)
+)
+
 // ToLocal converts a UTC instant to Barcelona wall time (CET/CEST) using a
 // fixed-offset location, independent of the host tz database.
 func ToLocal(t time.Time) time.Time {
 	if IsCEST(t) {
-		return t.In(time.FixedZone("CEST", 2*3600))
+		return t.In(zoneCEST)
 	}
-	return t.In(time.FixedZone("CET", 1*3600))
+	return t.In(zoneCET)
 }
 
 // DayLabel renders a zero-based study day index as a local date.

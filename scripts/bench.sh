@@ -6,7 +6,7 @@
 # allocs/op proves the iterator delivery layer adds no per-event
 # allocations) plus BenchmarkLogstoreStream (internal/logstore) with
 # -benchmem -count=5 and
-# writes BENCH_PR3.json mapping each benchmark to its best observed
+# writes BENCH_PR6.json mapping each benchmark to its best observed
 # {ns_per_op, mb_per_s, b_per_op, allocs_per_op} (minimum ns/op across the
 # five runs — the least-noise sample; B/op and allocs/op are deterministic).
 #
@@ -15,12 +15,12 @@
 # to keep the harness from rotting without paying full measurement cost.
 #
 # Environment:
-#   BENCH_OUT    output file (default BENCH_PR3.json)
+#   BENCH_OUT    output file (default BENCH_PR6.json)
 #   BENCH_COUNT  -count value (default 5)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${BENCH_OUT:-BENCH_PR3.json}"
+out="${BENCH_OUT:-BENCH_PR6.json}"
 count="${BENCH_COUNT:-5}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
