@@ -44,6 +44,7 @@ var publicSurface = []string{
 	"Simulate",
 	"Source",
 	"SourceStats",
+	"Store",
 	"StreamCampaign",
 	"StreamHandler",
 	"Study",
@@ -58,8 +59,10 @@ var publicSurface = []string{
 	"SweepSpec",
 	"SweepSummary",
 	"WithController",
+	"WithNodes",
 	"WithObservers",
 	"WithSweepBudget",
+	"WithTimeRange",
 	"WithWorkers",
 	"WithoutDataset",
 }

@@ -5,6 +5,7 @@
 //
 //	analyze [-seed N] [-charts] [-heatmaps] [-csv DIR]
 //	        [-from-logs DIR [-controller NODE] [-workers N]]
+//	        [-store DIR [-controller NODE] [-workers N]]
 //
 // Without flags it prints the numeric report (headlines, Table I, Table
 // II, per-figure statistics). -charts adds ASCII renderings of Figs 4–13,
@@ -16,6 +17,10 @@
 // collapsed by a worker pool (-workers, default GOMAXPROCS), merged into
 // the canonical order and fed to the incremental figure accumulators in a
 // single pass. The report is byte-identical for every -workers value.
+//
+// -store reads a binary fault store built by cmd/faultstore instead of
+// text logs: the same downstream flags apply and the report is
+// byte-identical to replaying the logs the store was ingested from.
 //
 // Both paths go through unprotected.Analyze over the matching Source;
 // SIGINT cancels the run, winding the engine's worker pools down cleanly.
@@ -40,6 +45,7 @@ func main() {
 	heatmaps := flag.Bool("heatmaps", false, "render Figs 1-3 node heat maps")
 	csvDir := flag.String("csv", "", "write per-figure CSV files to this directory")
 	fromLogs := flag.String("from-logs", "", "analyze per-node log files from this directory instead of simulating")
+	storeDir := flag.String("store", "", "analyze a binary fault store (built by cmd/faultstore) instead of simulating")
 	controller := flag.String("controller", "02-04", "permanently failing node to exclude from MTBF analyses (with -from-logs)")
 	workers := flag.Int("workers", 0, "source worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
@@ -47,12 +53,20 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if *fromLogs != "" && *storeDir != "" {
+		fmt.Fprintln(os.Stderr, "analyze: -from-logs and -store are mutually exclusive")
+		os.Exit(2)
+	}
 	var src unprotected.Source
 	opts := []unprotected.Option{unprotected.WithWorkers(*workers)}
-	if *fromLogs != "" {
+	switch {
+	case *fromLogs != "":
 		src = unprotected.Logs(*fromLogs)
 		opts = append(opts, unprotected.WithController(*controller))
-	} else {
+	case *storeDir != "":
+		src = unprotected.Store(*storeDir)
+		opts = append(opts, unprotected.WithController(*controller))
+	default:
 		src = unprotected.Simulate(unprotected.DefaultConfig(*seed))
 	}
 	study, err := unprotected.Analyze(ctx, src, opts...)

@@ -59,6 +59,7 @@ package unprotected
 
 import (
 	"context"
+	"time"
 
 	"unprotected/internal/analysis"
 	"unprotected/internal/campaign"
@@ -176,6 +177,25 @@ func Simulate(cfg *Config) Source { return core.Simulate(cfg) }
 // Logs returns the Source that replays a directory of per-node log files
 // — the paper's actual workflow — through the parallel streaming loader.
 func Logs(dir string, opts ...Option) Source { return core.Logs(dir, opts...) }
+
+// Store returns the Source that reads a sharded, time-partitioned binary
+// fault store built from text logs by cmd/faultstore. It yields the same
+// canonical stream Logs does — text stays the interchange format; the
+// store is the query-efficient form — and it is the one source that
+// understands WithNodes and WithTimeRange, pruning whole segments via
+// the store index before any I/O.
+func Store(dir string, opts ...Option) Source { return core.Store(dir, opts...) }
+
+// WithNodes restricts a Store source to the named nodes ("blade-SoC",
+// e.g. "02-04"). Segments whose index node set is disjoint are never
+// opened. Simulate and Logs reject this option.
+func WithNodes(nodes ...string) Option { return core.WithNodes(nodes...) }
+
+// WithTimeRange restricts a Store source to records whose prune key —
+// fault first-observation time, session start time — falls in [from,
+// to). Segments whose index bounds fall outside are never opened.
+// Simulate and Logs reject this option.
+func WithTimeRange(from, to time.Time) Option { return core.WithTimeRange(from, to) }
 
 // Analyze drains src once and assembles the Study: dataset slices
 // (unless WithoutDataset), incremental figure accumulators and every

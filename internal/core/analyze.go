@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"iter"
+	"time"
 
 	"unprotected/internal/campaign"
 	"unprotected/internal/cluster"
@@ -12,6 +13,7 @@ import (
 	"unprotected/internal/extract"
 	"unprotected/internal/logstore"
 	"unprotected/internal/stream"
+	"unprotected/internal/timebase"
 )
 
 // Option configures Analyze and the built-in sources. Options are
@@ -27,7 +29,15 @@ type options struct {
 	hasController bool
 	observers     []stream.Observer
 	noDataset     bool
+	// Store-source predicates (WithNodes / WithTimeRange); the other
+	// sources reject them.
+	nodes    []cluster.NodeID
+	hasRange bool
+	from, to timebase.T
 }
+
+// hasPredicates reports whether a store-only predicate option was set.
+func (o *options) hasPredicates() bool { return len(o.nodes) > 0 || o.hasRange }
 
 func (o *options) apply(opts []Option) error {
 	for _, opt := range opts {
@@ -102,6 +112,42 @@ func WithoutDataset() Option {
 	}
 }
 
+// WithNodes restricts a Store source to the named nodes: only their
+// faults and sessions are delivered, and segments whose index node set
+// is disjoint are never opened. Only the fault-store source understands
+// it — Simulate and Logs reject it with a descriptive error.
+func WithNodes(nodes ...string) Option {
+	return func(o *options) error {
+		if len(nodes) == 0 {
+			return errors.New("WithNodes: no nodes given")
+		}
+		for _, n := range nodes {
+			id, err := cluster.ParseNodeID(n)
+			if err != nil {
+				return fmt.Errorf("WithNodes: %w", err)
+			}
+			o.nodes = append(o.nodes, id)
+		}
+		return nil
+	}
+}
+
+// WithTimeRange restricts a Store source to records whose prune key —
+// fault first-observation time, session start time — falls in the
+// half-open interval [from, to). Segments whose index bounds fall
+// outside are never opened. Only the fault-store source understands it.
+func WithTimeRange(from, to time.Time) Option {
+	return func(o *options) error {
+		if !from.Before(to) {
+			return fmt.Errorf("WithTimeRange: from %v is not before to %v", from, to)
+		}
+		o.hasRange = true
+		o.from = timebase.FromTime(from)
+		o.to = timebase.FromTime(to)
+		return nil
+	}
+}
+
 // configurableSource lets Analyze exchange options with the built-in
 // sources: Analyze-level settings the source acts on (worker-pool size)
 // flow down, source-baked settings only Analyze can act on (observers,
@@ -143,6 +189,9 @@ func (s *simSource) Events(ctx context.Context) iter.Seq2[stream.Event, error] {
 func (s *simSource) configure(o *options) (stream.Source, error) {
 	if s.cfg == nil {
 		return nil, errors.New("Simulate: nil Config (use DefaultConfig)")
+	}
+	if o.hasPredicates() {
+		return nil, errors.New("Simulate: WithNodes/WithTimeRange apply only to a Store source")
 	}
 	if o.workers > 0 && o.workers != s.cfg.Workers {
 		// Shallow-copy the Config so the override (and the engine's own
@@ -191,6 +240,9 @@ type logSource struct {
 func Logs(dir string, opts ...Option) stream.Source {
 	s := &logSource{dir: dir}
 	s.err = s.opts.apply(opts)
+	if s.err == nil && s.opts.hasPredicates() {
+		s.err = errors.New("WithNodes/WithTimeRange apply only to a Store source (replay the full directory or ingest it into a store first)")
+	}
 	return s
 }
 
@@ -206,6 +258,9 @@ func (s *logSource) Events(ctx context.Context) iter.Seq2[stream.Event, error] {
 func (s *logSource) configure(o *options) (stream.Source, error) {
 	if s.err != nil {
 		return nil, fmt.Errorf("Logs: %w", s.err)
+	}
+	if o.hasPredicates() {
+		return nil, errors.New("Logs: WithNodes/WithTimeRange apply only to a Store source (replay the full directory or ingest it into a store first)")
 	}
 	// Analyze-level options that the source cannot act on by itself flow
 	// the other way: observers and WithoutDataset baked into the Logs call

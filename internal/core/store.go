@@ -1,0 +1,105 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"iter"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/faultstore"
+	"unprotected/internal/stream"
+)
+
+// storeSource adapts the binary fault store to the Source interface. It
+// is the only built-in source that understands the WithNodes and
+// WithTimeRange predicates: they become the store query, so segments
+// the manifest index rules out are never opened.
+type storeSource struct {
+	dir  string
+	opts options
+	err  error // first constructor-option error, surfaced on use
+}
+
+// Store returns the Source that reads a binary fault store directory
+// (see cmd/faultstore for building one from text logs). Options carry
+// the same meaning as on Analyze, which may add to them; WithNodes and
+// WithTimeRange prune whole segments via the store index before any
+// I/O. An invalid option surfaces as the error of the first Events
+// delivery (and from Analyze before the stream starts).
+func Store(dir string, opts ...Option) stream.Source {
+	s := &storeSource{dir: dir}
+	s.err = s.opts.apply(opts)
+	return s
+}
+
+// query assembles the store query from the resolved options.
+func (s *storeSource) query() faultstore.Query {
+	return faultstore.Query{
+		Nodes:    s.opts.nodes,
+		HasRange: s.opts.hasRange,
+		From:     s.opts.from,
+		To:       s.opts.to,
+		Workers:  s.opts.workers,
+	}
+}
+
+func (s *storeSource) Events(ctx context.Context) iter.Seq2[stream.Event, error] {
+	if s.err != nil {
+		return func(yield func(stream.Event, error) bool) {
+			yield(stream.Event{}, fmt.Errorf("unprotected: Store: %w", s.err))
+		}
+	}
+	return func(yield func(stream.Event, error) bool) {
+		st, err := faultstore.Open(s.dir)
+		if err != nil {
+			yield(stream.Event{}, fmt.Errorf("unprotected: Store: %w", err))
+			return
+		}
+		for ev, err := range st.Events(ctx, s.query()) {
+			if !yield(ev, err) {
+				return
+			}
+		}
+	}
+}
+
+func (s *storeSource) configure(o *options) (stream.Source, error) {
+	if s.err != nil {
+		return nil, fmt.Errorf("Store: %w", s.err)
+	}
+	// Observers and WithoutDataset baked into the Store call flow up to
+	// Analyze, exactly like the Logs source.
+	o.observers = append(o.observers, s.opts.observers...)
+	if s.opts.noDataset {
+		o.noDataset = true
+	}
+	// Worker count and predicates flow down into a derived copy, so a
+	// reusable Source is never mutated by one Analyze call's options.
+	changed := o.workers > 0 && o.workers != s.opts.workers
+	if o.hasPredicates() {
+		changed = true
+	}
+	if !changed {
+		return s, nil
+	}
+	cp := *s
+	cp.opts.nodes = append(cp.opts.nodes[:len(cp.opts.nodes):len(cp.opts.nodes)], o.nodes...)
+	if o.hasRange {
+		if cp.opts.hasRange {
+			return nil, fmt.Errorf("Store: WithTimeRange given both to Store and to Analyze")
+		}
+		cp.opts.hasRange, cp.opts.from, cp.opts.to = true, o.from, o.to
+	}
+	if o.workers > 0 {
+		cp.opts.workers = o.workers
+	}
+	return &cp, nil
+}
+
+func (s *storeSource) controller() cluster.NodeID   { return s.opts.controller }
+func (s *storeSource) pathological() cluster.NodeID { return cluster.NodeID{} }
+
+// topology returns the prototype's layout, for the same reason the log
+// source does: a store carries record streams, not a topology, and the
+// paper's is the only one the per-node analyses know how to map.
+func (s *storeSource) topology() *cluster.Topology { return cluster.PaperTopology() }

@@ -1,0 +1,106 @@
+package faultstore
+
+import (
+	"context"
+	"slices"
+	"testing"
+	"time"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/eventlog"
+	"unprotected/internal/extract"
+	"unprotected/internal/logstore"
+	"unprotected/internal/stream"
+	"unprotected/internal/timebase"
+)
+
+// benchSegment builds a realistically sized segment image: 10k faults
+// and 1k sessions, the shape a month-window shard of the full campaign
+// produces.
+func benchSegment() []byte {
+	faults := make([]extract.Fault, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		at := timebase.T(i * 60)
+		f := synthFault(i%30+1, i%14+1, uint32(i*37), at, at+timebase.T(i%600), i%50+1,
+			0xffffffff, 0xffffffff^uint32(1<<(i%32)))
+		f.TempC = 20 + float64(i%400)/10
+		f = extract.Classify(f.RawRun)
+		faults = append(faults, f)
+	}
+	extract.SortFaults(faults)
+	sessions := make([]eventlog.Session, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		from := timebase.T(i * 600)
+		sessions = append(sessions, eventlog.Session{
+			Host: cluster.NodeID{Blade: i%30 + 1, SoC: i%14 + 1},
+			From: from, To: from + 590, AllocBytes: 3 << 30,
+		})
+	}
+	slices.SortFunc(sessions, func(a, b eventlog.Session) int {
+		return eventlog.CompareSessions(&a, &b)
+	})
+	return encodeSegment(0, 0, faults, sessions)
+}
+
+// BenchmarkStoreDecode measures the columnar codec's read path — the
+// store's equivalent of text parsing. The acceptance floor is 4× the
+// text parser's MB/s (BenchmarkSubstrateParse in BENCH_PR6.json).
+func BenchmarkStoreDecode(b *testing.B) {
+	data := benchSegment()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := decodeSegment(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreQueryPruned measures a single-node query against a
+// many-segment store: the manifest prunes most segments before any I/O,
+// so the cost is one manifest scan plus the few matching decodes.
+func BenchmarkStoreQueryPruned(b *testing.B) {
+	dir := b.TempDir()
+	var faults []extract.Fault
+	for i := 0; i < 4096; i++ {
+		at := timebase.T(i * 3600)
+		faults = append(faults, synthFault(i%64+1, i%14+1, uint32(i), at, at, 1,
+			0xffffffff, 0xfffffffe))
+	}
+	extract.SortFaults(faults)
+	logDir := b.TempDir()
+	if err := logstore.Export(nil, faults, logDir); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := Ingest(context.Background(), logDir, dir,
+		WithShards(16), WithWindow(240*time.Hour)); err != nil {
+		b.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := cluster.NodeID{Blade: 5, SoC: 5}
+	q := Query{Nodes: []cluster.NodeID{target}, Workers: 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for ev, err := range s.Events(context.Background(), q) {
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ev.Kind == stream.KindFault {
+				n++
+			}
+		}
+		if n == 0 {
+			b.Fatal("pruned query returned nothing")
+		}
+	}
+	b.StopTimer()
+	if s.SegmentsPruned() == 0 {
+		b.Fatal("no segments were pruned")
+	}
+}

@@ -1,0 +1,176 @@
+package faultstore
+
+import (
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/dram"
+	"unprotected/internal/eventlog"
+	"unprotected/internal/extract"
+	"unprotected/internal/timebase"
+)
+
+// The segment codec, read side. Decoding is the store's hot path: after
+// the integrity check every column is one straight sweep over a
+// contiguous little-endian array at an offset computed from the two
+// record counts, so throughput is bounded by memory bandwidth and the
+// CRC, not by parsing.
+
+// segPayload is a decoded segment.
+type segPayload struct {
+	shard        uint32
+	window       int64
+	minAt, maxAt timebase.T
+	faults       []extract.Fault
+	sessions     []eventlog.Session
+}
+
+// corruptf builds the uniform corruption error.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("faultstore: corrupt segment: "+format, args...)
+}
+
+// decodeSegment parses one segment file image. Corruption — bad magic, a
+// truncated file, a CRC mismatch — is a hard error: a reliability study
+// must never half-trust its own storage.
+func decodeSegment(data []byte) (*segPayload, error) {
+	if len(data) < segHeaderLen+segTrailerLen {
+		return nil, corruptf("%d bytes is shorter than header+trailer", len(data))
+	}
+	if string(data[:4]) != segMagic {
+		return nil, corruptf("bad magic %q", data[:4])
+	}
+	body, trailer := data[:len(data)-segTrailerLen], data[len(data)-segTrailerLen:]
+	if got, want := crc32.Checksum(body, crcTable), le.Uint32(trailer); got != want {
+		return nil, corruptf("CRC mismatch (file %08x, computed %08x)", want, got)
+	}
+	p := &segPayload{
+		shard:  le.Uint32(data[4:]),
+		window: int64(le.Uint64(data[8:])),
+		minAt:  timebase.T(le.Uint64(data[16:])),
+		maxAt:  timebase.T(le.Uint64(data[24:])),
+	}
+	n := int(le.Uint32(data[32:]))
+	m := int(le.Uint32(data[36:]))
+	if want := segHeaderLen + n*faultRowLen + m*sessionRowLen + segTrailerLen; len(data) != want {
+		return nil, corruptf("%d bytes for %d faults + %d sessions, want %d", len(data), n, m, want)
+	}
+
+	off := segHeaderLen
+	col64 := func(cnt int) []byte { c := body[off:]; off += 8 * cnt; return c }
+	col32 := func(cnt int) []byte { c := body[off:]; off += 4 * cnt; return c }
+
+	// One row-wise pass per record kind: the decoder streams all columns
+	// in parallel (the prefetcher handles a handful of sequential read
+	// streams) and touches each output struct exactly once, instead of
+	// re-walking the whole output array per column. The classification
+	// fields are re-derived in the same pass (extract.Classify, fused):
+	// they are functions of Expected/Actual, so the codec never stores
+	// them.
+	p.faults = make([]extract.Fault, n)
+	fs := p.faults
+	cBlade, cSoC := col64(n), col64(n)
+	cAddr := col32(n)
+	cFirst, cLast, cLogs := col64(n), col64(n), col64(n)
+	cExp, cAct := col32(n), col32(n)
+	cTemp := col64(n)
+	for i := 0; i < n; i++ {
+		f := &fs[i]
+		f.Node.Blade = int(int64(le.Uint64(cBlade[8*i:])))
+		f.Node.SoC = int(int64(le.Uint64(cSoC[8*i:])))
+		f.Addr = dram.Addr(le.Uint32(cAddr[4*i:]))
+		f.FirstAt = timebase.T(le.Uint64(cFirst[8*i:]))
+		f.LastAt = timebase.T(le.Uint64(cLast[8*i:]))
+		f.Logs = int(int64(le.Uint64(cLogs[8*i:])))
+		f.Expected = le.Uint32(cExp[4*i:])
+		f.Actual = le.Uint32(cAct[4*i:])
+		f.TempC = math.Float64frombits(le.Uint64(cTemp[8*i:]))
+		diff := f.Expected ^ f.Actual
+		f.Bits = dram.BitSet(diff)
+		f.Ones2Zeros = dram.BitSet(f.Expected & diff)
+		f.Zeros2Ones = dram.BitSet(f.Actual & diff)
+	}
+
+	p.sessions = make([]eventlog.Session, m)
+	ss := p.sessions
+	cHBlade, cHSoC := col64(m), col64(m)
+	cFrom, cTo, cAlloc := col64(m), col64(m), col64(m)
+	for i := 0; i < m; i++ {
+		s := &ss[i]
+		s.Host.Blade = int(int64(le.Uint64(cHBlade[8*i:])))
+		s.Host.SoC = int(int64(le.Uint64(cHSoC[8*i:])))
+		s.From = timebase.T(le.Uint64(cFrom[8*i:]))
+		s.To = timebase.T(le.Uint64(cTo[8*i:]))
+		s.AllocBytes = int64(le.Uint64(cAlloc[8*i:]))
+		switch body[off+i] {
+		case 0:
+		case 1:
+			s.Truncated = true
+		default:
+			return nil, corruptf("truncation flag %d", body[off+i])
+		}
+	}
+	return p, nil
+}
+
+// decodeManifest parses the index file.
+func decodeManifest(data []byte) (*manifest, error) {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("faultstore: corrupt manifest: "+format, args...)
+	}
+	if len(data) < len(manMagic)+4+4 {
+		return nil, bad("%d bytes is too short", len(data))
+	}
+	if string(data[:4]) != manMagic {
+		return nil, bad("bad magic %q", data[:4])
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.Checksum(body, crcTable), le.Uint32(trailer); got != want {
+		return nil, bad("CRC mismatch (file %08x, computed %08x)", want, got)
+	}
+	off := 4
+	need := func(n int) bool { return off+n <= len(body) }
+	if !need(4) {
+		return nil, bad("truncated segment count")
+	}
+	count := int(le.Uint32(body[off:]))
+	off += 4
+	m := &manifest{segs: make([]segMeta, 0, count)}
+	for s := 0; s < count; s++ {
+		if !need(2) {
+			return nil, bad("truncated entry %d", s)
+		}
+		nameLen := int(le.Uint16(body[off:]))
+		off += 2
+		if !need(nameLen + 4 + 8 + 4 + 4 + 4 + 8 + 8 + 4) {
+			return nil, bad("truncated entry %d", s)
+		}
+		e := segMeta{name: string(body[off : off+nameLen])}
+		off += nameLen
+		e.shard = le.Uint32(body[off:])
+		e.window = int64(le.Uint64(body[off+4:]))
+		e.gen = le.Uint32(body[off+12:])
+		e.nFaults = int(le.Uint32(body[off+16:]))
+		e.nSessions = int(le.Uint32(body[off+20:]))
+		e.minAt = timebase.T(le.Uint64(body[off+24:]))
+		e.maxAt = timebase.T(le.Uint64(body[off+32:]))
+		nodeCount := int(le.Uint32(body[off+40:]))
+		off += 44
+		if !need(16 * nodeCount) {
+			return nil, bad("truncated node set of entry %d", s)
+		}
+		e.nodes = make([]cluster.NodeID, nodeCount)
+		for i := range e.nodes {
+			e.nodes[i].Blade = int(int64(le.Uint64(body[off:])))
+			e.nodes[i].SoC = int(int64(le.Uint64(body[off+8:])))
+			off += 16
+		}
+		m.segs = append(m.segs, e)
+	}
+	if off != len(body) {
+		return nil, bad("%d trailing bytes", len(body)-off)
+	}
+	return m, nil
+}

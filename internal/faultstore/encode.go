@@ -1,0 +1,252 @@
+package faultstore
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"slices"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/eventlog"
+	"unprotected/internal/extract"
+	"unprotected/internal/timebase"
+)
+
+// The segment codec, write side. A segment file is:
+//
+//	magic "UFS1"                                       4 B
+//	shard          u32                                 4 B
+//	window         i64 (window index)                  8 B
+//	minAt, maxAt   i64 (prune key bounds, see below)  16 B
+//	nFaults        u32                                 4 B
+//	nSessions      u32                                 4 B
+//	fault columns, each contiguous, nFaults entries:
+//	  blade i64 | soc i64 | addr u32 | firstAt i64 | lastAt i64
+//	  | logs i64 | expected u32 | actual u32 | tempBits u64
+//	session columns, each contiguous, nSessions entries:
+//	  blade i64 | soc i64 | from i64 | to i64 | alloc i64 | truncated u8
+//	crc            u32 (Castagnoli, over everything above)
+//
+// Everything is little-endian at fixed offsets: the decoder computes
+// every column's position from the two counts alone and sweeps plain
+// arrays — no per-record framing, no varints, no text. minAt/maxAt span
+// the prune keys of the payload: fault first-observation times and
+// session start times. Temperatures are stored as raw IEEE-754 bits so
+// the NoReading sentinel (and any exact reading) round-trips
+// bit-for-bit; blade/SoC are stored as full i64 so even out-of-fleet
+// node IDs parsed from hand-edited logs survive unchanged.
+
+const (
+	segMagic      = "UFS1"
+	segHeaderLen  = 4 + 4 + 8 + 8 + 8 + 4 + 4
+	faultRowLen   = 8 + 8 + 4 + 8 + 8 + 8 + 4 + 4 + 8
+	sessionRowLen = 8 + 8 + 8 + 8 + 8 + 1
+	segTrailerLen = 4
+)
+
+// crcTable is the Castagnoli polynomial: hardware-accelerated on the
+// platforms the decode throughput target cares about.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+var le = binary.LittleEndian
+
+// segBounds returns the min/max prune key of a segment payload.
+func segBounds(faults []extract.Fault, sessions []eventlog.Session) (lo, hi timebase.T) {
+	first := true
+	see := func(t timebase.T) {
+		if first {
+			lo, hi = t, t
+			first = false
+			return
+		}
+		lo, hi = min(lo, t), max(hi, t)
+	}
+	for i := range faults {
+		see(faults[i].FirstAt)
+	}
+	for i := range sessions {
+		see(sessions[i].From)
+	}
+	return lo, hi
+}
+
+// encodeSegment renders one segment payload in the columnar codec.
+// faults must already be in extract.Compare order and sessions in
+// eventlog.CompareSessions order — the decoder and the query merge rely
+// on it.
+func encodeSegment(shard uint32, window int64, faults []extract.Fault, sessions []eventlog.Session) []byte {
+	n, m := len(faults), len(sessions)
+	size := segHeaderLen + n*faultRowLen + m*sessionRowLen + segTrailerLen
+	b := make([]byte, 0, size)
+	b = append(b, segMagic...)
+	b = le.AppendUint32(b, shard)
+	b = le.AppendUint64(b, uint64(window))
+	lo, hi := segBounds(faults, sessions)
+	b = le.AppendUint64(b, uint64(lo))
+	b = le.AppendUint64(b, uint64(hi))
+	b = le.AppendUint32(b, uint32(n))
+	b = le.AppendUint32(b, uint32(m))
+
+	for i := range faults {
+		b = le.AppendUint64(b, uint64(int64(faults[i].Node.Blade)))
+	}
+	for i := range faults {
+		b = le.AppendUint64(b, uint64(int64(faults[i].Node.SoC)))
+	}
+	for i := range faults {
+		b = le.AppendUint32(b, uint32(faults[i].Addr))
+	}
+	for i := range faults {
+		b = le.AppendUint64(b, uint64(faults[i].FirstAt))
+	}
+	for i := range faults {
+		b = le.AppendUint64(b, uint64(faults[i].LastAt))
+	}
+	for i := range faults {
+		b = le.AppendUint64(b, uint64(int64(faults[i].Logs)))
+	}
+	for i := range faults {
+		b = le.AppendUint32(b, faults[i].Expected)
+	}
+	for i := range faults {
+		b = le.AppendUint32(b, faults[i].Actual)
+	}
+	for i := range faults {
+		b = le.AppendUint64(b, math.Float64bits(faults[i].TempC))
+	}
+
+	for i := range sessions {
+		b = le.AppendUint64(b, uint64(int64(sessions[i].Host.Blade)))
+	}
+	for i := range sessions {
+		b = le.AppendUint64(b, uint64(int64(sessions[i].Host.SoC)))
+	}
+	for i := range sessions {
+		b = le.AppendUint64(b, uint64(sessions[i].From))
+	}
+	for i := range sessions {
+		b = le.AppendUint64(b, uint64(sessions[i].To))
+	}
+	for i := range sessions {
+		b = le.AppendUint64(b, uint64(sessions[i].AllocBytes))
+	}
+	for i := range sessions {
+		var t byte
+		if sessions[i].Truncated {
+			t = 1
+		}
+		b = append(b, t)
+	}
+
+	return le.AppendUint32(b, crc32.Checksum(b, crcTable))
+}
+
+// The manifest codec. The MANIFEST file is the store's index:
+//
+//	magic "UFM1"
+//	segCount u32
+//	per segment:
+//	  nameLen u16 | name bytes
+//	  shard u32 | window i64 | gen u32
+//	  nFaults u32 | nSessions u32
+//	  minAt i64 | maxAt i64
+//	  nodeCount u32 | per node: blade i64 | soc i64   (sorted, unique)
+//	crc u32 (Castagnoli, over everything above)
+//
+// Reading it is the only I/O a fully pruned query performs.
+
+const manMagic = "UFM1"
+
+// segMeta is one segment's index entry.
+type segMeta struct {
+	name         string
+	shard        uint32
+	window       int64
+	gen          uint32
+	nFaults      int
+	nSessions    int
+	minAt, maxAt timebase.T
+	nodes        []cluster.NodeID // sorted by (Blade, SoC), unique
+}
+
+// manifest is the decoded store index, sorted by (shard, window, gen).
+type manifest struct {
+	segs []segMeta
+}
+
+// sort orders the entries canonically; every writer calls it so the
+// on-disk entry order — and with it the query merge's stream order — is
+// deterministic.
+func (m *manifest) sort() {
+	slices.SortFunc(m.segs, func(a, b segMeta) int {
+		switch {
+		case a.shard != b.shard:
+			return int(a.shard) - int(b.shard)
+		case a.window != b.window:
+			if a.window < b.window {
+				return -1
+			}
+			return 1
+		default:
+			return int(a.gen) - int(b.gen)
+		}
+	})
+}
+
+// nextGen returns the generation number the next Ingest should use.
+func (m *manifest) nextGen() uint32 {
+	var g uint32
+	for i := range m.segs {
+		if m.segs[i].gen >= g {
+			g = m.segs[i].gen + 1
+		}
+	}
+	return g
+}
+
+// nodeSetOf collects the sorted unique node set of a segment payload,
+// the manifest's pruning key for node-subset queries.
+func nodeSetOf(faults []extract.Fault, sessions []eventlog.Session) []cluster.NodeID {
+	set := make(map[cluster.NodeID]struct{}, 16)
+	for i := range faults {
+		set[faults[i].Node] = struct{}{}
+	}
+	for i := range sessions {
+		set[sessions[i].Host] = struct{}{}
+	}
+	nodes := make([]cluster.NodeID, 0, len(set))
+	for id := range set {
+		nodes = append(nodes, id)
+	}
+	slices.SortFunc(nodes, func(a, b cluster.NodeID) int {
+		if a.Blade != b.Blade {
+			return a.Blade - b.Blade
+		}
+		return a.SoC - b.SoC
+	})
+	return nodes
+}
+
+// encodeManifest renders the index file.
+func encodeManifest(m *manifest) []byte {
+	b := []byte(manMagic)
+	b = le.AppendUint32(b, uint32(len(m.segs)))
+	for i := range m.segs {
+		s := &m.segs[i]
+		b = le.AppendUint16(b, uint16(len(s.name)))
+		b = append(b, s.name...)
+		b = le.AppendUint32(b, s.shard)
+		b = le.AppendUint64(b, uint64(s.window))
+		b = le.AppendUint32(b, s.gen)
+		b = le.AppendUint32(b, uint32(s.nFaults))
+		b = le.AppendUint32(b, uint32(s.nSessions))
+		b = le.AppendUint64(b, uint64(s.minAt))
+		b = le.AppendUint64(b, uint64(s.maxAt))
+		b = le.AppendUint32(b, uint32(len(s.nodes)))
+		for _, id := range s.nodes {
+			b = le.AppendUint64(b, uint64(int64(id.Blade)))
+			b = le.AppendUint64(b, uint64(int64(id.SoC)))
+		}
+	}
+	return le.AppendUint32(b, crc32.Checksum(b, crcTable))
+}

@@ -1,0 +1,161 @@
+package faultstore
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"slices"
+	"testing"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/dram"
+	"unprotected/internal/eventlog"
+	"unprotected/internal/extract"
+	"unprotected/internal/logstore"
+	"unprotected/internal/thermal"
+	"unprotected/internal/timebase"
+)
+
+// byteReader derives bounded field values from the fuzz input,
+// recycling it when exhausted so any input length yields a dataset.
+type byteReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *byteReader) next() byte {
+	if len(r.data) == 0 {
+		return 0
+	}
+	b := r.data[r.pos%len(r.data)]
+	r.pos++
+	return b
+}
+
+func (r *byteReader) u32() uint32 {
+	var raw [4]byte
+	for i := range raw {
+		raw[i] = r.next()
+	}
+	return binary.LittleEndian.Uint32(raw[:])
+}
+
+// datasetOf turns fuzz bytes into a valid extracted dataset: classified
+// faults with positive extents and weights, sessions with ordered
+// bounds — the invariants every real ingest input satisfies.
+func datasetOf(data []byte) ([]extract.Fault, []eventlog.Session) {
+	r := &byteReader{data: data}
+	nf := int(r.next())%24 + 1
+	ns := int(r.next()) % 8
+	faults := make([]extract.Fault, 0, nf)
+	for i := 0; i < nf; i++ {
+		node := cluster.NodeID{Blade: int(r.next())%8 + 1, SoC: int(r.next())%14 + 1}
+		first := timebase.T(r.u32() % (400 * 24 * 3600))
+		expected := r.u32()
+		actual := r.u32()
+		if actual == expected {
+			actual ^= 1 << (r.next() % 32)
+		}
+		temp := thermal.NoReading
+		if r.next()%2 == 0 {
+			temp = float64(r.u32()%1200)/10 - 20
+		}
+		faults = append(faults, extract.Classify(extract.RawRun{
+			Node: node, Addr: dram.Addr(r.u32()),
+			FirstAt: first, LastAt: first + timebase.T(r.u32()%7200),
+			Logs:     int(r.u32()%10000) + 1,
+			Expected: expected, Actual: actual, TempC: temp,
+		}))
+	}
+	extract.SortFaults(faults)
+	sessions := make([]eventlog.Session, 0, ns)
+	for i := 0; i < ns; i++ {
+		from := timebase.T(r.u32() % (400 * 24 * 3600))
+		sessions = append(sessions, eventlog.Session{
+			Host:       cluster.NodeID{Blade: int(r.next())%8 + 1, SoC: int(r.next())%14 + 1},
+			From:       from,
+			To:         from + timebase.T(r.u32()%86400) + 1,
+			AllocBytes: int64(r.u32() % (3 << 30)),
+			Truncated:  r.next()%4 == 0,
+		})
+	}
+	slices.SortFunc(sessions, func(a, b eventlog.Session) int {
+		return eventlog.CompareSessions(&a, &b)
+	})
+	return faults, sessions
+}
+
+// FuzzSegmentRoundTrip drives both fidelity layers from one generated
+// dataset. The codec layer must be exact on the first pass:
+// decode(encode(x)) == x field for field, including raw IEEE-754
+// temperature bits. The text interchange layer is a fixed point after
+// one canonicalizing cycle: arbitrary generated datasets may hold runs
+// the §II-C replay collapse would merge, so cycle 1 (text -> store ->
+// text) canonicalizes, and cycle 2 must reproduce cycle 1's directory
+// byte for byte.
+func FuzzSegmentRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte("unprotected computing"))
+	f.Add([]byte{0xff, 0x00, 0xa5, 0x5a, 0x13, 0x37, 0x42, 0x42, 0x01, 0x80})
+	f.Add(bytes.Repeat([]byte{7, 99, 3}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		faults, sessions := datasetOf(data)
+
+		// Codec layer: exact round trip.
+		p, err := decodeSegment(encodeSegment(3, -2, faults, sessions))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.shard != 3 || p.window != -2 {
+			t.Fatalf("header round trip: shard %d window %d", p.shard, p.window)
+		}
+		if len(p.faults) != len(faults) || len(p.sessions) != len(sessions) {
+			t.Fatalf("decoded %d/%d records, want %d/%d",
+				len(p.faults), len(p.sessions), len(faults), len(sessions))
+		}
+		for i := range faults {
+			if p.faults[i] != faults[i] {
+				t.Fatalf("fault %d:\n got %+v\nwant %+v", i, p.faults[i], faults[i])
+			}
+		}
+		for i := range sessions {
+			if p.sessions[i] != sessions[i] {
+				t.Fatalf("session %d:\n got %+v\nwant %+v", i, p.sessions[i], sessions[i])
+			}
+		}
+
+		// Interchange layer: ingest/export is byte-identical once the
+		// directory is canonical.
+		ctx := context.Background()
+		dir0 := t.TempDir()
+		if err := logstore.Export(sessions, faults, dir0); err != nil {
+			t.Fatal(err)
+		}
+		store1, dir1 := t.TempDir(), t.TempDir()
+		if _, err := Ingest(ctx, dir0, store1); err != nil {
+			t.Fatal(err)
+		}
+		if err := Export(ctx, store1, dir1, 0); err != nil {
+			t.Fatal(err)
+		}
+		store2, dir2 := t.TempDir(), t.TempDir()
+		if _, err := Ingest(ctx, dir1, store2); err != nil {
+			t.Fatal(err)
+		}
+		if err := Export(ctx, store2, dir2, 0); err != nil {
+			t.Fatal(err)
+		}
+		want := readFiles(t, dir1)
+		got := readFiles(t, dir2)
+		if len(got) != len(want) {
+			t.Fatalf("cycle 2 exported %d files, cycle 1 %d", len(got), len(want))
+		}
+		for name, data := range want {
+			if !bytes.Equal(got[name], data) {
+				t.Fatalf("file %s differs between canonical cycles:\ncycle1:\n%s\ncycle2:\n%s",
+					name, data, got[name])
+			}
+		}
+	})
+}

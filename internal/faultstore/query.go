@@ -1,0 +1,286 @@
+package faultstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"context"
+	"iter"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/eventlog"
+	"unprotected/internal/extract"
+	"unprotected/internal/fdlimit"
+	"unprotected/internal/stream"
+	"unprotected/internal/timebase"
+)
+
+// Store is an opened fault store: the decoded manifest plus the I/O
+// accounting a query leaves behind. Opening reads only the manifest;
+// segment files are touched first when a query needs them.
+type Store struct {
+	dir    string
+	man    *manifest
+	budget *fdlimit.Budget
+	opened atomic.Int64
+	pruned atomic.Int64
+}
+
+// Open reads the manifest of the store at dir.
+func Open(dir string) (*Store, error) {
+	man, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, man: man, budget: fdlimit.Shared}, nil
+}
+
+// SetBudget makes the store meter its segment reads from b instead of
+// the shared fdlimit pool.
+func (s *Store) SetBudget(b *fdlimit.Budget) { s.budget = b }
+
+// Segments reports how many segments the manifest names.
+func (s *Store) Segments() int { return len(s.man.segs) }
+
+// SegmentsOpened counts the segment files queries on this Store actually
+// read; SegmentsPruned counts the ones the manifest index ruled out
+// before any I/O. Together they are the pruning effectiveness metric the
+// regression tests assert on. Both accumulate over the Store's lifetime.
+func (s *Store) SegmentsOpened() int64 { return s.opened.Load() }
+
+// SegmentsPruned counts index-skipped segments; see SegmentsOpened.
+func (s *Store) SegmentsPruned() int64 { return s.pruned.Load() }
+
+// Query restricts what a store read delivers. The zero value delivers
+// everything.
+type Query struct {
+	// Nodes, when non-empty, keeps only faults and sessions of these
+	// nodes. Segments whose index node set is disjoint are never opened.
+	Nodes []cluster.NodeID
+	// HasRange enables the [From, To) half-open time filter over fault
+	// first-observation times and session start times. Segments whose
+	// index bounds fall outside are never opened.
+	HasRange bool
+	From, To timebase.T
+	// Workers bounds the segment decode pool (0 selects GOMAXPROCS).
+	Workers int
+}
+
+// matchSeg reports whether the index entry can contain matching records.
+func (q *Query) matchSeg(e *segMeta, set map[cluster.NodeID]bool) bool {
+	if q.HasRange && (e.maxAt < q.From || e.minAt >= q.To) {
+		return false
+	}
+	if set != nil {
+		for _, id := range e.nodes {
+			if set[id] {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+func (q *Query) matchAt(t timebase.T) bool {
+	return !q.HasRange || (t >= q.From && t < q.To)
+}
+
+// nodeSet builds the lookup set, nil when the query has no node subset.
+func (q *Query) nodeSet() map[cluster.NodeID]bool {
+	if len(q.Nodes) == 0 {
+		return nil
+	}
+	set := make(map[cluster.NodeID]bool, len(q.Nodes))
+	for _, id := range q.Nodes {
+		set[id] = true
+	}
+	return set
+}
+
+// readSegmentFile reads and decodes one segment, metering the open file
+// against the budget (the descriptor is held only for the read itself —
+// decode works on the in-memory image).
+func readSegmentFile(path string, budget *fdlimit.Budget) (*segPayload, error) {
+	if budget != nil {
+		budget.Acquire()
+	}
+	data, err := os.ReadFile(path)
+	if budget != nil {
+		budget.Release()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("faultstore: %w", err)
+	}
+	return decodeSegment(data)
+}
+
+// Events reads the store as the standard stream contract: a stats
+// prologue sized to exactly what the query delivers, every matching
+// fault in extract.Compare order, then every matching session in
+// eventlog.CompareSessions order. Matching segments are decoded by a
+// bounded worker pool (descriptors metered by the store's budget) and
+// k-way merged through the shared block delivery layer; segments the
+// index rules out are never opened. Cancelling ctx drains the pool and
+// yields a final (zero Event, ctx.Err()) pair, leak-free, exactly like
+// the other sources.
+func (s *Store) Events(ctx context.Context, q Query) iter.Seq2[stream.Event, error] {
+	return func(yield func(stream.Event, error) bool) {
+		faultStreams, sessionStreams, stats, err := s.collect(ctx, q)
+		if err != nil {
+			yield(stream.Event{}, err)
+			return
+		}
+		stream.Deliver(ctx, yield, stats, faultStreams, sessionStreams)
+	}
+}
+
+// decoded is one segment's filtered payload, tagged with its manifest
+// position so the merge's stream order is deterministic.
+type decoded struct {
+	pos      int
+	faults   []extract.Fault
+	sessions []eventlog.Session
+	err      error
+}
+
+// collect prunes, decodes and filters the matching segments, returning
+// the per-segment sorted streams in manifest order plus the exact stats
+// of what survived the predicates.
+func (s *Store) collect(ctx context.Context, q Query) ([][]extract.Fault, [][]eventlog.Session, *stream.Stats, error) {
+	set := q.nodeSet()
+	var matched []int
+	for i := range s.man.segs {
+		if q.matchSeg(&s.man.segs[i], set) {
+			matched = append(matched, i)
+		} else {
+			s.pruned.Add(1)
+		}
+	}
+
+	workers := q.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	workers = min(workers, len(matched))
+
+	jobs := make(chan int) // index into matched
+	results := make(chan decoded, max(workers, 1))
+	done := ctx.Done()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pos := range jobs {
+				if ctx.Err() != nil {
+					continue // cancelled: drain the queue without reading
+				}
+				e := &s.man.segs[matched[pos]]
+				d := decoded{pos: pos}
+				p, err := readSegmentFile(filepath.Join(s.dir, e.name), s.budget)
+				s.opened.Add(1)
+				if err != nil {
+					d.err = fmt.Errorf("%s: %w", e.name, err)
+				} else {
+					d.faults = filterFaults(p.faults, &q, set)
+					d.sessions = filterSessions(p.sessions, &q, set)
+				}
+				select {
+				case results <- d:
+				case <-done:
+				}
+			}
+		}()
+	}
+	go func() {
+	feed:
+		for pos := range matched {
+			select {
+			case jobs <- pos:
+			case <-done:
+				break feed
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	parts := make([]decoded, len(matched))
+	firstErr := -1
+	for d := range results {
+		if ctx.Err() != nil {
+			continue // cancelled: keep draining so the pool exits
+		}
+		if d.err != nil {
+			// Deterministic failure: remember the lowest-positioned
+			// segment's error no matter which worker tripped first.
+			if firstErr == -1 || d.pos < firstErr {
+				firstErr = d.pos
+				parts[d.pos] = d
+			}
+			continue
+		}
+		parts[d.pos] = d
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, nil, err
+	}
+	if firstErr != -1 {
+		return nil, nil, nil, parts[firstErr].err
+	}
+
+	stats := &stream.Stats{RawLogsByNode: make(map[cluster.NodeID]int64)}
+	faultStreams := make([][]extract.Fault, 0, len(parts))
+	sessionStreams := make([][]eventlog.Session, 0, len(parts))
+	for i := range parts {
+		p := &parts[i]
+		if len(p.faults) > 0 {
+			faultStreams = append(faultStreams, p.faults)
+			stats.Faults += len(p.faults)
+			for j := range p.faults {
+				stats.RawLogs += int64(p.faults[j].Logs)
+				stats.RawLogsByNode[p.faults[j].Node] += int64(p.faults[j].Logs)
+			}
+		}
+		if len(p.sessions) > 0 {
+			sessionStreams = append(sessionStreams, p.sessions)
+			stats.Sessions += len(p.sessions)
+		}
+	}
+	return faultStreams, sessionStreams, stats, nil
+}
+
+// filterFaults applies the exact per-record predicate in place (the
+// slice is decode-owned).
+func filterFaults(fs []extract.Fault, q *Query, set map[cluster.NodeID]bool) []extract.Fault {
+	if set == nil && !q.HasRange {
+		return fs
+	}
+	out := fs[:0]
+	for i := range fs {
+		if (set == nil || set[fs[i].Node]) && q.matchAt(fs[i].FirstAt) {
+			out = append(out, fs[i])
+		}
+	}
+	return out
+}
+
+// filterSessions is filterFaults for the session half.
+func filterSessions(ss []eventlog.Session, q *Query, set map[cluster.NodeID]bool) []eventlog.Session {
+	if set == nil && !q.HasRange {
+		return ss
+	}
+	out := ss[:0]
+	for i := range ss {
+		if (set == nil || set[ss[i].Host]) && q.matchAt(ss[i].From) {
+			out = append(out, ss[i])
+		}
+	}
+	return out
+}

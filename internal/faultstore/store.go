@@ -1,0 +1,462 @@
+package faultstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"slices"
+	"time"
+
+	"unprotected/internal/eventlog"
+	"unprotected/internal/extract"
+	"unprotected/internal/fdlimit"
+	"unprotected/internal/kway"
+	"unprotected/internal/logstore"
+	"unprotected/internal/stream"
+)
+
+// IngestOption configures Ingest.
+type IngestOption func(*ingestOptions) error
+
+type ingestOptions struct {
+	shards        int
+	windowSeconds int64
+	workers       int
+}
+
+// WithShards sets the number of node-hash shards for the segments this
+// ingest writes (default DefaultShards). An additive ingest into an
+// existing store may use a different shard count; queries merge across
+// generations regardless.
+func WithShards(n int) IngestOption {
+	return func(o *ingestOptions) error {
+		if n < 1 {
+			return fmt.Errorf("faultstore: shards must be >= 1, got %d", n)
+		}
+		o.shards = n
+		return nil
+	}
+}
+
+// WithWindow sets the time-partition length (default DefaultWindow,
+// minimum one second).
+func WithWindow(d time.Duration) IngestOption {
+	return func(o *ingestOptions) error {
+		if d < time.Second {
+			return fmt.Errorf("faultstore: window must be >= 1s, got %v", d)
+		}
+		o.windowSeconds = int64(d / time.Second)
+		return nil
+	}
+}
+
+// WithIngestWorkers bounds the text-replay loader pool feeding the
+// ingest (0 selects GOMAXPROCS).
+func WithIngestWorkers(n int) IngestOption {
+	return func(o *ingestOptions) error {
+		if n < 0 {
+			return fmt.Errorf("faultstore: workers must be >= 0, got %d", n)
+		}
+		o.workers = n
+		return nil
+	}
+}
+
+// IngestStats summarizes one Ingest.
+type IngestStats struct {
+	Faults   int
+	Sessions int
+	RawLogs  int64
+	Segments int   // segments this ingest wrote
+	Bytes    int64 // segment bytes this ingest wrote
+}
+
+// bucketKey addresses one (shard, window) cell.
+type bucketKey struct {
+	shard  uint32
+	window int64
+}
+
+// bucket accumulates one cell's payload during ingest.
+type bucket struct {
+	faults   []extract.Fault
+	sessions []eventlog.Session
+}
+
+// Ingest streams the text log directory logDir through the replay
+// pipeline and writes its extracted dataset into the store at storeDir,
+// creating the store if needed and appending a new segment generation if
+// it already exists. Faults arrive from the loader in canonical
+// extract.Compare order and sessions in eventlog.CompareSessions order,
+// so every bucket — an order-preserving subsequence — is born sorted and
+// segments never need a sort of their own.
+func Ingest(ctx context.Context, logDir, storeDir string, opts ...IngestOption) (*IngestStats, error) {
+	o := ingestOptions{shards: DefaultShards, windowSeconds: int64(DefaultWindow / time.Second)}
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	if err := os.MkdirAll(storeDir, 0o755); err != nil {
+		return nil, fmt.Errorf("faultstore: %w", err)
+	}
+	man, err := readManifest(storeDir)
+	if errors.Is(err, fs.ErrNotExist) {
+		man = &manifest{}
+	} else if err != nil {
+		return nil, err
+	}
+	gen := man.nextGen()
+
+	stats := &IngestStats{}
+	buckets := make(map[bucketKey]*bucket)
+	cell := func(k bucketKey) *bucket {
+		b, ok := buckets[k]
+		if !ok {
+			b = &bucket{}
+			buckets[k] = b
+		}
+		return b
+	}
+	for ev, err := range logstore.Events(ctx, logDir, o.workers) {
+		if err != nil {
+			return nil, err
+		}
+		switch ev.Kind {
+		case stream.KindFault:
+			f := ev.Fault
+			k := bucketKey{shardOf(f.Node, o.shards), windowOf(f.FirstAt, o.windowSeconds)}
+			b := cell(k)
+			b.faults = append(b.faults, f)
+			stats.Faults++
+			stats.RawLogs += int64(f.Logs)
+		case stream.KindSession:
+			s := ev.Session
+			k := bucketKey{shardOf(s.Host, o.shards), windowOf(s.From, o.windowSeconds)}
+			b := cell(k)
+			b.sessions = append(b.sessions, s)
+			stats.Sessions++
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	keys := make([]bucketKey, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, compareBucketKeys)
+	for _, k := range keys {
+		b := buckets[k]
+		meta, n, err := writeSegment(storeDir, k.shard, k.window, gen, b.faults, b.sessions)
+		if err != nil {
+			return nil, err
+		}
+		man.segs = append(man.segs, meta)
+		stats.Segments++
+		stats.Bytes += n
+	}
+	if err := writeManifest(storeDir, man); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+func compareBucketKeys(a, b bucketKey) int {
+	switch {
+	case a.shard != b.shard:
+		return int(a.shard) - int(b.shard)
+	case a.window < b.window:
+		return -1
+	case a.window > b.window:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// writeSegment encodes and writes one segment file, returning its index
+// entry and byte size.
+func writeSegment(dir string, shard uint32, window int64, gen uint32,
+	faults []extract.Fault, sessions []eventlog.Session) (segMeta, int64, error) {
+	name := segmentName(shard, window, gen)
+	data := encodeSegment(shard, window, faults, sessions)
+	if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+		return segMeta{}, 0, fmt.Errorf("faultstore: %w", err)
+	}
+	lo, hi := segBounds(faults, sessions)
+	return segMeta{
+		name: name, shard: shard, window: window, gen: gen,
+		nFaults: len(faults), nSessions: len(sessions),
+		minAt: lo, maxAt: hi,
+		nodes: nodeSetOf(faults, sessions),
+	}, int64(len(data)), nil
+}
+
+// readManifest loads and decodes the store index. A missing file returns
+// fs.ErrNotExist so callers can distinguish "no store here" from
+// corruption.
+func readManifest(dir string) (*manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("faultstore: %w", err)
+	}
+	m, err := decodeManifest(data)
+	if err != nil {
+		return nil, err
+	}
+	m.sort()
+	return m, nil
+}
+
+// writeManifest renders and atomically replaces the store index: the
+// rename is the ingest/compact commit point, so a crash mid-write leaves
+// the previous manifest — and with it a consistent store — in place.
+func writeManifest(dir string, m *manifest) error {
+	m.sort()
+	tmp := filepath.Join(dir, ManifestName+".tmp")
+	if err := os.WriteFile(tmp, encodeManifest(m), 0o644); err != nil {
+		return fmt.Errorf("faultstore: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
+		return fmt.Errorf("faultstore: %w", err)
+	}
+	return nil
+}
+
+// Export renders the store back to a directory of per-node text log
+// files — the interchange format — via logstore.Export. The store's
+// canonical stream order matches the order the exporter's stable
+// per-node sort preserves, so a store ingested from a canonically
+// exported directory exports byte-identically (proved by the round-trip
+// tests and FuzzSegmentRoundTrip).
+func Export(ctx context.Context, storeDir, logDir string, workers int) error {
+	s, err := Open(storeDir)
+	if err != nil {
+		return err
+	}
+	var faults []extract.Fault
+	var sessions []eventlog.Session
+	for ev, err := range s.Events(ctx, Query{Workers: workers}) {
+		if err != nil {
+			return err
+		}
+		switch ev.Kind {
+		case stream.KindStats:
+			faults = make([]extract.Fault, 0, ev.Stats.Faults)
+			sessions = make([]eventlog.Session, 0, ev.Stats.Sessions)
+		case stream.KindFault:
+			faults = append(faults, ev.Fault)
+		case stream.KindSession:
+			sessions = append(sessions, ev.Session)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return logstore.Export(sessions, faults, logDir)
+}
+
+// CompactStats summarizes one Compact.
+type CompactStats struct {
+	SegmentsBefore, SegmentsAfter int
+	FaultsBefore, FaultsAfter     int
+}
+
+// Compact rewrites the store one shard at a time: every segment of the
+// shard is decoded, the fault streams are k-way merged back into the
+// canonical order, runs that ingest-batch boundaries split in two are
+// re-collapsed (same node, address, expected and actual word, next run
+// starting within the §II-C gap of the previous run's end, and — the
+// batch-boundary signature — coming from a different ingest generation
+// than the run it continues), and the shard is re-bucketed into one
+// segment per window under a fresh generation 0. Sessions are merged
+// order-preservingly and never coalesced. The manifest swap at the end is
+// the commit point; superseded segment files are deleted afterwards
+// (best-effort — queries only open what the manifest names).
+//
+// The generation gate is what keeps compaction faithful to the replay
+// contract: ingested faults are pre-collapsed lines, and the Collapser
+// maps each of those to exactly one run verbatim, so two same-key faults
+// within the gap inside ONE ingest were deliberately kept separate by the
+// original extraction and must stay separate. Only across generations —
+// where a single physical run was cut in two because the batches were
+// ingested separately — is merging sound. Compacting a one-generation
+// store (or re-compacting a compacted one) is therefore a pure re-bucket:
+// FaultsBefore == FaultsAfter.
+func Compact(dir string) (*CompactStats, error) {
+	man, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	stats := &CompactStats{SegmentsBefore: len(man.segs)}
+	byShard := make(map[uint32][]segMeta)
+	var shards []uint32
+	windowSeconds := int64(DefaultWindow / time.Second)
+	for _, e := range man.segs {
+		if _, ok := byShard[e.shard]; !ok {
+			shards = append(shards, e.shard)
+		}
+		byShard[e.shard] = append(byShard[e.shard], e)
+		stats.FaultsBefore += e.nFaults
+	}
+	slices.Sort(shards)
+
+	next := &manifest{}
+	var obsolete []string
+	for _, shard := range shards {
+		segs := byShard[shard]
+		faultStreams := make([][]genFault, 0, len(segs))
+		sessionStreams := make([][]eventlog.Session, 0, len(segs))
+		for _, e := range segs {
+			p, err := readSegmentFile(filepath.Join(dir, e.name), fdlimit.Shared)
+			if err != nil {
+				return nil, err
+			}
+			if len(p.faults) > 0 {
+				gfs := make([]genFault, len(p.faults))
+				for i, f := range p.faults {
+					gfs[i] = genFault{gen: e.gen, Fault: f}
+				}
+				faultStreams = append(faultStreams, gfs)
+			}
+			if len(p.sessions) > 0 {
+				sessionStreams = append(sessionStreams, p.sessions)
+			}
+			obsolete = append(obsolete, e.name)
+		}
+		faults := collapseRuns(mergeFaults(faultStreams))
+		sessions := mergeSessions(sessionStreams)
+		stats.FaultsAfter += len(faults)
+
+		buckets := make(map[int64]*bucket)
+		var windows []int64
+		cell := func(w int64) *bucket {
+			b, ok := buckets[w]
+			if !ok {
+				b = &bucket{}
+				buckets[w] = b
+				windows = append(windows, w)
+			}
+			return b
+		}
+		for _, f := range faults {
+			b := cell(windowOf(f.FirstAt, windowSeconds))
+			b.faults = append(b.faults, f)
+		}
+		for _, s := range sessions {
+			b := cell(windowOf(s.From, windowSeconds))
+			b.sessions = append(b.sessions, s)
+		}
+		slices.Sort(windows)
+		for _, w := range windows {
+			b := buckets[w]
+			meta, _, err := writeSegment(dir, shard, w, 0, b.faults, b.sessions)
+			if err != nil {
+				return nil, err
+			}
+			next.segs = append(next.segs, meta)
+		}
+	}
+	stats.SegmentsAfter = len(next.segs)
+	if err := writeManifest(dir, next); err != nil {
+		return nil, err
+	}
+	kept := make(map[string]bool, len(next.segs))
+	for _, e := range next.segs {
+		kept[e.name] = true
+	}
+	for _, name := range obsolete {
+		if !kept[name] {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+	return stats, nil
+}
+
+// genFault is a fault tagged with the generation of the segment it was
+// read from, so the compaction collapse can tell batch-split run halves
+// (different generations) from deliberately separate same-key runs
+// (same generation).
+type genFault struct {
+	gen uint32
+	extract.Fault
+}
+
+func compareGenFaults(a, b *genFault) int {
+	return extract.Compare(&a.Fault, &b.Fault)
+}
+
+// mergeFaults k-way merges per-segment sorted fault streams into one
+// canonical sequence, keeping each fault's source generation.
+func mergeFaults(streams [][]genFault) []genFault {
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	out := make([]genFault, 0, total)
+	for f := range kway.MergeSeq(streams, compareGenFaults) {
+		out = append(out, f)
+	}
+	return out
+}
+
+// mergeSessions k-way merges per-segment sorted session streams.
+func mergeSessions(streams [][]eventlog.Session) []eventlog.Session {
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	out := make([]eventlog.Session, 0, total)
+	for s := range kway.MergeSeq(streams, eventlog.CompareSessions) {
+		out = append(out, s)
+	}
+	return out
+}
+
+// collapseRuns re-applies the §II-C run adjacency across batch
+// boundaries only: walking the canonical order, a fault whose (node,
+// address, expected, actual) matches a still-open run, whose first
+// observation falls within the collapse gap of that run's last one, AND
+// whose source generation differs from the run's is folded in — the
+// run's extent and raw-log weight grow, its identity (first observation,
+// temperature) stays, and the run adopts the continuation's generation
+// so a third batch can extend it again. Same-generation neighbours are
+// never merged: the original extraction already decided they are
+// independent faults (pre-collapsed lines map to runs verbatim), and
+// re-applying the gap heuristic to them would change the dataset. The
+// result is re-sorted because a grown run's LastAt participates in the
+// canonical order's tiebreaks.
+func collapseRuns(faults []genFault) []extract.Fault {
+	type key struct {
+		blade, soc int
+		addr       uint32
+	}
+	type run struct {
+		idx int // index in out
+		gen uint32
+	}
+	open := make(map[key]run) // key -> the open run for that address
+	out := make([]extract.Fault, 0, len(faults))
+	for _, f := range faults {
+		k := key{f.Node.Blade, f.Node.SoC, uint32(f.Addr)}
+		if r, ok := open[k]; ok {
+			prev := &out[r.idx]
+			if f.gen != r.gen && prev.Expected == f.Expected && prev.Actual == f.Actual &&
+				f.FirstAt >= prev.LastAt && int64(f.FirstAt-prev.LastAt) <= extract.DefaultGap {
+				prev.LastAt = max(prev.LastAt, f.LastAt)
+				prev.Logs += f.Logs
+				open[k] = run{idx: r.idx, gen: f.gen}
+				continue
+			}
+		}
+		out = append(out, f.Fault)
+		open[k] = run{idx: len(out) - 1, gen: f.gen}
+	}
+	extract.SortFaults(out)
+	return out
+}

@@ -1,0 +1,127 @@
+// Package fdlimit meters open file descriptors across the module's
+// storage layers. The log writer (logstore.Store) keeps per-node files
+// open in an LRU cache and the binary fault store (internal/faultstore)
+// opens segment files while answering queries; both draw their
+// descriptors from one Budget, so a process that writes logs while
+// serving store queries stays under a single configurable ceiling instead
+// of two independent ones that can add up past the OS limit.
+//
+// A Budget is a counting limiter, not a cache: callers Acquire before
+// opening a file and Release after closing it. Components that cache open
+// files (the log writer) call TryAcquire and evict their own
+// least-recently-used entry when the budget is exhausted; components with
+// transient opens (segment readers) block in Acquire until a descriptor
+// frees up. MaxInUse records the high-water mark, which is what the
+// regression tests pin.
+package fdlimit
+
+import "sync"
+
+// DefaultCap is the default descriptor ceiling of the shared budget. It
+// matches the log writer's historical private cap: a full campaign has
+// 923 nodes, which would flirt with common descriptor limits if every
+// per-node file stayed open.
+const DefaultCap = 128
+
+// Budget meters a fixed number of concurrently open file descriptors.
+// All methods are safe for concurrent use.
+type Budget struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	cap      int
+	inUse    int
+	maxInUse int
+}
+
+// NewBudget returns a budget with the given ceiling (minimum 1).
+func NewBudget(cap int) *Budget {
+	b := &Budget{cap: max(cap, 1)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Shared is the process-wide default budget, drawn on by logstore writers
+// and faultstore segment readers unless a caller installs a private one.
+var Shared = NewBudget(DefaultCap)
+
+// SetCap adjusts the ceiling (minimum 1). Lowering it below the current
+// in-use count does not revoke held descriptors; it only blocks new
+// acquisitions until enough are released.
+func (b *Budget) SetCap(n int) {
+	b.mu.Lock()
+	b.cap = max(n, 1)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// Cap returns the current ceiling.
+func (b *Budget) Cap() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cap
+}
+
+// TryAcquire claims one descriptor if the budget allows, reporting
+// whether it did. It never blocks.
+func (b *Budget) TryAcquire() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.inUse >= b.cap {
+		return false
+	}
+	b.claimLocked()
+	return true
+}
+
+// Acquire claims one descriptor, blocking until the budget allows it.
+func (b *Budget) Acquire() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.inUse >= b.cap {
+		b.cond.Wait()
+	}
+	b.claimLocked()
+}
+
+func (b *Budget) claimLocked() {
+	b.inUse++
+	if b.inUse > b.maxInUse {
+		b.maxInUse = b.inUse
+	}
+}
+
+// Release returns one descriptor to the budget. Releasing more than was
+// acquired panics: it means a double-close style accounting bug.
+func (b *Budget) Release() {
+	b.mu.Lock()
+	if b.inUse <= 0 {
+		b.mu.Unlock()
+		panic("fdlimit: Release without matching Acquire")
+	}
+	b.inUse--
+	b.mu.Unlock()
+	b.cond.Signal()
+}
+
+// InUse returns the number of currently claimed descriptors.
+func (b *Budget) InUse() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inUse
+}
+
+// MaxInUse returns the high-water mark of claimed descriptors since the
+// budget was created or the mark was last reset.
+func (b *Budget) MaxInUse() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.maxInUse
+}
+
+// ResetMaxInUse rewinds the high-water mark to the current in-use count,
+// so a test can meter one phase in isolation.
+func (b *Budget) ResetMaxInUse() {
+	b.mu.Lock()
+	b.maxInUse = b.inUse
+	b.mu.Unlock()
+}

@@ -1,0 +1,101 @@
+package fdlimit
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBudgetTryAcquireCeiling(t *testing.T) {
+	b := NewBudget(2)
+	if !b.TryAcquire() || !b.TryAcquire() {
+		t.Fatal("budget refused descriptors under the cap")
+	}
+	if b.TryAcquire() {
+		t.Fatal("budget granted a descriptor over the cap")
+	}
+	b.Release()
+	if !b.TryAcquire() {
+		t.Fatal("budget refused a descriptor after a release")
+	}
+	if got := b.InUse(); got != 2 {
+		t.Fatalf("InUse = %d, want 2", got)
+	}
+	if got := b.MaxInUse(); got != 2 {
+		t.Fatalf("MaxInUse = %d, want 2", got)
+	}
+}
+
+func TestBudgetAcquireBlocksUntilRelease(t *testing.T) {
+	b := NewBudget(1)
+	b.Acquire()
+	done := make(chan struct{})
+	go func() {
+		b.Acquire()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Acquire returned while the budget was exhausted")
+	default:
+	}
+	b.Release()
+	<-done
+	b.Release()
+	if got := b.InUse(); got != 0 {
+		t.Fatalf("InUse = %d, want 0", got)
+	}
+}
+
+// TestBudgetConcurrentHighWater hammers one small budget from many
+// goroutines: the high-water mark must never exceed the cap.
+func TestBudgetConcurrentHighWater(t *testing.T) {
+	const cap = 5
+	b := NewBudget(cap)
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b.Acquire()
+				b.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.MaxInUse(); got > cap {
+		t.Fatalf("MaxInUse = %d, want <= %d", got, cap)
+	}
+	if got := b.InUse(); got != 0 {
+		t.Fatalf("InUse = %d, want 0 after all releases", got)
+	}
+}
+
+func TestBudgetFloorAndReset(t *testing.T) {
+	b := NewBudget(-3)
+	if got := b.Cap(); got != 1 {
+		t.Fatalf("Cap = %d, want floor 1", got)
+	}
+	b.SetCap(0)
+	if got := b.Cap(); got != 1 {
+		t.Fatalf("Cap = %d, want floor 1 after SetCap(0)", got)
+	}
+	b.SetCap(4)
+	b.Acquire()
+	b.Acquire()
+	b.Release()
+	b.ResetMaxInUse()
+	if got := b.MaxInUse(); got != 1 {
+		t.Fatalf("MaxInUse = %d, want 1 after reset with one held", got)
+	}
+	b.Release()
+}
+
+func TestBudgetReleaseUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without Acquire did not panic")
+		}
+	}()
+	NewBudget(1).Release()
+}

@@ -150,7 +150,7 @@ func TestSetMaxOpenFilesFloor(t *testing.T) {
 		t.Fatal(err)
 	}
 	store.SetMaxOpenFiles(-5)
-	if store.maxOpen != 1 {
-		t.Fatalf("floor not applied: %d", store.maxOpen)
+	if got := store.budget.Cap(); got != 1 {
+		t.Fatalf("floor not applied: %d", got)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"unprotected/internal/cluster"
 	"unprotected/internal/eventlog"
 	"unprotected/internal/extract"
+	"unprotected/internal/fdlimit"
 )
 
 // FileName returns the per-node log file name ("node-02-04.log").
@@ -38,13 +39,19 @@ func nodeOfFile(name string) (cluster.NodeID, bool) {
 // DefaultMaxOpenFiles bounds the store's simultaneously open node files:
 // a full campaign has 923 nodes, which would flirt with common descriptor
 // limits if every file stayed open. Evicted files are reopened with
-// O_APPEND on the next write, so callers never notice.
-const DefaultMaxOpenFiles = 128
+// O_APPEND on the next write, so callers never notice. The cap is the
+// shared fdlimit budget's: log writers and fault-store segment readers
+// meter their descriptors from one pool.
+const DefaultMaxOpenFiles = fdlimit.DefaultCap
 
 // Store writes per-node log files under a directory.
 type Store struct {
-	dir     string
-	maxOpen int
+	dir string
+	// budget meters the open node files. It defaults to fdlimit.Shared —
+	// one process-wide descriptor pool spanning log writers and
+	// fault-store segment readers — and SetMaxOpenFiles swaps in a
+	// private budget for callers that need an isolated cap.
+	budget  *fdlimit.Budget
 	writers map[cluster.NodeID]*nodeFile
 	seen    map[cluster.NodeID]bool
 	// paths caches each node's rendered file path: under a tight open-file
@@ -69,7 +76,7 @@ func NewStore(dir string) (*Store, error) {
 	}
 	return &Store{
 		dir:     dir,
-		maxOpen: DefaultMaxOpenFiles,
+		budget:  fdlimit.Shared,
 		writers: make(map[cluster.NodeID]*nodeFile),
 		seen:    make(map[cluster.NodeID]bool),
 		paths:   make(map[cluster.NodeID]string),
@@ -86,12 +93,38 @@ func (s *Store) path(id cluster.NodeID) string {
 	return p
 }
 
-// SetMaxOpenFiles adjusts the descriptor budget (minimum 1).
+// SetMaxOpenFiles gives the store a private descriptor budget with the
+// given cap (minimum 1), detaching it from the shared fdlimit pool. Use
+// SetBudget to share a specific budget instead.
 func (s *Store) SetMaxOpenFiles(n int) {
-	if n < 1 {
-		n = 1
+	s.budget = fdlimit.NewBudget(n)
+}
+
+// SetBudget makes the store meter its open files from b. The store must
+// hold no open files yet (call it right after NewStore).
+func (s *Store) SetBudget(b *fdlimit.Budget) {
+	if len(s.writers) > 0 {
+		panic("logstore: SetBudget with files already open")
 	}
-	s.maxOpen = n
+	s.budget = b
+}
+
+// acquireFD claims one descriptor from the budget, evicting the store's
+// own least-recently-used open file while the pool is exhausted. When the
+// store itself holds nothing evictable the tokens are held by other
+// budget users (another writer, or fault-store segment readers), whose
+// opens are transient — so blocking until one frees is safe.
+func (s *Store) acquireFD() error {
+	for !s.budget.TryAcquire() {
+		if len(s.writers) == 0 {
+			s.budget.Acquire()
+			return nil
+		}
+		if err := s.evictOne(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Append writes a record to its node's file, creating it on first use.
@@ -99,14 +132,13 @@ func (s *Store) SetMaxOpenFiles(n int) {
 func (s *Store) Append(rec eventlog.Record) error {
 	nf, ok := s.writers[rec.Host]
 	if !ok {
-		if len(s.writers) >= s.maxOpen {
-			if err := s.evictOne(); err != nil {
-				return err
-			}
+		if err := s.acquireFD(); err != nil {
+			return err
 		}
 		f, err := os.OpenFile(s.path(rec.Host),
 			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
+			s.budget.Release()
 			return fmt.Errorf("logstore: %w", err)
 		}
 		nf = &nodeFile{f: f, w: eventlog.NewWriter(f)}
@@ -144,6 +176,7 @@ func (s *Store) evictOne() error {
 		return fmt.Errorf("logstore: %w", err)
 	}
 	delete(s.writers, victim)
+	s.budget.Release()
 	return nil
 }
 
@@ -161,6 +194,7 @@ func (s *Store) Close() error {
 		if err := nf.f.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
+		s.budget.Release()
 	}
 	s.writers = make(map[cluster.NodeID]*nodeFile)
 	return firstErr

@@ -4,11 +4,14 @@
 # Runs the BenchmarkSubstrate* group and the iterator-vs-callback pair
 # BenchmarkAnalyzeIterator/BenchmarkCampaignStream (root package; equal
 # allocs/op proves the iterator delivery layer adds no per-event
-# allocations) plus BenchmarkLogstoreStream (internal/logstore) with
-# -benchmem -count=5 and
-# writes BENCH_PR6.json mapping each benchmark to its best observed
+# allocations), BenchmarkLogstoreStream (internal/logstore) and the
+# fault-store pair BenchmarkStoreDecode/BenchmarkStoreQueryPruned
+# (internal/faultstore; decode MB/s must stay ≥4× the text parser's
+# BenchmarkSubstrateParse MB/s) with -benchmem -count=5 and
+# writes BENCH_PR7.json mapping each benchmark to its best observed
 # {ns_per_op, mb_per_s, b_per_op, allocs_per_op} (minimum ns/op across the
 # five runs — the least-noise sample; B/op and allocs/op are deterministic).
+# BENCH_PR6.json stays in-tree: the CI allocation gate diffs against it.
 #
 # Extra arguments are forwarded to `go test`, so CI smoke runs
 #   scripts/bench.sh -benchtime=1x
@@ -20,13 +23,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${BENCH_OUT:-BENCH_PR6.json}"
+out="${BENCH_OUT:-BENCH_PR7.json}"
 count="${BENCH_COUNT:-5}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run='^$' -bench='^BenchmarkSubstrate|^BenchmarkAnalyzeIterator$|^BenchmarkCampaignStream$' -benchmem -count="$count" "$@" . | tee "$tmp"
 go test -run='^$' -bench='^BenchmarkLogstoreStream$' -benchmem -count="$count" "$@" ./internal/logstore | tee -a "$tmp"
+go test -run='^$' -bench='^BenchmarkStoreDecode$|^BenchmarkStoreQueryPruned$' -benchmem -count="$count" "$@" ./internal/faultstore | tee -a "$tmp"
 
 awk '
 $1 ~ /^Benchmark/ {
