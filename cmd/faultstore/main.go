@@ -79,15 +79,24 @@ func usage() {
 func runIngest(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
 	shards := fs.Int("shards", faultstore.DefaultShards, "node-hash shard count")
-	window := fs.Duration("window", faultstore.DefaultWindow, "time-partition window length")
+	window := fs.Duration("window", faultstore.DefaultWindow, "time-partition window length (fixed at store creation)")
 	workers := fs.Int("workers", 0, "loader worker pool size (0 = GOMAXPROCS)")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
 		usage()
 	}
-	stats, err := faultstore.Ingest(ctx, fs.Arg(0), fs.Arg(1),
-		faultstore.WithShards(*shards), faultstore.WithWindow(*window),
-		faultstore.WithIngestWorkers(*workers))
+	opts := []faultstore.IngestOption{
+		faultstore.WithShards(*shards), faultstore.WithIngestWorkers(*workers),
+	}
+	// Forward -window only when given: an explicit WithWindow must match
+	// the window persisted in an existing store's manifest, while an
+	// additive ingest without the flag adopts the stored window.
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "window" {
+			opts = append(opts, faultstore.WithWindow(*window))
+		}
+	})
+	stats, err := faultstore.Ingest(ctx, fs.Arg(0), fs.Arg(1), opts...)
 	if err != nil {
 		return err
 	}

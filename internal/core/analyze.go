@@ -115,7 +115,9 @@ func WithoutDataset() Option {
 // WithNodes restricts a Store source to the named nodes: only their
 // faults and sessions are delivered, and segments whose index node set
 // is disjoint are never opened. Only the fault-store source understands
-// it — Simulate and Logs reject it with a descriptive error.
+// it — Simulate and Logs reject it with a descriptive error — and, like
+// WithTimeRange, giving it both to Store and to Analyze is a conflict
+// error, never a silent union.
 func WithNodes(nodes ...string) Option {
 	return func(o *options) error {
 		if len(nodes) == 0 {

@@ -24,8 +24,10 @@ type storeSource struct {
 // (see cmd/faultstore for building one from text logs). Options carry
 // the same meaning as on Analyze, which may add to them; WithNodes and
 // WithTimeRange prune whole segments via the store index before any
-// I/O. An invalid option surfaces as the error of the first Events
-// delivery (and from Analyze before the stream starts).
+// I/O, and each may be given either here or to Analyze but not both
+// (two restrictions of the same kind are a conflict, not a union). An
+// invalid option surfaces as the error of the first Events delivery
+// (and from Analyze before the stream starts).
 func Store(dir string, opts ...Option) stream.Source {
 	s := &storeSource{dir: dir}
 	s.err = s.opts.apply(opts)
@@ -83,7 +85,15 @@ func (s *storeSource) configure(o *options) (stream.Source, error) {
 		return s, nil
 	}
 	cp := *s
-	cp.opts.nodes = append(cp.opts.nodes[:len(cp.opts.nodes):len(cp.opts.nodes)], o.nodes...)
+	if len(o.nodes) > 0 {
+		// Two node restrictions cannot union: WithNodes promises to
+		// restrict, and appending would silently widen the constructor's
+		// set. Mirror the WithTimeRange conflict and reject.
+		if len(cp.opts.nodes) > 0 {
+			return nil, fmt.Errorf("Store: WithNodes given both to Store and to Analyze")
+		}
+		cp.opts.nodes = o.nodes
+	}
 	if o.hasRange {
 		if cp.opts.hasRange {
 			return nil, fmt.Errorf("Store: WithTimeRange given both to Store and to Analyze")

@@ -154,6 +154,12 @@ func TestStorePredicates(t *testing.T) {
 		WithTimeRange(now, now.Add(time.Hour))); err == nil {
 		t.Fatal("double WithTimeRange accepted")
 	}
+	// Two node restrictions are a conflict, never a silent union: the old
+	// append widened Store(WithNodes("01-02")) to deliver both nodes.
+	if _, err := Analyze(ctx, Store(storeDir, WithNodes("01-02")), WithNodes("02-02")); err == nil ||
+		!strings.Contains(err.Error(), "WithNodes") {
+		t.Fatalf("double WithNodes error %v, want a conflict", err)
+	}
 }
 
 // TestStoreSourceReuse pins that Analyze options never mutate a

@@ -120,7 +120,7 @@ func decodeManifest(data []byte) (*manifest, error) {
 	bad := func(format string, args ...any) error {
 		return fmt.Errorf("faultstore: corrupt manifest: "+format, args...)
 	}
-	if len(data) < len(manMagic)+4+4 {
+	if len(data) < len(manMagic)+8+4+4 {
 		return nil, bad("%d bytes is too short", len(data))
 	}
 	if string(data[:4]) != manMagic {
@@ -132,12 +132,24 @@ func decodeManifest(data []byte) (*manifest, error) {
 	}
 	off := 4
 	need := func(n int) bool { return off+n <= len(body) }
-	if !need(4) {
-		return nil, bad("truncated segment count")
+	if !need(8 + 4) {
+		return nil, bad("truncated header")
 	}
-	count := int(le.Uint32(body[off:]))
-	off += 4
-	m := &manifest{segs: make([]segMeta, 0, count)}
+	windowSeconds := int64(le.Uint64(body[off:]))
+	if windowSeconds < 0 {
+		return nil, bad("negative window length %d", windowSeconds)
+	}
+	count := int(le.Uint32(body[off+8:]))
+	off += 12
+	// The declared count is untrusted (a CRC-valid file can still claim
+	// ~4e9 entries): bound the preallocation by what the body could
+	// possibly hold — 46 bytes is the smallest encodable entry — and let
+	// the per-entry length checks reject the lie.
+	const minEntryLen = 2 + 44
+	m := &manifest{
+		windowSeconds: windowSeconds,
+		segs:          make([]segMeta, 0, min(count, (len(body)-off)/minEntryLen)),
+	}
 	for s := 0; s < count; s++ {
 		if !need(2) {
 			return nil, bad("truncated entry %d", s)

@@ -143,7 +143,8 @@ func encodeSegment(shard uint32, window int64, faults []extract.Fault, sessions 
 
 // The manifest codec. The MANIFEST file is the store's index:
 //
-//	magic "UFM1"
+//	magic "UFM2"
+//	windowSeconds i64 (the store's time-partition length)
 //	segCount u32
 //	per segment:
 //	  nameLen u16 | name bytes
@@ -153,9 +154,12 @@ func encodeSegment(shard uint32, window int64, faults []extract.Fault, sessions 
 //	  nodeCount u32 | per node: blade i64 | soc i64   (sorted, unique)
 //	crc u32 (Castagnoli, over everything above)
 //
-// Reading it is the only I/O a fully pruned query performs.
+// Reading it is the only I/O a fully pruned query performs. The window
+// length is persisted because Ingest and Compact re-derive bucket
+// boundaries from it: without it a Compact of a WithWindow store would
+// silently re-partition at the default granularity.
 
-const manMagic = "UFM1"
+const manMagic = "UFM2"
 
 // segMeta is one segment's index entry.
 type segMeta struct {
@@ -171,7 +175,11 @@ type segMeta struct {
 
 // manifest is the decoded store index, sorted by (shard, window, gen).
 type manifest struct {
-	segs []segMeta
+	// windowSeconds is the store's time-partition length, fixed at
+	// creation; zero only in synthetic in-memory manifests (readers fall
+	// back to DefaultWindow).
+	windowSeconds int64
+	segs          []segMeta
 }
 
 // sort orders the entries canonically; every writer calls it so the
@@ -230,6 +238,7 @@ func nodeSetOf(faults []extract.Fault, sessions []eventlog.Session) []cluster.No
 // encodeManifest renders the index file.
 func encodeManifest(m *manifest) []byte {
 	b := []byte(manMagic)
+	b = le.AppendUint64(b, uint64(m.windowSeconds))
 	b = le.AppendUint32(b, uint32(len(m.segs)))
 	for i := range m.segs {
 		s := &m.segs[i]

@@ -294,12 +294,13 @@ func TestStoreCompactMergesSplitRuns(t *testing.T) {
 	}
 
 	// Stale generation files are gone; only manifest-named segments remain.
+	kept := map[string]bool{ManifestName: true}
+	for _, e := range s.man.segs {
+		kept[e.name] = true
+	}
 	files := readFiles(t, storeDir)
 	for name := range files {
-		if name == ManifestName {
-			continue
-		}
-		if !strings.Contains(name, "-g000000") {
+		if !kept[name] {
 			t.Fatalf("stale segment %s survived compaction", name)
 		}
 	}
@@ -365,6 +366,182 @@ func TestStoreCompactSingleGenerationIsPureRebucket(t *testing.T) {
 	}
 }
 
+// TestStoreCompactNeverReusesLiveSegmentNames pins the crash-consistency
+// contract of compaction: the manifest swap is the commit point, so no
+// output segment may take a name the pre-compact manifest references —
+// an in-place overwrite before the swap would tear files a crashed-out
+// (or concurrently open) store still points at.
+func TestStoreCompactNeverReusesLiveSegmentNames(t *testing.T) {
+	ctx := context.Background()
+	batches := [][]extract.Fault{
+		{synthFault(1, 2, 100, 1000, 1050, 5, 0xffffffff, 0xfffffffe)},
+		{synthFault(3, 4, 200, 2000, 2010, 2, 0xffffffff, 0xffff7fff)},
+	}
+	storeDir := t.TempDir()
+	for _, b := range batches {
+		if _, err := Ingest(ctx, exportDir(t, b, nil), storeDir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := readManifest(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := make(map[string]bool, len(before.segs))
+	for _, e := range before.segs {
+		live[e.name] = true
+	}
+
+	if _, err := Compact(storeDir); err != nil {
+		t.Fatal(err)
+	}
+	after, err := readManifest(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range after.segs {
+		if live[e.name] {
+			t.Fatalf("compact wrote %s, a name the live manifest referenced", e.name)
+		}
+	}
+}
+
+// TestStoreWindowPersistence pins that the time-partition length is a
+// property of the store, not of the call: Compact re-buckets with the
+// window the manifest persists (it used to silently reset a WithWindow
+// store to the 30-day default), an additive ingest adopts it, and an
+// explicit contradiction is an error.
+func TestStoreWindowPersistence(t *testing.T) {
+	ctx := context.Background()
+	var faults []extract.Fault
+	hour := timebase.T(3600)
+	for w := 0; w < 4; w++ {
+		at := timebase.T(w) * hour
+		faults = append(faults, synthFault(1, 2, uint32(w), at, at, 1, 0xffffffff, 0xfffffffe))
+	}
+	extract.SortFaults(faults)
+	storeDir := t.TempDir()
+	if _, err := Ingest(ctx, exportDir(t, faults, nil), storeDir,
+		WithShards(1), WithWindow(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	man, err := readManifest(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.windowSeconds != 3600 {
+		t.Fatalf("manifest persists window %ds, want 3600", man.windowSeconds)
+	}
+
+	stats, err := Compact(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SegmentsAfter != 4 {
+		t.Fatalf("compact re-bucketed into %d segments, want the store's 4 one-hour windows", stats.SegmentsAfter)
+	}
+
+	// An additive ingest without WithWindow adopts the stored hour window
+	// instead of re-bucketing new data at the 30-day default.
+	more := []extract.Fault{synthFault(1, 2, 99, 5*hour, 5*hour, 1, 0xffffffff, 0xfffffffe)}
+	if _, err := Ingest(ctx, exportDir(t, more, nil), storeDir, WithShards(1)); err != nil {
+		t.Fatal(err)
+	}
+	man, err = readManifest(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.windowSeconds != 3600 {
+		t.Fatalf("additive ingest changed the window to %ds, want 3600", man.windowSeconds)
+	}
+	for _, e := range man.segs {
+		if e.nFaults == 1 && e.minAt == 5*hour && e.window != 5 {
+			t.Fatalf("additive ingest bucketed the new fault into window %d, want hour window 5", e.window)
+		}
+	}
+
+	// An explicit WithWindow that contradicts the store is an error.
+	if _, err := Ingest(ctx, exportDir(t, more, nil), storeDir, WithWindow(2*time.Hour)); err == nil ||
+		!strings.Contains(err.Error(), "window") {
+		t.Fatalf("conflicting WithWindow error %v, want a window mismatch", err)
+	}
+}
+
+// TestStoreQuerySurvivesIdleWriterCache is the shared-budget liveness
+// regression: a logstore writer cache holds descriptors indefinitely, so
+// when it sits idle on a full budget a store query must still find
+// tokens — the reserve withheld from cache-style holders — instead of
+// blocking forever on a release that never comes.
+func TestStoreQuerySurvivesIdleWriterCache(t *testing.T) {
+	budget := fdlimit.NewReservedBudget(8, 2)
+
+	// Fill the writer cache to its ceiling (cap - reserve) and leave it
+	// idle, holding every token a cache-style holder may claim.
+	ws, err := logstore.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws.SetBudget(budget)
+	for n := 0; n < 10; n++ {
+		rec := eventlog.Record{
+			Kind: eventlog.KindStart, At: timebase.T(n),
+			Host: cluster.NodeID{Blade: n + 1, SoC: 1}, AllocBytes: 1 << 30,
+			TempC: thermal.NoReading,
+		}
+		if err := ws.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := budget.InUse(); got != 6 {
+		t.Fatalf("writer cache holds %d descriptors, want cap-reserve = 6", got)
+	}
+
+	faults := []extract.Fault{synthFault(1, 2, 7, 100, 200, 3, 0xffffffff, 0xfffffffe)}
+	storeDir := t.TempDir()
+	if _, err := Ingest(context.Background(), exportDir(t, faults, nil), storeDir); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetBudget(budget)
+
+	type result struct {
+		faults int
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		var r result
+		for ev, err := range s.Events(context.Background(), Query{}) {
+			if err != nil {
+				r.err = err
+				break
+			}
+			if ev.Kind == stream.KindFault {
+				r.faults++
+			}
+		}
+		done <- r
+	}()
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.faults != 1 {
+			t.Fatalf("query returned %d faults, want 1", r.faults)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("store query deadlocked against an idle writer cache holding the budget")
+	}
+	if err := ws.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestStoreCodecCorruption pins the decoder's refusal to half-trust
 // damaged storage: bad magic, flipped payload bytes, inconsistent counts
 // and invalid flags are all hard errors, never silent data.
@@ -423,6 +600,15 @@ func TestStoreCodecCorruption(t *testing.T) {
 	}
 	if _, err := decodeManifest(man[:5]); err == nil {
 		t.Fatal("truncated manifest accepted")
+	}
+
+	// A CRC-valid manifest whose declared count dwarfs its body must fail
+	// on the entry checks, not attempt a multi-hundred-GB preallocation.
+	hugeCount := slices.Clone(man[:len(man)-4])
+	le.PutUint32(hugeCount[12:], 0xfffffff0)
+	hugeCount = le.AppendUint32(hugeCount, crc32.Checksum(hugeCount, crcTable))
+	if _, err := decodeManifest(hugeCount); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("inflated segment count error %v, want truncated entry", err)
 	}
 }
 

@@ -24,6 +24,7 @@ type IngestOption func(*ingestOptions) error
 type ingestOptions struct {
 	shards        int
 	windowSeconds int64
+	windowSet     bool // WithWindow given explicitly
 	workers       int
 }
 
@@ -42,13 +43,18 @@ func WithShards(n int) IngestOption {
 }
 
 // WithWindow sets the time-partition length (default DefaultWindow,
-// minimum one second).
+// minimum one second). The window is a property of the store, persisted
+// in the manifest at creation: an additive ingest into an existing store
+// adopts the stored window, and an explicit WithWindow that contradicts
+// it is an error — Compact re-buckets with the stored window, so one
+// store never mixes partition granularities.
 func WithWindow(d time.Duration) IngestOption {
 	return func(o *ingestOptions) error {
 		if d < time.Second {
 			return fmt.Errorf("faultstore: window must be >= 1s, got %v", d)
 		}
 		o.windowSeconds = int64(d / time.Second)
+		o.windowSet = true
 		return nil
 	}
 }
@@ -105,9 +111,20 @@ func Ingest(ctx context.Context, logDir, storeDir string, opts ...IngestOption) 
 	}
 	man, err := readManifest(storeDir)
 	if errors.Is(err, fs.ErrNotExist) {
-		man = &manifest{}
+		man = &manifest{windowSeconds: o.windowSeconds}
 	} else if err != nil {
 		return nil, err
+	} else if man.windowSeconds > 0 {
+		// The stored window is authoritative for an existing store: adopt
+		// it, and reject an explicit contradiction instead of silently
+		// mixing partition granularities.
+		if o.windowSet && o.windowSeconds != man.windowSeconds {
+			return nil, fmt.Errorf("faultstore: store at %s was created with a %ds window, ingest requested %ds",
+				storeDir, man.windowSeconds, o.windowSeconds)
+		}
+		o.windowSeconds = man.windowSeconds
+	} else {
+		man.windowSeconds = o.windowSeconds
 	}
 	gen := man.nextGen()
 
@@ -273,11 +290,16 @@ type CompactStats struct {
 // re-collapsed (same node, address, expected and actual word, next run
 // starting within the §II-C gap of the previous run's end, and — the
 // batch-boundary signature — coming from a different ingest generation
-// than the run it continues), and the shard is re-bucketed into one
-// segment per window under a fresh generation 0. Sessions are merged
-// order-preservingly and never coalesced. The manifest swap at the end is
-// the commit point; superseded segment files are deleted afterwards
-// (best-effort — queries only open what the manifest names).
+// than the run it continues), and the shard is re-bucketed — using the
+// window length the manifest persists — into one segment per window under
+// a single fresh generation the current manifest does not reference. No
+// live segment file is ever overwritten, so the manifest swap at the end
+// stays the commit point: a crash mid-compact leaves the old manifest
+// pointing at the old, untouched files (plus unreferenced output orphans
+// that a re-run simply overwrites). Sessions are merged
+// order-preservingly and never coalesced. After the swap the superseded
+// segment files are deleted (best-effort — queries only open what the
+// manifest names).
 //
 // The generation gate is what keeps compaction faithful to the replay
 // contract: ingested faults are pre-collapsed lines, and the Collapser
@@ -296,7 +318,14 @@ func Compact(dir string) (*CompactStats, error) {
 	stats := &CompactStats{SegmentsBefore: len(man.segs)}
 	byShard := make(map[uint32][]segMeta)
 	var shards []uint32
-	windowSeconds := int64(DefaultWindow / time.Second)
+	windowSeconds := man.windowSeconds
+	if windowSeconds <= 0 {
+		windowSeconds = int64(DefaultWindow / time.Second)
+	}
+	// All output segments share one generation, picked above every live
+	// one so their names never collide with files the current manifest
+	// references (the crash-consistency contract of the manifest swap).
+	outGen := man.nextGen()
 	for _, e := range man.segs {
 		if _, ok := byShard[e.shard]; !ok {
 			shards = append(shards, e.shard)
@@ -306,7 +335,7 @@ func Compact(dir string) (*CompactStats, error) {
 	}
 	slices.Sort(shards)
 
-	next := &manifest{}
+	next := &manifest{windowSeconds: windowSeconds}
 	var obsolete []string
 	for _, shard := range shards {
 		segs := byShard[shard]
@@ -355,7 +384,7 @@ func Compact(dir string) (*CompactStats, error) {
 		slices.Sort(windows)
 		for _, w := range windows {
 			b := buckets[w]
-			meta, _, err := writeSegment(dir, shard, w, 0, b.faults, b.sessions)
+			meta, _, err := writeSegment(dir, shard, w, outGen, b.faults, b.sessions)
 			if err != nil {
 				return nil, err
 			}
@@ -366,14 +395,10 @@ func Compact(dir string) (*CompactStats, error) {
 	if err := writeManifest(dir, next); err != nil {
 		return nil, err
 	}
-	kept := make(map[string]bool, len(next.segs))
-	for _, e := range next.segs {
-		kept[e.name] = true
-	}
+	// Superseded names can never collide with the output (outGen is fresh),
+	// so every pre-compact segment is safe to delete after the swap.
 	for _, name := range obsolete {
-		if !kept[name] {
-			os.Remove(filepath.Join(dir, name))
-		}
+		os.Remove(filepath.Join(dir, name))
 	}
 	return stats, nil
 }

@@ -7,12 +7,17 @@
 // of two independent ones that can add up past the OS limit.
 //
 // A Budget is a counting limiter, not a cache: callers Acquire before
-// opening a file and Release after closing it. Components that cache open
-// files (the log writer) call TryAcquire and evict their own
-// least-recently-used entry when the budget is exhausted; components with
-// transient opens (segment readers) block in Acquire until a descriptor
-// frees up. MaxInUse records the high-water mark, which is what the
-// regression tests pin.
+// opening a file and Release after closing it. The two holder classes
+// acquire differently. Components that cache open files indefinitely
+// (the log writer) call TryAcquire — or its blocking form AcquireCached —
+// and evict their own least-recently-used entry when the budget is
+// exhausted; components with transient opens (segment readers) block in
+// Acquire until a descriptor frees up. Cached holds never release on
+// their own, so a budget can reserve headroom for the transient class:
+// TryAcquire/AcquireCached stop at cap minus the reserve, while Acquire
+// may use the full cap. Without a reserve, an idle cache holding every
+// token would block transient acquirers forever. MaxInUse records the
+// high-water mark, which is what the regression tests pin.
 package fdlimit
 
 import "sync"
@@ -23,26 +28,42 @@ import "sync"
 // per-node file stayed open.
 const DefaultCap = 128
 
+// DefaultReserve is the shared budget's headroom withheld from
+// cache-style holders, so transient opens (segment readers) always find
+// descriptors that are guaranteed to cycle back.
+const DefaultReserve = 8
+
 // Budget meters a fixed number of concurrently open file descriptors.
 // All methods are safe for concurrent use.
 type Budget struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	cap      int
+	reserve  int
 	inUse    int
 	maxInUse int
 }
 
-// NewBudget returns a budget with the given ceiling (minimum 1).
+// NewBudget returns a budget with the given ceiling (minimum 1) and no
+// reserve; use NewReservedBudget or SetReserve when cache-style and
+// transient holders share it.
 func NewBudget(cap int) *Budget {
-	b := &Budget{cap: max(cap, 1)}
+	return NewReservedBudget(cap, 0)
+}
+
+// NewReservedBudget returns a budget with the given ceiling (minimum 1)
+// that withholds reserve tokens from cache-style holders.
+func NewReservedBudget(cap, reserve int) *Budget {
+	b := &Budget{cap: max(cap, 1), reserve: max(reserve, 0)}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
 
 // Shared is the process-wide default budget, drawn on by logstore writers
 // and faultstore segment readers unless a caller installs a private one.
-var Shared = NewBudget(DefaultCap)
+// The reserve keeps segment readers live even when writer caches are full
+// and idle.
+var Shared = NewReservedBudget(DefaultCap, DefaultReserve)
 
 // SetCap adjusts the ceiling (minimum 1). Lowering it below the current
 // in-use count does not revoke held descriptors; it only blocks new
@@ -61,19 +82,51 @@ func (b *Budget) Cap() int {
 	return b.cap
 }
 
-// TryAcquire claims one descriptor if the budget allows, reporting
-// whether it did. It never blocks.
+// SetReserve adjusts the headroom withheld from cache-style holders
+// (minimum 0). The cached ceiling never drops below one descriptor.
+func (b *Budget) SetReserve(n int) {
+	b.mu.Lock()
+	b.reserve = max(n, 0)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// cachedCapLocked is the ceiling cache-style holders may claim up to:
+// the cap minus the transient reserve, but never below one so a lone
+// writer can always make progress.
+func (b *Budget) cachedCapLocked() int {
+	return max(b.cap-b.reserve, 1)
+}
+
+// TryAcquire claims one descriptor for a cache-style (indefinite) hold
+// if the budget allows, reporting whether it did. It never blocks and
+// never dips into the transient reserve.
 func (b *Budget) TryAcquire() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.inUse >= b.cap {
+	if b.inUse >= b.cachedCapLocked() {
 		return false
 	}
 	b.claimLocked()
 	return true
 }
 
-// Acquire claims one descriptor, blocking until the budget allows it.
+// AcquireCached is the blocking form of TryAcquire, for cache-style
+// holders that have nothing of their own left to evict: it waits for
+// another holder's release but still never dips into the transient
+// reserve.
+func (b *Budget) AcquireCached() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.inUse >= b.cachedCapLocked() {
+		b.cond.Wait()
+	}
+	b.claimLocked()
+}
+
+// Acquire claims one descriptor for a transient hold, blocking until the
+// budget allows it. Transient holds may use the full cap, including the
+// reserve: they release promptly, so waiting on them always terminates.
 func (b *Budget) Acquire() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -100,7 +153,10 @@ func (b *Budget) Release() {
 	}
 	b.inUse--
 	b.mu.Unlock()
-	b.cond.Signal()
+	// Broadcast, not Signal: cached and transient waiters share the
+	// condition but wake at different thresholds, and a single Signal
+	// could land on a waiter whose threshold is still unmet.
+	b.cond.Broadcast()
 }
 
 // InUse returns the number of currently claimed descriptors.

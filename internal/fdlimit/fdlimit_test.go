@@ -91,6 +91,52 @@ func TestBudgetFloorAndReset(t *testing.T) {
 	b.Release()
 }
 
+// TestBudgetReserve pins the two-class contract: cache-style holders
+// (TryAcquire/AcquireCached) stop at cap minus the reserve, while
+// transient holders (Acquire) may use the full cap — so an idle cache
+// can never starve transient acquirers out of every token.
+func TestBudgetReserve(t *testing.T) {
+	b := NewReservedBudget(4, 2)
+	if !b.TryAcquire() || !b.TryAcquire() {
+		t.Fatal("cached holder refused descriptors under the cached ceiling")
+	}
+	if b.TryAcquire() {
+		t.Fatal("cached holder dipped into the transient reserve")
+	}
+	// The reserve is still fully available to transient holders, and they
+	// never block on the idle cache.
+	b.Acquire()
+	b.Acquire()
+	if got := b.InUse(); got != 4 {
+		t.Fatalf("InUse = %d, want 4", got)
+	}
+	b.Release()
+	b.Release()
+
+	// A blocking cached acquire waits for the cached ceiling, not the cap.
+	done := make(chan struct{})
+	go func() {
+		b.AcquireCached()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("AcquireCached returned while the cached ceiling was reached")
+	default:
+	}
+	b.Release()
+	<-done
+	b.Release()
+	b.Release()
+
+	// The cached ceiling never drops below one descriptor.
+	tiny := NewReservedBudget(1, 8)
+	if !tiny.TryAcquire() {
+		t.Fatal("reserve floored the cached ceiling below one")
+	}
+	tiny.Release()
+}
+
 func TestBudgetReleaseUnderflowPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -112,12 +112,14 @@ func (s *Store) SetBudget(b *fdlimit.Budget) {
 // acquireFD claims one descriptor from the budget, evicting the store's
 // own least-recently-used open file while the pool is exhausted. When the
 // store itself holds nothing evictable the tokens are held by other
-// budget users (another writer, or fault-store segment readers), whose
-// opens are transient — so blocking until one frees is safe.
+// budget users (another writer, or fault-store segment readers) and it
+// blocks until one frees — via AcquireCached, because the descriptor it
+// claims goes into the writer cache indefinitely and must never consume
+// the reserve that keeps transient readers live.
 func (s *Store) acquireFD() error {
 	for !s.budget.TryAcquire() {
 		if len(s.writers) == 0 {
-			s.budget.Acquire()
+			s.budget.AcquireCached()
 			return nil
 		}
 		if err := s.evictOne(); err != nil {
