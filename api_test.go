@@ -45,6 +45,7 @@ var publicSurface = []string{
 	"Source",
 	"SourceStats",
 	"Store",
+	"StoreHealth",
 	"StreamCampaign",
 	"StreamHandler",
 	"Study",
@@ -59,6 +60,7 @@ var publicSurface = []string{
 	"SweepSpec",
 	"SweepSummary",
 	"WithController",
+	"WithDegraded",
 	"WithNodes",
 	"WithObservers",
 	"WithSweepBudget",

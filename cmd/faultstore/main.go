@@ -9,6 +9,7 @@
 //	faultstore export  [-workers N] STOREDIR LOGDIR
 //	faultstore compact STOREDIR
 //	faultstore query   [-nodes LIST] [-from TIME] [-to TIME] [-workers N] STOREDIR
+//	faultstore fsck    [-repair] STOREDIR
 //
 // ingest streams a directory of per-node text logs through the replay
 // pipeline into the store, appending a new segment generation if the
@@ -19,6 +20,13 @@
 // segment per (shard, window). query prints matching faults as
 // canonical ERROR log lines on stdout and a summary — including how
 // many segments the index pruned without opening — on stderr.
+//
+// fsck verifies the store: every manifest-referenced segment must read,
+// pass its CRC and agree with its index entry, and no unreferenced
+// segment or stranded MANIFEST.tmp may be left on disk (the litter of a
+// crashed pre-commit ingest or compact). With -repair, corrupt segments
+// are moved into quarantine/ and dropped from the manifest, and orphans
+// are deleted; the exit status reflects the store's state after repair.
 //
 // Times accept RFC 3339 ("2015-06-01T00:00:00Z") or a plain date
 // ("2015-06-01", midnight UTC). Nodes are "blade-SoC" IDs, e.g. "02-04".
@@ -58,6 +66,8 @@ func main() {
 		err = runCompact(os.Args[2:])
 	case "query":
 		err = runQuery(ctx, os.Args[2:])
+	case "fsck":
+		err = runFsck(os.Args[2:])
 	default:
 		usage()
 	}
@@ -72,7 +82,8 @@ func usage() {
   faultstore ingest  [-shards N] [-window DUR] [-workers N] LOGDIR STOREDIR
   faultstore export  [-workers N] STOREDIR LOGDIR
   faultstore compact STOREDIR
-  faultstore query   [-nodes LIST] [-from TIME] [-to TIME] [-workers N] STOREDIR`)
+  faultstore query   [-nodes LIST] [-from TIME] [-to TIME] [-workers N] STOREDIR
+  faultstore fsck    [-repair] STOREDIR`)
 	os.Exit(2)
 }
 
@@ -202,6 +213,32 @@ func runQuery(ctx context.Context, args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "%d faults, %d sessions; %d/%d segments opened (%d pruned by index)\n",
 		faults, sessions, s.SegmentsOpened(), s.Segments(), s.SegmentsPruned())
+	return nil
+}
+
+func runFsck(args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	repair := fs.Bool("repair", false, "quarantine corrupt segments and delete orphans")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	var opts []faultstore.FsckOption
+	if *repair {
+		opts = append(opts, faultstore.WithRepair())
+	}
+	rep, err := faultstore.Fsck(fs.Arg(0), opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, rep)
+	// After -repair the findings were acted on: quarantined references are
+	// gone from the manifest and orphans are deleted, so the store is
+	// consistent again and the exit status says so.
+	if !rep.Clean() && !*repair {
+		return fmt.Errorf("store has %d corrupt segment(s), %d orphan(s)",
+			len(rep.Corrupt), len(rep.Orphans))
+	}
 	return nil
 }
 

@@ -197,6 +197,20 @@ func WithNodes(nodes ...string) Option { return core.WithNodes(nodes...) }
 // Simulate and Logs reject this option.
 func WithTimeRange(from, to time.Time) Option { return core.WithTimeRange(from, to) }
 
+// StoreHealth is the queryable report of a degraded store read: the
+// segments the query skipped, each with its error and the index-declared
+// record counts the skip cost. The zero value is ready to pass to
+// WithDegraded; it is safe for concurrent use and accumulates across
+// queries.
+type StoreHealth = core.StoreHealth
+
+// WithDegraded switches a Store source to degraded reads: a segment that
+// cannot be read or fails its checksum is skipped — recorded in h with
+// diagnostics, when h is non-nil — instead of failing the analysis.
+// Strict hard-error remains the default. Simulate and Logs reject this
+// option.
+func WithDegraded(h *StoreHealth) Option { return core.WithDegraded(h) }
+
 // Analyze drains src once and assembles the Study: dataset slices
 // (unless WithoutDataset), incremental figure accumulators and every
 // attached Observer are fed from the same single pass in canonical

@@ -11,6 +11,7 @@ import (
 	"unprotected/internal/cluster"
 	"unprotected/internal/eventlog"
 	"unprotected/internal/extract"
+	"unprotected/internal/faultstore"
 	"unprotected/internal/logstore"
 	"unprotected/internal/stream"
 	"unprotected/internal/timebase"
@@ -34,10 +35,17 @@ type options struct {
 	nodes    []cluster.NodeID
 	hasRange bool
 	from, to timebase.T
+	// Store-source read mode (WithDegraded); the other sources reject it.
+	degraded bool
+	health   *faultstore.Health
 }
 
 // hasPredicates reports whether a store-only predicate option was set.
 func (o *options) hasPredicates() bool { return len(o.nodes) > 0 || o.hasRange }
+
+// hasStoreOnly reports whether any option only the Store source
+// understands was set.
+func (o *options) hasStoreOnly() bool { return o.hasPredicates() || o.degraded }
 
 func (o *options) apply(opts []Option) error {
 	for _, opt := range opts {
@@ -150,6 +158,26 @@ func WithTimeRange(from, to time.Time) Option {
 	}
 }
 
+// StoreHealth is the queryable report of a degraded store read: every
+// segment the query had to skip, with the error and the index-declared
+// record counts the skip cost. The zero value is ready to pass to
+// WithDegraded.
+type StoreHealth = faultstore.Health
+
+// WithDegraded switches a Store source to degraded reads: a segment that
+// cannot be read or fails its CRC is skipped — with its diagnostics and
+// index-declared record counts recorded in h, when non-nil — instead of
+// failing the whole analysis. Strict hard-error remains the default: a
+// reliability study must opt in to half-trusting its own storage. Only
+// the fault-store source understands it; Simulate and Logs reject it.
+func WithDegraded(h *faultstore.Health) Option {
+	return func(o *options) error {
+		o.degraded = true
+		o.health = h
+		return nil
+	}
+}
+
 // configurableSource lets Analyze exchange options with the built-in
 // sources: Analyze-level settings the source acts on (worker-pool size)
 // flow down, source-baked settings only Analyze can act on (observers,
@@ -192,8 +220,8 @@ func (s *simSource) configure(o *options) (stream.Source, error) {
 	if s.cfg == nil {
 		return nil, errors.New("Simulate: nil Config (use DefaultConfig)")
 	}
-	if o.hasPredicates() {
-		return nil, errors.New("Simulate: WithNodes/WithTimeRange apply only to a Store source")
+	if o.hasStoreOnly() {
+		return nil, errors.New("Simulate: WithNodes/WithTimeRange/WithDegraded apply only to a Store source")
 	}
 	if o.workers > 0 && o.workers != s.cfg.Workers {
 		// Shallow-copy the Config so the override (and the engine's own
@@ -242,8 +270,8 @@ type logSource struct {
 func Logs(dir string, opts ...Option) stream.Source {
 	s := &logSource{dir: dir}
 	s.err = s.opts.apply(opts)
-	if s.err == nil && s.opts.hasPredicates() {
-		s.err = errors.New("WithNodes/WithTimeRange apply only to a Store source (replay the full directory or ingest it into a store first)")
+	if s.err == nil && s.opts.hasStoreOnly() {
+		s.err = errors.New("WithNodes/WithTimeRange/WithDegraded apply only to a Store source (replay the full directory or ingest it into a store first)")
 	}
 	return s
 }
@@ -261,8 +289,8 @@ func (s *logSource) configure(o *options) (stream.Source, error) {
 	if s.err != nil {
 		return nil, fmt.Errorf("Logs: %w", s.err)
 	}
-	if o.hasPredicates() {
-		return nil, errors.New("Logs: WithNodes/WithTimeRange apply only to a Store source (replay the full directory or ingest it into a store first)")
+	if o.hasStoreOnly() {
+		return nil, errors.New("Logs: WithNodes/WithTimeRange/WithDegraded apply only to a Store source (replay the full directory or ingest it into a store first)")
 	}
 	// Analyze-level options that the source cannot act on by itself flow
 	// the other way: observers and WithoutDataset baked into the Logs call

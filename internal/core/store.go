@@ -42,6 +42,8 @@ func (s *storeSource) query() faultstore.Query {
 		From:     s.opts.from,
 		To:       s.opts.to,
 		Workers:  s.opts.workers,
+		Degraded: s.opts.degraded,
+		Health:   s.opts.health,
 	}
 }
 
@@ -78,7 +80,7 @@ func (s *storeSource) configure(o *options) (stream.Source, error) {
 	// Worker count and predicates flow down into a derived copy, so a
 	// reusable Source is never mutated by one Analyze call's options.
 	changed := o.workers > 0 && o.workers != s.opts.workers
-	if o.hasPredicates() {
+	if o.hasPredicates() || o.degraded {
 		changed = true
 	}
 	if !changed {
@@ -99,6 +101,14 @@ func (s *storeSource) configure(o *options) (stream.Source, error) {
 			return nil, fmt.Errorf("Store: WithTimeRange given both to Store and to Analyze")
 		}
 		cp.opts.hasRange, cp.opts.from, cp.opts.to = true, o.from, o.to
+	}
+	if o.degraded {
+		// Two WithDegraded calls could carry two different health sinks;
+		// reject the ambiguity like the other both-places conflicts.
+		if cp.opts.degraded {
+			return nil, fmt.Errorf("Store: WithDegraded given both to Store and to Analyze")
+		}
+		cp.opts.degraded, cp.opts.health = true, o.health
 	}
 	if o.workers > 0 {
 		cp.opts.workers = o.workers

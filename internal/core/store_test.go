@@ -3,6 +3,8 @@ package core
 import (
 	"bytes"
 	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -160,6 +162,84 @@ func TestStorePredicates(t *testing.T) {
 		!strings.Contains(err.Error(), "WithNodes") {
 		t.Fatalf("double WithNodes error %v, want a conflict", err)
 	}
+}
+
+// TestStoreDegraded drives WithDegraded through Analyze: a corrupt
+// segment fails the default strict analysis, is skipped (and accounted
+// in the health report) under WithDegraded, and the option is rejected
+// by the other sources and by double application.
+func TestStoreDegraded(t *testing.T) {
+	ctx := context.Background()
+	_, storeDir := ingestFixtureStore(t)
+
+	full, err := Analyze(ctx, Store(storeDir, WithController("02-04")))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := faultstore.Fsck(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segs.SegmentsChecked < 2 {
+		t.Fatalf("fixture store has %d segments, want several", segs.SegmentsChecked)
+	}
+	corruptOneSegment(t, storeDir)
+
+	if _, err := Analyze(ctx, Store(storeDir, WithController("02-04"))); err == nil {
+		t.Fatal("strict analysis of a corrupt store must fail")
+	}
+
+	h := &StoreHealth{}
+	degraded, err := Analyze(ctx, Store(storeDir, WithController("02-04")), WithDegraded(h))
+	if err != nil {
+		t.Fatalf("degraded analysis failed: %v", err)
+	}
+	if h.Clean() || len(h.Skipped()) != 1 {
+		t.Fatalf("health report = %v, want one skipped segment", h.Skipped())
+	}
+	if got := len(degraded.Dataset.Faults) + h.LostFaults(); got != len(full.Dataset.Faults) {
+		t.Fatalf("delivered+lost = %d faults, want %d", got, len(full.Dataset.Faults))
+	}
+
+	// The option is store-only and single-application, like the predicates.
+	if _, err := Analyze(ctx, Simulate(campaign.DefaultConfig(1)), WithDegraded(nil)); err == nil ||
+		!strings.Contains(err.Error(), "Store source") {
+		t.Fatalf("Simulate accepted WithDegraded: %v", err)
+	}
+	if _, err := Analyze(ctx, Logs(t.TempDir(), WithDegraded(nil))); err == nil ||
+		!strings.Contains(err.Error(), "Store source") {
+		t.Fatalf("Logs accepted WithDegraded: %v", err)
+	}
+	if _, err := Analyze(ctx, Store(storeDir, WithDegraded(h)), WithDegraded(h)); err == nil ||
+		!strings.Contains(err.Error(), "WithDegraded") {
+		t.Fatalf("double WithDegraded error %v, want a conflict", err)
+	}
+}
+
+// corruptOneSegment flips a byte in the middle of one segment file.
+func corruptOneSegment(t *testing.T, storeDir string) {
+	t.Helper()
+	entries, err := os.ReadDir(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".seg") {
+			continue
+		}
+		path := filepath.Join(storeDir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x20
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	t.Fatal("no segment file found")
 }
 
 // TestStoreSourceReuse pins that Analyze options never mutate a

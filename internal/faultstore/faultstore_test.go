@@ -17,6 +17,7 @@ import (
 	"unprotected/internal/eventlog"
 	"unprotected/internal/extract"
 	"unprotected/internal/fdlimit"
+	"unprotected/internal/iofault"
 	"unprotected/internal/logstore"
 	"unprotected/internal/stream"
 	"unprotected/internal/thermal"
@@ -383,7 +384,7 @@ func TestStoreCompactNeverReusesLiveSegmentNames(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	before, err := readManifest(storeDir)
+	before, err := readManifest(iofault.OS, storeDir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,7 +396,7 @@ func TestStoreCompactNeverReusesLiveSegmentNames(t *testing.T) {
 	if _, err := Compact(storeDir); err != nil {
 		t.Fatal(err)
 	}
-	after, err := readManifest(storeDir)
+	after, err := readManifest(iofault.OS, storeDir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -426,7 +427,7 @@ func TestStoreWindowPersistence(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	man, err := readManifest(storeDir)
+	man, err := readManifest(iofault.OS, storeDir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -448,7 +449,7 @@ func TestStoreWindowPersistence(t *testing.T) {
 	if _, err := Ingest(ctx, exportDir(t, more, nil), storeDir, WithShards(1)); err != nil {
 		t.Fatal(err)
 	}
-	man, err = readManifest(storeDir)
+	man, err = readManifest(iofault.OS, storeDir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -621,13 +622,13 @@ func TestStoreThousandSegmentFDBudget(t *testing.T) {
 	man := &manifest{}
 	for i := 0; i < segments; i++ {
 		f := synthFault(i%30+1, i%14+1, uint32(i), timebase.T(i*100), timebase.T(i*100), 1, 0xffffffff, 0xfffffffe)
-		meta, _, err := writeSegment(dir, uint32(i%8), int64(i), 0, []extract.Fault{f}, nil)
+		meta, _, err := writeSegment(iofault.OS, dir, uint32(i%8), int64(i), 0, []extract.Fault{f}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		man.segs = append(man.segs, meta)
 	}
-	if err := writeManifest(dir, man); err != nil {
+	if err := writeManifest(iofault.OS, dir, man); err != nil {
 		t.Fatal(err)
 	}
 

@@ -1,0 +1,101 @@
+package faultstore
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+	"sync"
+)
+
+// SegmentError is one segment a degraded read had to skip: which file,
+// why, and — from the manifest index, since the payload was unreadable —
+// how many records the skip cost.
+type SegmentError struct {
+	// Segment is the segment file name the manifest references.
+	Segment string
+	// Err is the read or decode failure that caused the skip (retries
+	// already exhausted for transient errors).
+	Err error
+	// Faults and Sessions are the index-declared record counts of the
+	// skipped segment — the upper bound on what the query lost.
+	Faults, Sessions int
+}
+
+// Health is the queryable report of a degraded read: every segment the
+// query skipped, with diagnostics. The zero value is ready to use; one
+// Health may be shared across queries (it accumulates) and is safe for
+// the concurrent decode workers that feed it.
+type Health struct {
+	mu      sync.Mutex
+	skipped []SegmentError
+}
+
+// record appends one skip; a nil receiver discards it (degraded mode
+// without a report attached).
+func (h *Health) record(e SegmentError) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.skipped = append(h.skipped, e)
+	h.mu.Unlock()
+}
+
+// Clean reports whether every segment was delivered — no skips.
+func (h *Health) Clean() bool {
+	if h == nil {
+		return true
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.skipped) == 0
+}
+
+// Skipped returns the skipped segments sorted by name (the decode pool
+// records them in completion order, which is not deterministic).
+func (h *Health) Skipped() []SegmentError {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	out := slices.Clone(h.skipped)
+	h.mu.Unlock()
+	slices.SortFunc(out, func(a, b SegmentError) int {
+		return strings.Compare(a.Segment, b.Segment)
+	})
+	return out
+}
+
+// LostFaults and LostSessions total the index-declared records the
+// skipped segments held.
+func (h *Health) LostFaults() int {
+	n := 0
+	for _, e := range h.Skipped() {
+		n += e.Faults
+	}
+	return n
+}
+
+// LostSessions is the session half of LostFaults.
+func (h *Health) LostSessions() int {
+	n := 0
+	for _, e := range h.Skipped() {
+		n += e.Sessions
+	}
+	return n
+}
+
+// String renders a one-line summary plus one line per skipped segment.
+func (h *Health) String() string {
+	sk := h.Skipped()
+	if len(sk) == 0 {
+		return "store healthy: no segments skipped"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "degraded: %d segment(s) skipped (%d faults, %d sessions unavailable)",
+		len(sk), h.LostFaults(), h.LostSessions())
+	for _, e := range sk {
+		fmt.Fprintf(&b, "\n  %s: %v", e.Segment, e.Err)
+	}
+	return b.String()
+}

@@ -2,7 +2,6 @@ package faultstore
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"runtime"
 	"sync"
@@ -15,6 +14,7 @@ import (
 	"unprotected/internal/eventlog"
 	"unprotected/internal/extract"
 	"unprotected/internal/fdlimit"
+	"unprotected/internal/iofault"
 	"unprotected/internal/stream"
 	"unprotected/internal/timebase"
 )
@@ -25,18 +25,58 @@ import (
 type Store struct {
 	dir    string
 	man    *manifest
+	fs     iofault.FS
+	retry  iofault.RetryPolicy
 	budget *fdlimit.Budget
 	opened atomic.Int64
 	pruned atomic.Int64
 }
 
+// StoreOption configures Open (and Export, which opens a store).
+type StoreOption func(*Store) error
+
+// WithStoreFS routes every I/O operation of the opened store — the
+// manifest read and all segment reads — through fsys (default: the OS
+// passthrough).
+func WithStoreFS(fsys iofault.FS) StoreOption {
+	return func(s *Store) error {
+		if fsys == nil {
+			return fmt.Errorf("faultstore: nil FS")
+		}
+		s.fs = fsys
+		return nil
+	}
+}
+
+// WithRetry replaces the store's transient-read retry policy (default
+// iofault.DefaultRetry): segment reads failing with a transient error —
+// descriptor pressure, an EIO blip — are retried with backoff under the
+// query's context before the failure is surfaced (strict mode) or the
+// segment is skipped (degraded mode).
+func WithRetry(p iofault.RetryPolicy) StoreOption {
+	return func(s *Store) error {
+		if p.Attempts < 1 {
+			return fmt.Errorf("faultstore: retry attempts must be >= 1, got %d", p.Attempts)
+		}
+		s.retry = p
+		return nil
+	}
+}
+
 // Open reads the manifest of the store at dir.
-func Open(dir string) (*Store, error) {
-	man, err := readManifest(dir)
+func Open(dir string, opts ...StoreOption) (*Store, error) {
+	s := &Store{dir: dir, fs: iofault.OS, retry: iofault.DefaultRetry, budget: fdlimit.Shared}
+	for _, opt := range opts {
+		if err := opt(s); err != nil {
+			return nil, err
+		}
+	}
+	man, err := readManifest(s.fs, dir)
 	if err != nil {
 		return nil, err
 	}
-	return &Store{dir: dir, man: man, budget: fdlimit.Shared}, nil
+	s.man = man
+	return s, nil
 }
 
 // SetBudget makes the store meter its segment reads from b instead of
@@ -68,6 +108,15 @@ type Query struct {
 	From, To timebase.T
 	// Workers bounds the segment decode pool (0 selects GOMAXPROCS).
 	Workers int
+	// Degraded turns per-segment read and decode failures from hard
+	// errors into skips: the query delivers everything that survives,
+	// and each skipped segment's diagnostics land in Health (when set).
+	// Strict hard-error remains the default — a reliability study must
+	// opt in to half-trusting its own storage, never drift into it.
+	Degraded bool
+	// Health, when non-nil under Degraded, collects the per-segment
+	// diagnostics of everything the query had to skip.
+	Health *Health
 }
 
 // matchSeg reports whether the index entry can contain matching records.
@@ -104,15 +153,22 @@ func (q *Query) nodeSet() map[cluster.NodeID]bool {
 
 // readSegmentFile reads and decodes one segment, metering the open file
 // against the budget (the descriptor is held only for the read itself —
-// decode works on the in-memory image).
-func readSegmentFile(path string, budget *fdlimit.Budget) (*segPayload, error) {
-	if budget != nil {
-		budget.Acquire()
-	}
-	data, err := os.ReadFile(path)
-	if budget != nil {
-		budget.Release()
-	}
+// decode works on the in-memory image). Transient read errors are
+// retried with backoff under ctx; decode failures are deterministic and
+// never retried.
+func readSegmentFile(ctx context.Context, fsys iofault.FS, path string, budget *fdlimit.Budget, retry iofault.RetryPolicy) (*segPayload, error) {
+	var data []byte
+	err := retry.Do(ctx, func() error {
+		if budget != nil {
+			budget.Acquire()
+		}
+		var rerr error
+		data, rerr = fsys.ReadFile(path)
+		if budget != nil {
+			budget.Release()
+		}
+		return rerr
+	})
 	if err != nil {
 		return nil, fmt.Errorf("faultstore: %w", err)
 	}
@@ -182,13 +238,24 @@ func (s *Store) collect(ctx context.Context, q Query) ([][]extract.Fault, [][]ev
 				}
 				e := &s.man.segs[matched[pos]]
 				d := decoded{pos: pos}
-				p, err := readSegmentFile(filepath.Join(s.dir, e.name), s.budget)
+				p, err := readSegmentFile(ctx, s.fs, filepath.Join(s.dir, e.name), s.budget, s.retry)
 				s.opened.Add(1)
-				if err != nil {
-					d.err = fmt.Errorf("%s: %w", e.name, err)
-				} else {
+				switch {
+				case err == nil:
 					d.faults = filterFaults(p.faults, &q, set)
 					d.sessions = filterSessions(p.sessions, &q, set)
+				case q.Degraded && ctx.Err() == nil:
+					// Degraded read: the segment is skipped, not fatal.
+					// Its diagnostics — and the index's account of what
+					// was lost — go to the health report.
+					q.Health.record(SegmentError{
+						Segment:  e.name,
+						Err:      err,
+						Faults:   e.nFaults,
+						Sessions: e.nSessions,
+					})
+				default:
+					d.err = fmt.Errorf("%s: %w", e.name, err)
 				}
 				select {
 				case results <- d:

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"os"
 	"path/filepath"
 	"slices"
 	"time"
@@ -13,6 +12,7 @@ import (
 	"unprotected/internal/eventlog"
 	"unprotected/internal/extract"
 	"unprotected/internal/fdlimit"
+	"unprotected/internal/iofault"
 	"unprotected/internal/kway"
 	"unprotected/internal/logstore"
 	"unprotected/internal/stream"
@@ -26,6 +26,21 @@ type ingestOptions struct {
 	windowSeconds int64
 	windowSet     bool // WithWindow given explicitly
 	workers       int
+	fsys          iofault.FS
+}
+
+// WithIngestFS routes every I/O operation of this ingest — reading the
+// text logs, writing segments, committing the manifest — through fsys.
+// The default is the OS passthrough; chaos tests inject an
+// iofault.Injector here.
+func WithIngestFS(fsys iofault.FS) IngestOption {
+	return func(o *ingestOptions) error {
+		if fsys == nil {
+			return fmt.Errorf("faultstore: nil FS")
+		}
+		o.fsys = fsys
+		return nil
+	}
 }
 
 // WithShards sets the number of node-hash shards for the segments this
@@ -100,16 +115,16 @@ type bucket struct {
 // so every bucket — an order-preserving subsequence — is born sorted and
 // segments never need a sort of their own.
 func Ingest(ctx context.Context, logDir, storeDir string, opts ...IngestOption) (*IngestStats, error) {
-	o := ingestOptions{shards: DefaultShards, windowSeconds: int64(DefaultWindow / time.Second)}
+	o := ingestOptions{shards: DefaultShards, windowSeconds: int64(DefaultWindow / time.Second), fsys: iofault.OS}
 	for _, opt := range opts {
 		if err := opt(&o); err != nil {
 			return nil, err
 		}
 	}
-	if err := os.MkdirAll(storeDir, 0o755); err != nil {
+	if err := o.fsys.MkdirAll(storeDir, 0o755); err != nil {
 		return nil, fmt.Errorf("faultstore: %w", err)
 	}
-	man, err := readManifest(storeDir)
+	man, err := readManifest(o.fsys, storeDir)
 	if errors.Is(err, fs.ErrNotExist) {
 		man = &manifest{windowSeconds: o.windowSeconds}
 	} else if err != nil {
@@ -138,7 +153,7 @@ func Ingest(ctx context.Context, logDir, storeDir string, opts ...IngestOption) 
 		}
 		return b
 	}
-	for ev, err := range logstore.Events(ctx, logDir, o.workers) {
+	for ev, err := range logstore.EventsFS(ctx, logDir, o.workers, o.fsys) {
 		if err != nil {
 			return nil, err
 		}
@@ -167,17 +182,32 @@ func Ingest(ctx context.Context, logDir, storeDir string, opts ...IngestOption) 
 		keys = append(keys, k)
 	}
 	slices.SortFunc(keys, compareBucketKeys)
+	// Until the manifest rename commits, every segment this ingest wrote
+	// is provisional: on any error the written files are deleted again
+	// (best-effort — a crash also kills the cleanup, which is exactly the
+	// orphan case fsck exists for).
+	var written []string
+	cleanup := func() {
+		for _, name := range written {
+			o.fsys.Remove(filepath.Join(storeDir, name))
+		}
+	}
 	for _, k := range keys {
 		b := buckets[k]
-		meta, n, err := writeSegment(storeDir, k.shard, k.window, gen, b.faults, b.sessions)
+		meta, n, err := writeSegment(o.fsys, storeDir, k.shard, k.window, gen, b.faults, b.sessions)
 		if err != nil {
+			cleanup()
 			return nil, err
 		}
+		written = append(written, meta.name)
 		man.segs = append(man.segs, meta)
 		stats.Segments++
 		stats.Bytes += n
 	}
-	if err := writeManifest(storeDir, man); err != nil {
+	if err := writeManifest(o.fsys, storeDir, man); err != nil {
+		if !errors.Is(err, errSyncAfterCommit) {
+			cleanup()
+		}
 		return nil, err
 	}
 	return stats, nil
@@ -196,13 +226,19 @@ func compareBucketKeys(a, b bucketKey) int {
 	}
 }
 
-// writeSegment encodes and writes one segment file, returning its index
-// entry and byte size.
-func writeSegment(dir string, shard uint32, window int64, gen uint32,
+// writeSegment encodes, writes and fsyncs one segment file, returning
+// its index entry and byte size. The fsync matters: the manifest rename
+// is the commit point, and a manifest must never become durable while a
+// segment it references can still evaporate from the page cache.
+func writeSegment(fsys iofault.FS, dir string, shard uint32, window int64, gen uint32,
 	faults []extract.Fault, sessions []eventlog.Session) (segMeta, int64, error) {
 	name := segmentName(shard, window, gen)
+	path := filepath.Join(dir, name)
 	data := encodeSegment(shard, window, faults, sessions)
-	if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+	if err := fsys.WriteFile(path, data, 0o644); err != nil {
+		return segMeta{}, 0, fmt.Errorf("faultstore: %w", err)
+	}
+	if err := fsys.Sync(path); err != nil {
 		return segMeta{}, 0, fmt.Errorf("faultstore: %w", err)
 	}
 	lo, hi := segBounds(faults, sessions)
@@ -217,8 +253,8 @@ func writeSegment(dir string, shard uint32, window int64, gen uint32,
 // readManifest loads and decodes the store index. A missing file returns
 // fs.ErrNotExist so callers can distinguish "no store here" from
 // corruption.
-func readManifest(dir string) (*manifest, error) {
-	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+func readManifest(fsys iofault.FS, dir string) (*manifest, error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, ManifestName))
 	if err != nil {
 		return nil, fmt.Errorf("faultstore: %w", err)
 	}
@@ -233,17 +269,50 @@ func readManifest(dir string) (*manifest, error) {
 // writeManifest renders and atomically replaces the store index: the
 // rename is the ingest/compact commit point, so a crash mid-write leaves
 // the previous manifest — and with it a consistent store — in place.
-func writeManifest(dir string, m *manifest) error {
+//
+// The fsync ordering is what makes the commit point real on a power
+// cut, not just on a process kill:
+//
+//  1. Sync(dir) — the directory entries of every segment written (and
+//     fsynced) before this call become durable, so a durable manifest
+//     can never reference a segment whose entry was lost.
+//  2. WriteFile + Sync of the tmp manifest — its bytes are durable
+//     before the rename can expose them.
+//  3. Rename(tmp, MANIFEST) — the atomic commit.
+//  4. Sync(dir) — the rename itself becomes durable; until then a
+//     power cut falls back to the previous manifest, which is fine:
+//     pre-state and post-state are both consistent, a torn hybrid is
+//     not reachable.
+func writeManifest(fsys iofault.FS, dir string, m *manifest) error {
 	m.sort()
-	tmp := filepath.Join(dir, ManifestName+".tmp")
-	if err := os.WriteFile(tmp, encodeManifest(m), 0o644); err != nil {
+	if err := fsys.Sync(dir); err != nil {
 		return fmt.Errorf("faultstore: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
+	tmp := filepath.Join(dir, ManifestName+".tmp")
+	if err := fsys.WriteFile(tmp, encodeManifest(m), 0o644); err != nil {
 		return fmt.Errorf("faultstore: %w", err)
+	}
+	if err := fsys.Sync(tmp); err != nil {
+		return fmt.Errorf("faultstore: %w", err)
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
+		return fmt.Errorf("faultstore: %w", err)
+	}
+	if err := fsys.Sync(dir); err != nil {
+		// The rename already committed: the new manifest is live and
+		// references the segments just written. The caller must report
+		// this (the commit may not survive a power cut) but must NOT
+		// delete the referenced segments as if the operation had failed
+		// before the commit — errSyncAfterCommit is the marker.
+		return fmt.Errorf("%w: %w", errSyncAfterCommit, err)
 	}
 	return nil
 }
+
+// errSyncAfterCommit marks a writeManifest failure that happened after
+// the rename commit point: the store now references the new segments, so
+// error-path cleanup must leave them alone.
+var errSyncAfterCommit = errors.New("faultstore: manifest committed, directory sync failed")
 
 // Export renders the store back to a directory of per-node text log
 // files — the interchange format — via logstore.Export. The store's
@@ -251,8 +320,8 @@ func writeManifest(dir string, m *manifest) error {
 // per-node sort preserves, so a store ingested from a canonically
 // exported directory exports byte-identically (proved by the round-trip
 // tests and FuzzSegmentRoundTrip).
-func Export(ctx context.Context, storeDir, logDir string, workers int) error {
-	s, err := Open(storeDir)
+func Export(ctx context.Context, storeDir, logDir string, workers int, opts ...StoreOption) error {
+	s, err := Open(storeDir, opts...)
 	if err != nil {
 		return err
 	}
@@ -275,13 +344,32 @@ func Export(ctx context.Context, storeDir, logDir string, workers int) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	return logstore.Export(sessions, faults, logDir)
+	return logstore.ExportFS(sessions, faults, logDir, s.fs)
 }
 
 // CompactStats summarizes one Compact.
 type CompactStats struct {
 	SegmentsBefore, SegmentsAfter int
 	FaultsBefore, FaultsAfter     int
+}
+
+// CompactOption configures Compact.
+type CompactOption func(*compactOptions) error
+
+type compactOptions struct {
+	fsys iofault.FS
+}
+
+// WithCompactFS routes every I/O operation of this compaction through
+// fsys (default: the OS passthrough).
+func WithCompactFS(fsys iofault.FS) CompactOption {
+	return func(o *compactOptions) error {
+		if fsys == nil {
+			return fmt.Errorf("faultstore: nil FS")
+		}
+		o.fsys = fsys
+		return nil
+	}
 }
 
 // Compact rewrites the store one shard at a time: every segment of the
@@ -310,8 +398,14 @@ type CompactStats struct {
 // ingested separately — is merging sound. Compacting a one-generation
 // store (or re-compacting a compacted one) is therefore a pure re-bucket:
 // FaultsBefore == FaultsAfter.
-func Compact(dir string) (*CompactStats, error) {
-	man, err := readManifest(dir)
+func Compact(dir string, opts ...CompactOption) (*CompactStats, error) {
+	o := compactOptions{fsys: iofault.OS}
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	man, err := readManifest(o.fsys, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -337,13 +431,23 @@ func Compact(dir string) (*CompactStats, error) {
 
 	next := &manifest{windowSeconds: windowSeconds}
 	var obsolete []string
+	// Output segments are provisional until the manifest swap: on any
+	// error the ones already written are deleted again (best-effort — a
+	// crash also kills the cleanup, leaving orphans for fsck).
+	var written []string
+	cleanup := func() {
+		for _, name := range written {
+			o.fsys.Remove(filepath.Join(dir, name))
+		}
+	}
 	for _, shard := range shards {
 		segs := byShard[shard]
 		faultStreams := make([][]genFault, 0, len(segs))
 		sessionStreams := make([][]eventlog.Session, 0, len(segs))
 		for _, e := range segs {
-			p, err := readSegmentFile(filepath.Join(dir, e.name), fdlimit.Shared)
+			p, err := readSegmentFile(context.Background(), o.fsys, filepath.Join(dir, e.name), fdlimit.Shared, iofault.DefaultRetry)
 			if err != nil {
+				cleanup()
 				return nil, err
 			}
 			if len(p.faults) > 0 {
@@ -384,21 +488,26 @@ func Compact(dir string) (*CompactStats, error) {
 		slices.Sort(windows)
 		for _, w := range windows {
 			b := buckets[w]
-			meta, _, err := writeSegment(dir, shard, w, outGen, b.faults, b.sessions)
+			meta, _, err := writeSegment(o.fsys, dir, shard, w, outGen, b.faults, b.sessions)
 			if err != nil {
+				cleanup()
 				return nil, err
 			}
+			written = append(written, meta.name)
 			next.segs = append(next.segs, meta)
 		}
 	}
 	stats.SegmentsAfter = len(next.segs)
-	if err := writeManifest(dir, next); err != nil {
+	if err := writeManifest(o.fsys, dir, next); err != nil {
+		if !errors.Is(err, errSyncAfterCommit) {
+			cleanup()
+		}
 		return nil, err
 	}
 	// Superseded names can never collide with the output (outGen is fresh),
 	// so every pre-compact segment is safe to delete after the swap.
 	for _, name := range obsolete {
-		os.Remove(filepath.Join(dir, name))
+		o.fsys.Remove(filepath.Join(dir, name))
 	}
 	return stats, nil
 }

@@ -1,0 +1,93 @@
+package iofault
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzInjectorSchedule pins the injector's determinism contract: two
+// injectors configured identically, driven through the same
+// single-threaded operation script over equivalent directories, must
+// produce the same outcome for every operation — same success/failure,
+// same error class, same final operation and mutation counts. The chaos
+// harness's crash-point sweep and the seeded-noise tests both stand on
+// this property.
+func FuzzInjectorSchedule(f *testing.F) {
+	f.Add(uint64(42), uint16(300), byte(10), byte(3), byte(2), true)
+	f.Add(uint64(0), uint16(0), byte(0), byte(0), byte(0), false)
+	f.Add(uint64(7), uint16(1023), byte(40), byte(255), byte(7), true)
+	f.Add(uint64(999), uint16(512), byte(25), byte(1), byte(0), false)
+	f.Fuzz(func(t *testing.T, seed uint64, rateBits uint16, steps, crashAfter, failAt byte, torn bool) {
+		script := func() []string {
+			dir := t.TempDir()
+			in := NewInjector(OS)
+			in.SetRate(seed, float64(rateBits%1024)/1024)
+			if crashAfter != 255 {
+				in.CrashAfterMutations(uint64(crashAfter))
+			}
+			if failAt != 0 {
+				in.FailOp(uint64(failAt), nil)
+			}
+			if torn {
+				in.TornWriteAt(uint64(failAt)+2, 3)
+				in.SetCrashTorn(0.5)
+			}
+			in.FailPath("blocked", 2, nil)
+
+			classify := func(err error) string {
+				switch {
+				case err == nil:
+					return "ok"
+				case errors.Is(err, ErrCrashed):
+					return "crashed"
+				case errors.Is(err, ErrInjected):
+					return "injected"
+				default:
+					return "other"
+				}
+			}
+			a := filepath.Join(dir, "a")
+			blocked := filepath.Join(dir, "blocked")
+			var sig []string
+			n := int(steps%64) + 4
+			for i := 0; i < n; i++ {
+				var err error
+				switch i % 7 {
+				case 0:
+					err = in.WriteFile(a, []byte("payload-payload"), 0o644)
+				case 1:
+					_, err = in.ReadFile(a)
+				case 2:
+					err = in.Sync(a)
+				case 3:
+					err = in.WriteFile(blocked, []byte("z"), 0o644)
+				case 4:
+					_, err = in.ReadDir(dir)
+				case 5:
+					err = in.MkdirAll(filepath.Join(dir, "sub"), 0o755)
+				case 6:
+					err = in.Rename(a, a+"2")
+					if err == nil {
+						err = in.Rename(a+"2", a)
+					}
+				}
+				sig = append(sig, classify(err))
+			}
+			sig = append(sig, fmt.Sprintf("ops=%d muts=%d", in.Ops(), in.Mutations()))
+			return sig
+		}
+
+		first, second := script(), script()
+		if len(first) != len(second) {
+			t.Fatalf("signature lengths differ: %d vs %d", len(first), len(second))
+		}
+		for i := range first {
+			if first[i] != second[i] {
+				t.Fatalf("same schedule diverged at step %d: %q vs %q\nfirst:  %v\nsecond: %v",
+					i, first[i], second[i], first, second)
+			}
+		}
+	})
+}

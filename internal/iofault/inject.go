@@ -1,0 +1,345 @@
+package iofault
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// ErrInjected marks a scheduled transient failure: the operation was not
+// (fully) applied, and a retry — which draws a fresh operation number —
+// may succeed. It wraps syscall.EIO through Injected so errors.Is works
+// against both, and Transient reports it retryable.
+var ErrInjected = errors.New("iofault: injected transient error")
+
+// ErrCrashed marks operations refused after a crash point: the simulated
+// machine is down, every subsequent mutation fails, and nothing —
+// including error-path cleanup — gets to touch the disk again. Transient
+// reports it NOT retryable.
+var ErrCrashed = errors.New("iofault: crashed: writes halted")
+
+// injected builds the standard transient error.
+func injected() error { return fmt.Errorf("%w: %w", ErrInjected, syscall.EIO) }
+
+// opKind classifies an operation for the schedule: reads never crash,
+// data-carrying writes can tear, other mutations (rename, remove, sync,
+// mkdir) fail whole.
+type opKind int
+
+const (
+	opRead opKind = iota
+	opWrite
+	opMut
+)
+
+// pathRule is one path-targeted failure: the first n operations whose
+// path contains substr fail with err (n < 0 means every one, forever).
+type pathRule struct {
+	substr    string
+	remaining int
+	err       error
+}
+
+// Injector wraps an FS with a deterministic fault schedule. Every
+// operation that reaches it draws the next operation number (starting at
+// 1); mutating operations additionally advance the mutation count when
+// they are allowed through. The schedule is keyed on those numbers, so a
+// single-threaded caller replaying the same operation sequence hits
+// exactly the same faults — the property FuzzInjectorSchedule pins.
+// Under concurrency the injector is safe but the interleaving decides
+// the numbering; chaos tests that sweep crash points run single-worker.
+//
+// Supported faults:
+//
+//   - FailOp(n, err): operation n fails transiently, nothing applied.
+//   - TornWriteAt(n, k): if operation n carries data, its first k bytes
+//     are applied before it fails — a torn write.
+//   - FailPath(substr, n, err): the first n operations touching a
+//     matching path fail (n < 0: all of them) — the tool for "this
+//     segment is unreadable" and "OpenFile hits EMFILE twice".
+//   - CrashAfterMutations(n): after n mutations have been allowed, every
+//     later mutation fails with ErrCrashed; reads still work. Combined
+//     with SetCrashTorn(frac), the first write refused by the crash
+//     applies a frac prefix first — a crash mid-write.
+//   - SetRate(seed, rate): seed-driven background noise — each operation
+//     independently fails transiently with the given probability, via a
+//     deterministic per-(seed, operation-number) hash.
+type Injector struct {
+	base FS
+
+	mu         sync.Mutex
+	ops        uint64
+	muts       uint64
+	failOps    map[uint64]error
+	tornWrites map[uint64]int
+	pathRules  []*pathRule
+	crashAfter int64 // -1 disables
+	crashTorn  float64
+	crashTore  bool // the one torn crash write was spent
+	seed       uint64
+	rate       float64
+}
+
+// NewInjector wraps base (nil means OS) with an empty schedule: until
+// faults are added it is a counting passthrough, which is exactly what a
+// crash-point sweep's baseline run needs.
+func NewInjector(base FS) *Injector {
+	if base == nil {
+		base = OS
+	}
+	return &Injector{
+		base:       base,
+		failOps:    make(map[uint64]error),
+		tornWrites: make(map[uint64]int),
+		crashAfter: -1,
+	}
+}
+
+// FailOp schedules operation n (1-based) to fail transiently without
+// being applied. A nil err selects the standard injected EIO.
+func (in *Injector) FailOp(n uint64, err error) {
+	if err == nil {
+		err = injected()
+	}
+	in.mu.Lock()
+	in.failOps[n] = err
+	in.mu.Unlock()
+}
+
+// TornWriteAt schedules operation n to tear: if it carries data, its
+// first k bytes are applied and the operation fails with ErrInjected;
+// if it does not, it simply fails.
+func (in *Injector) TornWriteAt(n uint64, k int) {
+	in.mu.Lock()
+	in.tornWrites[n] = max(k, 0)
+	in.mu.Unlock()
+}
+
+// FailPath makes the first n operations whose path contains substr fail
+// with err (nil err selects the standard injected EIO; n < 0 means every
+// matching operation, forever).
+func (in *Injector) FailPath(substr string, n int, err error) {
+	if err == nil {
+		err = injected()
+	}
+	in.mu.Lock()
+	in.pathRules = append(in.pathRules, &pathRule{substr: substr, remaining: n, err: err})
+	in.mu.Unlock()
+}
+
+// CrashAfterMutations sets the crash point: the first n mutating
+// operations are allowed, every later one fails with ErrCrashed.
+// CrashAfterMutations(0) halts all writes immediately.
+func (in *Injector) CrashAfterMutations(n uint64) {
+	in.mu.Lock()
+	in.crashAfter = int64(n)
+	in.mu.Unlock()
+}
+
+// SetCrashTorn makes the first data write refused by the crash point
+// apply a frac prefix (0 <= frac <= 1) before failing, simulating a
+// crash mid-write instead of cleanly between writes.
+func (in *Injector) SetCrashTorn(frac float64) {
+	in.mu.Lock()
+	in.crashTorn = min(max(frac, 0), 1)
+	in.mu.Unlock()
+}
+
+// SetRate adds seed-driven background noise: every operation fails
+// transiently with probability rate, decided by a deterministic hash of
+// (seed, operation number).
+func (in *Injector) SetRate(seed uint64, rate float64) {
+	in.mu.Lock()
+	in.seed, in.rate = seed, min(max(rate, 0), 1)
+	in.mu.Unlock()
+}
+
+// Ops reports how many operations have reached the injector.
+func (in *Injector) Ops() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops
+}
+
+// Mutations reports how many mutating operations the schedule has
+// allowed through — the count a crash-point sweep enumerates.
+func (in *Injector) Mutations() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.muts
+}
+
+// splitmix64 is the per-operation hash behind SetRate.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// decide draws the next operation number and applies the schedule.
+// It returns the number of payload bytes to apply before failing
+// (meaningful only for opWrite when err != nil) and the scheduled error.
+func (in *Injector) decide(kind opKind, path string, size int) (int, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.ops++
+	n := in.ops
+
+	if kind != opRead && in.crashAfter >= 0 && int64(in.muts) >= in.crashAfter {
+		torn := 0
+		if kind == opWrite && !in.crashTore && in.crashTorn > 0 {
+			in.crashTore = true
+			torn = int(in.crashTorn * float64(size))
+		}
+		return torn, fmt.Errorf("%w (mutation %d refused)", ErrCrashed, in.muts+1)
+	}
+	if err, ok := in.failOps[n]; ok {
+		return 0, fmt.Errorf("op %d: %w", n, err)
+	}
+	if k, ok := in.tornWrites[n]; ok {
+		if kind == opWrite {
+			return min(k, size), fmt.Errorf("op %d: torn write: %w", n, injected())
+		}
+		return 0, fmt.Errorf("op %d: %w", n, injected())
+	}
+	for _, r := range in.pathRules {
+		if r.remaining != 0 && strings.Contains(path, r.substr) {
+			if r.remaining > 0 {
+				r.remaining--
+			}
+			return 0, fmt.Errorf("op %d %s: %w", n, path, r.err)
+		}
+	}
+	if in.rate > 0 {
+		h := splitmix64(in.seed ^ n)
+		if float64(h>>11)/(1<<53) < in.rate {
+			return 0, fmt.Errorf("op %d (seeded): %w", n, injected())
+		}
+	}
+	if kind != opRead {
+		in.muts++
+	}
+	return 0, nil
+}
+
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	if _, err := in.decide(opRead, name, 0); err != nil {
+		return nil, err
+	}
+	return in.base.ReadFile(name)
+}
+
+func (in *Injector) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	torn, err := in.decide(opWrite, name, len(data))
+	if err != nil {
+		if torn > 0 {
+			// The torn prefix lands through the base FS directly: the
+			// schedule already ruled on this operation.
+			in.base.WriteFile(name, data[:min(torn, len(data))], perm)
+		}
+		return err
+	}
+	return in.base.WriteFile(name, data, perm)
+}
+
+func (in *Injector) Open(name string) (File, error) {
+	if _, err := in.decide(opRead, name, 0); err != nil {
+		return nil, err
+	}
+	f, err := in.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f, name: name}, nil
+}
+
+// writeFlags are the OpenFile flags that make an open a mutation.
+const writeFlags = os.O_WRONLY | os.O_RDWR | os.O_APPEND | os.O_CREATE | os.O_TRUNC
+
+func (in *Injector) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	kind := opRead
+	if flag&writeFlags != 0 {
+		kind = opMut
+	}
+	if _, err := in.decide(kind, name, 0); err != nil {
+		return nil, err
+	}
+	f, err := in.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f, name: name}, nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if _, err := in.decide(opMut, oldpath, 0); err != nil {
+		return err
+	}
+	return in.base.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	if _, err := in.decide(opMut, name, 0); err != nil {
+		return err
+	}
+	return in.base.Remove(name)
+}
+
+func (in *Injector) MkdirAll(path string, perm fs.FileMode) error {
+	if _, err := in.decide(opMut, path, 0); err != nil {
+		return err
+	}
+	return in.base.MkdirAll(path, perm)
+}
+
+func (in *Injector) ReadDir(name string) ([]fs.DirEntry, error) {
+	if _, err := in.decide(opRead, name, 0); err != nil {
+		return nil, err
+	}
+	return in.base.ReadDir(name)
+}
+
+func (in *Injector) Sync(name string) error {
+	if _, err := in.decide(opMut, name, 0); err != nil {
+		return err
+	}
+	return in.base.Sync(name)
+}
+
+// injFile routes the write-side file operations back through the
+// schedule. Reads and Close pass through uncounted: the schedule aims at
+// the durability-relevant operations, and a crashed machine does not
+// fail to close what it will never flush.
+type injFile struct {
+	in   *Injector
+	f    File
+	name string
+}
+
+func (f *injFile) Read(p []byte) (int, error) { return f.f.Read(p) }
+
+func (f *injFile) Write(p []byte) (int, error) {
+	torn, err := f.in.decide(opWrite, f.name, len(p))
+	if err != nil {
+		n := 0
+		if torn > 0 {
+			n, _ = f.f.Write(p[:min(torn, len(p))])
+		}
+		return n, err
+	}
+	return f.f.Write(p)
+}
+
+func (f *injFile) Sync() error {
+	if _, err := f.in.decide(opMut, f.name, 0); err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+func (f *injFile) Close() error { return f.f.Close() }

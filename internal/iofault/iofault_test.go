@@ -1,0 +1,396 @@
+package iofault
+
+import (
+	"context"
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestOSPassthrough exercises every operation of the passthrough FS
+// against a real directory: the seam must be invisible when no faults
+// are scheduled.
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "a.txt")
+	if err := OS.WriteFile(name, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Sync(name); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Sync(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := OS.ReadFile(name)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	f, err := OS.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(f)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("Open+ReadAll = %q, %v", got, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w, err := OS.OpenFile(name, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte(" world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.MkdirAll(filepath.Join(dir, "sub/deep"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	renamed := filepath.Join(dir, "b.txt")
+	if err := OS.Rename(name, renamed); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := OS.ReadDir(dir)
+	if err != nil || len(ents) != 2 {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	data, err = OS.ReadFile(renamed)
+	if err != nil || string(data) != "hello world" {
+		t.Fatalf("after append+rename: %q, %v", data, err)
+	}
+	if err := OS.Remove(renamed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OS.ReadFile(renamed); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("removed file readable: %v", err)
+	}
+}
+
+// TestInjectorPassthroughCounts checks a fault-free injector is a pure
+// counting passthrough and classifies mutations correctly.
+func TestInjectorPassthroughCounts(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS)
+	name := filepath.Join(dir, "x")
+	if err := in.WriteFile(name, []byte("abc"), 0o644); err != nil { // op 1, mut 1
+		t.Fatal(err)
+	}
+	if _, err := in.ReadFile(name); err != nil { // op 2
+		t.Fatal(err)
+	}
+	if err := in.Sync(name); err != nil { // op 3, mut 2
+		t.Fatal(err)
+	}
+	if _, err := in.ReadDir(dir); err != nil { // op 4
+		t.Fatal(err)
+	}
+	f, err := in.Open(name) // op 5
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if got, want := in.Ops(), uint64(5); got != want {
+		t.Fatalf("Ops = %d, want %d", got, want)
+	}
+	if got, want := in.Mutations(), uint64(2); got != want {
+		t.Fatalf("Mutations = %d, want %d", got, want)
+	}
+}
+
+// TestInjectorFailOp checks the exact-operation transient failure: not
+// applied, transient, and gone on retry.
+func TestInjectorFailOp(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS)
+	in.FailOp(1, nil)
+	name := filepath.Join(dir, "x")
+	err := in.WriteFile(name, []byte("abc"), 0o644) // op 1: fails
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("want injected EIO, got %v", err)
+	}
+	if !Transient(err) {
+		t.Fatalf("injected error not transient: %v", err)
+	}
+	if _, err := os.Stat(name); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("failed op was applied: %v", err)
+	}
+	if err := in.WriteFile(name, []byte("abc"), 0o644); err != nil { // op 2: clean
+		t.Fatalf("retry failed: %v", err)
+	}
+	custom := errors.New("boom")
+	in.FailOp(4, custom)
+	if _, err := in.ReadFile(name); err != nil { // op 3
+		t.Fatal(err)
+	}
+	if _, err := in.ReadFile(name); !errors.Is(err, custom) { // op 4
+		t.Fatalf("want custom error, got %v", err)
+	}
+}
+
+// TestInjectorTornWrite checks a torn write leaves exactly the scheduled
+// prefix on disk and fails transiently.
+func TestInjectorTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS)
+	in.TornWriteAt(1, 3)
+	name := filepath.Join(dir, "x")
+	err := in.WriteFile(name, []byte("abcdef"), 0o644)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected, got %v", err)
+	}
+	data, rerr := os.ReadFile(name)
+	if rerr != nil || string(data) != "abc" {
+		t.Fatalf("torn prefix = %q, %v (want \"abc\")", data, rerr)
+	}
+	// A torn schedule on a non-write op degrades to a plain failure.
+	in2 := NewInjector(OS)
+	in2.TornWriteAt(1, 3)
+	if err := in2.Remove(name); !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn on Remove: %v", err)
+	}
+}
+
+// TestInjectorFailPath checks path-targeted failures: bounded counts
+// expire, unbounded ones persist.
+func TestInjectorFailPath(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS)
+	name := filepath.Join(dir, "node-01-02.log")
+	other := filepath.Join(dir, "other.log")
+	in.FailPath("node-01-02", 2, syscall.EMFILE)
+	for i := 0; i < 2; i++ {
+		if err := in.WriteFile(name, []byte("x"), 0o644); !errors.Is(err, syscall.EMFILE) {
+			t.Fatalf("try %d: want EMFILE, got %v", i, err)
+		}
+	}
+	if err := in.WriteFile(name, []byte("x"), 0o644); err != nil {
+		t.Fatalf("rule did not expire: %v", err)
+	}
+	if err := in.WriteFile(other, []byte("x"), 0o644); err != nil {
+		t.Fatalf("non-matching path failed: %v", err)
+	}
+	in.FailPath("other", -1, nil)
+	for i := 0; i < 4; i++ {
+		if _, err := in.ReadFile(other); !errors.Is(err, ErrInjected) {
+			t.Fatalf("unbounded rule stopped at %d: %v", i, err)
+		}
+	}
+}
+
+// TestInjectorCrash checks the crash point: mutations up to N succeed,
+// everything after — including cleanup-style removes — fails with the
+// non-transient ErrCrashed, while reads stay alive.
+func TestInjectorCrash(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS)
+	in.CrashAfterMutations(2)
+	a, b, c := filepath.Join(dir, "a"), filepath.Join(dir, "b"), filepath.Join(dir, "c")
+	if err := in.WriteFile(a, []byte("1"), 0o644); err != nil { // mut 1
+		t.Fatal(err)
+	}
+	if err := in.WriteFile(b, []byte("2"), 0o644); err != nil { // mut 2
+		t.Fatal(err)
+	}
+	err := in.WriteFile(c, []byte("3"), 0o644) // refused
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	if Transient(err) {
+		t.Fatal("crash must not be transient")
+	}
+	if err := in.Remove(a); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash Remove: %v", err)
+	}
+	if err := in.Rename(a, c); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash Rename: %v", err)
+	}
+	if err := in.Sync(a); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash Sync: %v", err)
+	}
+	if err := in.MkdirAll(filepath.Join(dir, "d"), 0o755); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash MkdirAll: %v", err)
+	}
+	if _, err := in.OpenFile(c, os.O_CREATE|os.O_WRONLY, 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash OpenFile(write): %v", err)
+	}
+	if data, err := in.ReadFile(a); err != nil || string(data) != "1" {
+		t.Fatalf("post-crash read: %q, %v", data, err)
+	}
+	if got, want := in.Mutations(), uint64(2); got != want {
+		t.Fatalf("Mutations = %d, want %d", got, want)
+	}
+}
+
+// TestInjectorCrashTorn checks the crash-mid-write mode: the first
+// refused data write applies its fraction, later ones apply nothing.
+func TestInjectorCrashTorn(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS)
+	in.CrashAfterMutations(0)
+	in.SetCrashTorn(0.5)
+	a, b := filepath.Join(dir, "a"), filepath.Join(dir, "b")
+	if err := in.WriteFile(a, []byte("abcdef"), 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want crash, got %v", err)
+	}
+	data, err := os.ReadFile(a)
+	if err != nil || string(data) != "abc" {
+		t.Fatalf("crash-torn prefix = %q, %v", data, err)
+	}
+	if err := in.WriteFile(b, []byte("abcdef"), 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want crash, got %v", err)
+	}
+	if _, err := os.Stat(b); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("second crashed write applied bytes")
+	}
+}
+
+// TestInjectorFileWrites checks that writes and syncs through an opened
+// file draw operations from the same schedule.
+func TestInjectorFileWrites(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS)
+	name := filepath.Join(dir, "x")
+	f, err := in.OpenFile(name, os.O_CREATE|os.O_WRONLY, 0o644) // op 1, mut 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	in.TornWriteAt(2, 2)
+	n, err := f.Write([]byte("abcd")) // op 2: torn
+	if !errors.Is(err, ErrInjected) || n != 2 {
+		t.Fatalf("torn file write = %d, %v", n, err)
+	}
+	if n, err := f.Write([]byte("EF")); err != nil || n != 2 { // op 3, mut
+		t.Fatalf("clean file write = %d, %v", n, err)
+	}
+	in.CrashAfterMutations(in.Mutations())
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash file Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close must pass through: %v", err)
+	}
+	data, _ := os.ReadFile(name)
+	if string(data) != "abEF" {
+		t.Fatalf("file contents = %q", data)
+	}
+}
+
+// TestInjectorSeededRateDeterminism checks SetRate injects the same
+// failure pattern for the same seed and a different one for another.
+func TestInjectorSeededRateDeterminism(t *testing.T) {
+	pattern := func(seed uint64) []bool {
+		dir := t.TempDir()
+		in := NewInjector(OS)
+		in.SetRate(seed, 0.3)
+		name := filepath.Join(dir, "x")
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, in.WriteFile(name, []byte("v"), 0o644) != nil)
+		}
+		return out
+	}
+	a, b, c := pattern(7), pattern(7), pattern(8)
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+		if a[i] {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Fatalf("rate 0.3 produced %d/%d failures", fails, len(a))
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical patterns")
+	}
+}
+
+// TestTransientClassification pins which errors the retry layer rides
+// out and which it must surface immediately.
+func TestTransientClassification(t *testing.T) {
+	for _, err := range []error{
+		syscall.EIO, syscall.EMFILE, syscall.ENFILE,
+		syscall.EAGAIN, syscall.EINTR, syscall.EBUSY, injected(),
+	} {
+		if !Transient(err) {
+			t.Errorf("Transient(%v) = false, want true", err)
+		}
+	}
+	for _, err := range []error{
+		nil, fs.ErrNotExist, fs.ErrPermission, ErrCrashed,
+		errors.New("opaque"), context.Canceled,
+	} {
+		if Transient(err) {
+			t.Errorf("Transient(%v) = true, want false", err)
+		}
+	}
+}
+
+// TestRetryDo checks the bounded retry loop: transient errors retry up
+// to the attempt budget, non-transient errors return immediately, and a
+// cancelled context aborts the backoff.
+func TestRetryDo(t *testing.T) {
+	p := RetryPolicy{Attempts: 3, Base: time.Microsecond, Max: time.Millisecond}
+
+	calls := 0
+	err := p.Do(context.Background(), func() error {
+		calls++
+		if calls < 3 {
+			return syscall.EMFILE
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("ride-out: err=%v calls=%d", err, calls)
+	}
+
+	calls = 0
+	err = p.Do(context.Background(), func() error { calls++; return syscall.EIO })
+	if !errors.Is(err, syscall.EIO) || calls != 3 {
+		t.Fatalf("exhaustion: err=%v calls=%d", err, calls)
+	}
+
+	calls = 0
+	permanent := fs.ErrNotExist
+	err = p.Do(context.Background(), func() error { calls++; return permanent })
+	if !errors.Is(err, permanent) || calls != 1 {
+		t.Fatalf("permanent: err=%v calls=%d", err, calls)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls = 0
+	err = RetryPolicy{Attempts: 5, Base: time.Hour}.Do(ctx, func() error { calls++; return syscall.EIO })
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, syscall.EIO) || calls != 1 {
+		t.Fatalf("cancel: err=%v calls=%d", err, calls)
+	}
+
+	// The zero policy is one attempt, no retry.
+	calls = 0
+	err = RetryPolicy{}.Do(context.Background(), func() error { calls++; return syscall.EIO })
+	if !errors.Is(err, syscall.EIO) || calls != 1 {
+		t.Fatalf("zero policy: err=%v calls=%d", err, calls)
+	}
+}

@@ -1,0 +1,83 @@
+package iofault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"syscall"
+	"time"
+)
+
+// Transient reports whether an I/O error is worth retrying: descriptor
+// pressure (EMFILE/ENFILE), interrupted or would-block syscalls, and the
+// blanket EIO the paper's failure model expects from flaky media —
+// including the injector's ErrInjected, which wraps EIO. Permanent
+// conditions (missing files, permission, a crashed injector) are not
+// transient: retrying them only delays the real answer.
+func Transient(err error) bool {
+	if err == nil || errors.Is(err, ErrCrashed) {
+		return false
+	}
+	for _, t := range []error{
+		syscall.EIO, syscall.EMFILE, syscall.ENFILE,
+		syscall.EAGAIN, syscall.EINTR, syscall.EBUSY,
+	} {
+		if errors.Is(err, t) {
+			return true
+		}
+	}
+	return errors.Is(err, ErrInjected)
+}
+
+// RetryPolicy bounds how the storage layers ride out transient errors:
+// up to Attempts tries, exponential backoff from Base capped at Max.
+// The zero value performs exactly one attempt (no retry).
+type RetryPolicy struct {
+	// Attempts is the total number of tries, including the first; values
+	// below 1 behave as 1.
+	Attempts int
+	// Base is the delay before the first retry; it doubles per retry.
+	Base time.Duration
+	// Max caps the backoff delay (0 means no cap).
+	Max time.Duration
+}
+
+// DefaultRetry is the storage layers' stock policy: four attempts with
+// millisecond-scale backoff — enough to ride out a descriptor blip or a
+// single flaky read without turning a genuinely dead disk into a hang.
+var DefaultRetry = RetryPolicy{Attempts: 4, Base: 2 * time.Millisecond, Max: 50 * time.Millisecond}
+
+// Do runs op, retrying while it returns a Transient error and attempts
+// remain, backing off between tries. It is context-aware: a cancelled
+// ctx aborts the backoff wait and returns both the pending error and the
+// context's. Non-transient errors return immediately.
+func (p RetryPolicy) Do(ctx context.Context, op func() error) error {
+	attempts := max(p.Attempts, 1)
+	delay := p.Base
+	for i := 1; ; i++ {
+		err := op()
+		if err == nil || !Transient(err) || i >= attempts {
+			return err
+		}
+		if delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return fmt.Errorf("%w (retry %d/%d aborted: %w)", err, i, attempts, ctx.Err())
+			case <-t.C:
+			}
+		} else if ctx.Err() != nil {
+			return fmt.Errorf("%w (retry %d/%d aborted: %w)", err, i, attempts, ctx.Err())
+		}
+		delay = min(delay*2, nonZero(p.Max, delay*2))
+	}
+}
+
+// nonZero returns cap unless it is zero, in which case v passes through.
+func nonZero(cap, v time.Duration) time.Duration {
+	if cap == 0 {
+		return v
+	}
+	return cap
+}

@@ -7,6 +7,7 @@ import (
 	"unprotected/internal/dram"
 	"unprotected/internal/eventlog"
 	"unprotected/internal/extract"
+	"unprotected/internal/iofault"
 	"unprotected/internal/thermal"
 	"unprotected/internal/timebase"
 )
@@ -19,7 +20,12 @@ import (
 // volume, so Stream and Load reconstruct the exact fault set, including
 // per-fault raw-log weights.
 func Export(sessions []eventlog.Session, faults []extract.Fault, dir string) error {
-	store, err := NewStore(dir)
+	return ExportFS(sessions, faults, dir, iofault.OS)
+}
+
+// ExportFS is Export with every file operation routed through fsys.
+func ExportFS(sessions []eventlog.Session, faults []extract.Fault, dir string, fsys iofault.FS) error {
+	store, err := NewStoreFS(dir, fsys)
 	if err != nil {
 		return err
 	}

@@ -7,9 +7,8 @@
 package logstore
 
 import (
+	"context"
 	"fmt"
-	"io/fs"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -18,6 +17,7 @@ import (
 	"unprotected/internal/eventlog"
 	"unprotected/internal/extract"
 	"unprotected/internal/fdlimit"
+	"unprotected/internal/iofault"
 )
 
 // FileName returns the per-node log file name ("node-02-04.log").
@@ -47,6 +47,11 @@ const DefaultMaxOpenFiles = fdlimit.DefaultCap
 // Store writes per-node log files under a directory.
 type Store struct {
 	dir string
+	// fsys carries every file operation; retry covers the writer's
+	// OpenFile, so a transient descriptor blip (EMFILE from a neighbour
+	// process) backs off and recovers instead of killing the replay.
+	fsys  iofault.FS
+	retry iofault.RetryPolicy
 	// budget meters the open node files. It defaults to fdlimit.Shared —
 	// one process-wide descriptor pool spanning log writers and
 	// fault-store segment readers — and SetMaxOpenFiles swaps in a
@@ -64,24 +69,38 @@ type Store struct {
 }
 
 type nodeFile struct {
-	f       *os.File
+	f       iofault.File
 	w       *eventlog.Writer
 	lastUse uint64
 }
 
 // NewStore creates (or reuses) the directory.
 func NewStore(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return NewStoreFS(dir, iofault.OS)
+}
+
+// NewStoreFS is NewStore with every file operation routed through fsys —
+// the seam the chaos tests inject faults through.
+func NewStoreFS(dir string, fsys iofault.FS) (*Store, error) {
+	if fsys == nil {
+		return nil, fmt.Errorf("logstore: nil FS")
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("logstore: %w", err)
 	}
 	return &Store{
 		dir:     dir,
+		fsys:    fsys,
+		retry:   iofault.DefaultRetry,
 		budget:  fdlimit.Shared,
 		writers: make(map[cluster.NodeID]*nodeFile),
 		seen:    make(map[cluster.NodeID]bool),
 		paths:   make(map[cluster.NodeID]string),
 	}, nil
 }
+
+// SetRetry replaces the writer's transient-OpenFile retry policy.
+func (s *Store) SetRetry(p iofault.RetryPolicy) { s.retry = p }
 
 // path returns the node's log file path, rendering it at most once.
 func (s *Store) path(id cluster.NodeID) string {
@@ -137,8 +156,17 @@ func (s *Store) Append(rec eventlog.Record) error {
 		if err := s.acquireFD(); err != nil {
 			return err
 		}
-		f, err := os.OpenFile(s.path(rec.Host),
-			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		// A transient OpenFile failure — descriptor pressure from outside
+		// this process, an EIO blip — backs off and retries rather than
+		// aborting the whole replay; only a persistent or permanent error
+		// surfaces.
+		var f iofault.File
+		err := s.retry.Do(context.Background(), func() error {
+			var oerr error
+			f, oerr = s.fsys.OpenFile(s.path(rec.Host),
+				iofault.OpenAppendFlags, 0o644)
+			return oerr
+		})
 		if err != nil {
 			s.budget.Release()
 			return fmt.Errorf("logstore: %w", err)
@@ -207,19 +235,34 @@ func (s *Store) NodeCount() int { return len(s.seen) }
 
 // ListNodeFiles returns the node log files under dir, sorted by node.
 func ListNodeFiles(dir string) ([]string, error) {
+	return listNodeFiles(iofault.OS, dir)
+}
+
+// listNodeFiles walks dir through fsys (depth-first, directories
+// recursed) and returns the node log files, sorted.
+func listNodeFiles(fsys iofault.FS, dir string) ([]string, error) {
 	var out []string
-	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+	var walk func(string) error
+	walk = func(d string) error {
+		entries, err := fsys.ReadDir(d)
 		if err != nil {
 			return err
 		}
-		if !d.IsDir() {
+		for _, ent := range entries {
+			path := filepath.Join(d, ent.Name())
+			if ent.IsDir() {
+				if err := walk(path); err != nil {
+					return err
+				}
+				continue
+			}
 			if _, ok := nodeOfFile(path); ok {
 				out = append(out, path)
 			}
 		}
 		return nil
-	})
-	if err != nil {
+	}
+	if err := walk(dir); err != nil {
 		return nil, fmt.Errorf("logstore: %w", err)
 	}
 	sort.Strings(out)

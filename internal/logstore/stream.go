@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"iter"
-	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -13,6 +12,7 @@ import (
 	"unprotected/internal/cluster"
 	"unprotected/internal/eventlog"
 	"unprotected/internal/extract"
+	"unprotected/internal/iofault"
 	"unprotected/internal/kway"
 	"unprotected/internal/stream"
 )
@@ -86,7 +86,7 @@ func Stream(dir string, h StreamHandler) (*Stats, error) {
 // StreamWorkers is Stream with an explicit worker-pool size (0 or negative
 // means GOMAXPROCS).
 func StreamWorkers(dir string, workers int, h StreamHandler) (*Stats, error) {
-	stats, streams, err := collect(context.Background(), dir, workers, h.Fault != nil, h.Session != nil)
+	stats, streams, err := collect(context.Background(), dir, workers, iofault.OS, h.Fault != nil, h.Session != nil)
 	if err != nil {
 		return nil, err
 	}
@@ -116,8 +116,14 @@ func StreamWorkers(dir string, workers int, h StreamHandler) (*Stats, error) {
 // range releases everything immediately. Delivery itself performs no
 // per-event allocation.
 func Events(ctx context.Context, dir string, workers int) iter.Seq2[stream.Event, error] {
+	return EventsFS(ctx, dir, workers, iofault.OS)
+}
+
+// EventsFS is Events with every file operation routed through fsys — the
+// seam the chaos tests use to fail or tear the replay's reads.
+func EventsFS(ctx context.Context, dir string, workers int, fsys iofault.FS) iter.Seq2[stream.Event, error] {
 	return func(yield func(stream.Event, error) bool) {
-		stats, streams, err := collect(ctx, dir, workers, true, true)
+		stats, streams, err := collect(ctx, dir, workers, fsys, true, true)
 		if err != nil {
 			yield(stream.Event{}, err)
 			return
@@ -162,8 +168,8 @@ func sessionStreams(streams []nodeStream) [][]eventlog.Session {
 // whatever is still queued, and the collector keeps draining until the
 // results channel closes — so by the time ctx.Err() is returned every
 // pool goroutine has exited.
-func collect(ctx context.Context, dir string, workers int, needFaults, needSessions bool) (*Stats, []nodeStream, error) {
-	files, err := ListNodeFiles(dir)
+func collect(ctx context.Context, dir string, workers int, fsys iofault.FS, needFaults, needSessions bool) (*Stats, []nodeStream, error) {
+	files, err := listNodeFiles(fsys, dir)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -191,7 +197,7 @@ func collect(ctx context.Context, dir string, workers int, needFaults, needSessi
 				if ctx.Err() != nil {
 					continue // cancelled: drain the queue without loading
 				}
-				ns := loadNodeFile(j.path, j.node, needFaults, needSessions)
+				ns := loadNodeFile(fsys, j.path, j.node, needFaults, needSessions)
 				ns.order = j.order
 				select {
 				case results <- ns:
@@ -268,9 +274,9 @@ var collapserPool = sync.Pool{New: func() any { return extract.NewCollapser() }}
 // records are collapsed into runs and sessions as they are read, then the
 // node's faults and sessions are classified and sorted locally so the
 // collector only merges.
-func loadNodeFile(path string, node cluster.NodeID, needFaults, needSessions bool) nodeStream {
+func loadNodeFile(fsys iofault.FS, path string, node cluster.NodeID, needFaults, needSessions bool) nodeStream {
 	ns := nodeStream{node: node}
-	f, err := os.Open(path)
+	f, err := fsys.Open(path)
 	if err != nil {
 		ns.err = fmt.Errorf("logstore: %w", err)
 		return ns
