@@ -1,0 +1,97 @@
+// Package analysis is the invariant-suite's analyzer framework: the
+// minimal, API-compatible subset of golang.org/x/tools/go/analysis that
+// the unprotectedlint analyzers and drivers are written against.
+//
+// The real x/tools module is the intended dependency — the types here
+// mirror its field names and semantics one-for-one so the analyzers can
+// be ported by changing an import path — but this repo builds hermetically
+// (no module proxy, no vendored third-party code), so the subset the suite
+// actually needs is implemented on the standard library instead:
+//
+//   - Analyzer: a named check with a Run function.
+//   - Pass: one analyzer applied to one type-checked package.
+//   - Diagnostic: a positioned finding.
+//
+// Deliberately absent, because no analyzer in the suite needs them:
+// Facts (no cross-package state), SSA (all checks are AST+types shaped),
+// Requires/ResultOf (no analyzer composition), and per-analyzer flag
+// sets. If a future analyzer needs facts, swap this package for the real
+// golang.org/x/tools/go/analysis rather than growing this one.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant check. The fields mirror
+// x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//lint:allow <name> <reason>" suppression comments. It must be a
+	// valid Go identifier.
+	Name string
+
+	// Doc is the one-paragraph contract statement: the invariant enforced
+	// and the bug class it fossilizes.
+	Doc string
+
+	// Run applies the analyzer to one package, reporting findings through
+	// pass.Report. The returned error aborts the whole run (reserved for
+	// internal analyzer failures, not findings).
+	Run func(*Pass) error
+}
+
+// Pass connects one Analyzer to one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one finding. Drivers install it; analyzers call it
+	// (usually via Reportf).
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one positioned finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // name of the analyzer that produced it
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file —
+// the standard exemption for analyzers that police production code only.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	name := p.Fset.Position(pos).Filename
+	const suffix = "_test.go"
+	return len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix
+}
+
+// NewInfo returns a types.Info with every map the analyzers consume
+// allocated: Types, Defs, Uses, Selections, Scopes and Implicits. Both
+// drivers (the vet-tool and the analysistest harness) type-check with it
+// so analyzers can rely on all six.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}

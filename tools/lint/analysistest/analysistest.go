@@ -1,0 +1,167 @@
+// Package analysistest runs analyzers over golden source corpora, in the
+// style of golang.org/x/tools/go/analysis/analysistest: each test package
+// lives under testdata/src/<importpath>/, and every line that should be
+// flagged carries a trailing
+//
+//	// want `regexp`
+//
+// comment (one backquoted or double-quoted regexp per expected
+// diagnostic). The harness type-checks the package with the stdlib
+// source importer (GOROOT only — corpora import nothing but the standard
+// library), pushes it through the same diagnostic pipeline as the vet
+// driver (analyzers, then //lint:allow suppression filtering, then
+// reason-less-allow reporting), and diffs actual against expected.
+//
+// Because suppression runs in the harness too, a corpus can prove both
+// that an analyzer fires and that its annotations silence it.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"unprotectedlint/analysis"
+	"unprotectedlint/unitchecker"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// Run applies the analyzer to each package path under dir/src and
+// reports mismatches between its diagnostics and the // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, path := range pkgPaths {
+		runOne(t, dir, a, path)
+	}
+}
+
+func runOne(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	pkgDir := filepath.Join(dir, "src", filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(pkgDir)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var fileNames []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(pkgDir, e.Name())
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		files = append(files, f)
+		fileNames = append(fileNames, name)
+	}
+	if len(files) == 0 {
+		t.Fatalf("%s: no Go files in %s", a.Name, pkgDir)
+	}
+
+	tc := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	info := analysis.NewInfo()
+	pkg, err := tc.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("%s: typecheck %s: %v", a.Name, pkgPath, err)
+	}
+
+	diags, err := unitchecker.RunAnalyzersForTest([]*analysis.Analyzer{a}, fset, files, pkg, info)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	check(t, a.Name, fset, fileNames, diags)
+}
+
+// wantRe extracts the expectation patterns from a "// want ..." comment:
+// each backquoted or double-quoted string is one expected diagnostic.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// expectation is one // want entry: a pattern expected to match exactly
+// one diagnostic on its line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func check(t *testing.T, name string, fset *token.FileSet, fileNames []string, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, fname := range fileNames {
+		data, err := os.ReadFile(fname)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, after, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			for _, m := range wantRe.FindAllStringSubmatch(after, -1) {
+				raw := m[1]
+				if m[1] == "" {
+					raw = m[2]
+				}
+				re, err := regexp.Compile(raw)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", fname, i+1, raw, err)
+				}
+				wants = append(wants, &expectation{file: fname, line: i + 1, pattern: re, raw: raw})
+			}
+		}
+	}
+	sort.SliceStable(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+
+	var unexpected []string
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			unexpected = append(unexpected, fmt.Sprintf("%s: unexpected diagnostic: %s [%s]", pos, d.Message, d.Analyzer))
+		}
+	}
+	for _, u := range unexpected {
+		t.Errorf("%s: %s", name, u)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: %s:%d: no diagnostic matching %q", name, w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package astwalk holds the traversal and type-resolution helpers shared
+// by the unprotectedlint analyzers: a WithStack walk (the ancestor stack
+// every structural check needs), callee resolution through the type
+// information, and a "does this type carry a Reset/Lock method" probe.
+package astwalk
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WithStack walks every node of f depth-first, calling fn with the node
+// and the stack of its ancestors (stack[0] is the *ast.File, the last
+// element is the node itself). If fn returns false the node's children
+// are skipped.
+func WithStack(f *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if !fn(n, stack) {
+			// Children are skipped; pop now because the nil callback for
+			// this node will not arrive.
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}
+
+// Callee resolves the called function or method of a call expression, or
+// nil if it cannot be determined (a call through a function value, a
+// conversion, or a builtin).
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether fn is the package-level function path.name
+// (never a method).
+func IsPkgFunc(fn *types.Func, path, name string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == path && fn.Name() == name
+}
+
+// ReceiverNamed returns the named type of fn's receiver (unwrapping one
+// pointer), or nil if fn is not a method.
+func ReceiverNamed(fn *types.Func) *types.Named {
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// HasMethod reports whether t (or *t) has a method with the given name,
+// in either the value or pointer method set.
+func HasMethod(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(typ)
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// EnclosingFunc returns the innermost function literal or declaration in
+// stack (excluding the last element if it is itself the function), or nil
+// if the node is at package level.
+func EnclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// FuncBody returns the body of a node returned by EnclosingFunc.
+func FuncBody(fn ast.Node) *ast.BlockStmt {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+// PkgPathHasSuffix reports whether path ends with one of the given
+// "internal/name" suffixes at a path-segment boundary. The test-variant
+// import path decoration ("pkg [pkg.test]") is stripped first, so a
+// package vetted together with its test files still matches.
+func PkgPathHasSuffix(path string, suffixes []string) bool {
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsSyncPoolExpr reports whether the expression denotes a value of type
+// sync.Pool or *sync.Pool — the receiver test for Get/Put calls.
+func IsSyncPoolExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Pool"
+}
+
+// UsedObject resolves an identifier expression (possibly parenthesized)
+// to the object it uses, or nil.
+func UsedObject(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.ObjectOf(id)
+}

@@ -1,0 +1,23 @@
+// Command unprotectedlint runs the repo's invariant suite as a go vet
+// tool:
+//
+//	go build -o bin/unprotectedlint ./tools/lint/cmd/unprotectedlint
+//	go vet -vettool=$PWD/bin/unprotectedlint ./...
+//
+// or, from the repo root, via the consolidated entry point:
+//
+//	./scripts/lint.sh
+//
+// Findings are suppressed per line with `//lint:allow <analyzer>
+// <reason>`; the reason is mandatory. See DESIGN.md §12 for the
+// invariant catalogue.
+package main
+
+import (
+	lint "unprotectedlint"
+	"unprotectedlint/unitchecker"
+)
+
+func main() {
+	unitchecker.Main(lint.Suite...)
+}

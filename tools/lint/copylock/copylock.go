@@ -1,0 +1,178 @@
+// Package copylock is the suite's native port of the stock x/tools
+// copylocks pass (the upstream module is unreachable in this hermetic
+// build): it flags copies of values whose type contains a lock — any
+// type with pointer-receiver Lock/Unlock methods, which covers
+// sync.Mutex, sync.RWMutex, sync.WaitGroup, sync.Once, sync.Pool and
+// the sync/atomic types via their noCopy fields. A copied lock guards
+// nothing: two goroutines each lock their own copy and race on the
+// shared state anyway.
+//
+// Flagged copy sites: assignment from an existing lock-carrying value
+// (not composite-literal initialization), passing one by value as a call
+// argument, and binding one by value as a range element.
+package copylock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"unprotectedlint/analysis"
+)
+
+// Analyzer flags by-value copies of lock-containing types.
+var Analyzer = &analysis.Analyzer{
+	Name: "copylock",
+	Doc:  "flag by-value copies of types containing sync primitives; a copied lock no longer guards the original's state",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Rhs) != len(n.Lhs) {
+					break
+				}
+				for i, rhs := range n.Rhs {
+					if !copiesExisting(rhs) {
+						continue
+					}
+					if t := lockType(info, rhs); t != "" {
+						pass.Reportf(n.Lhs[i].Pos(),
+							"assignment copies lock value: %s contains a lock; use a pointer", t)
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					if !copiesExisting(v) {
+						continue
+					}
+					if t := lockType(info, v); t != "" {
+						pass.Reportf(v.Pos(),
+							"variable declaration copies lock value: %s contains a lock; use a pointer", t)
+					}
+				}
+			case *ast.CallExpr:
+				if isLenCapLike(info, n) {
+					break
+				}
+				for _, arg := range n.Args {
+					if !copiesExisting(arg) {
+						continue
+					}
+					if t := lockType(info, arg); t != "" {
+						pass.Reportf(arg.Pos(),
+							"call passes lock by value: %s contains a lock; pass a pointer", t)
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					break
+				}
+				// The value binding is a definition, not an expression use:
+				// its type lives in Defs (for `:=`) or Uses (for `=`).
+				var vt types.Type
+				if id, ok := n.Value.(*ast.Ident); ok {
+					if obj := info.ObjectOf(id); obj != nil {
+						vt = obj.Type()
+					}
+				} else if tv, ok := info.Types[n.Value]; ok {
+					vt = tv.Type
+				}
+				if t := lockTypeOf(vt); t != "" {
+					pass.Reportf(n.Value.Pos(),
+						"range binds lock by value: %s contains a lock; range over indices or pointers", t)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// copiesExisting reports whether evaluating e copies an existing value —
+// as opposed to constructing a fresh one (composite literal, call
+// result), which is initialization, not an aliasing copy.
+func copiesExisting(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+// isLenCapLike exempts builtins that do not copy their operand.
+func isLenCapLike(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsBuiltin()
+}
+
+// lockType returns a printable type name if e's type carries a lock.
+func lockType(info *types.Info, e ast.Expr) string {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok {
+		return ""
+	}
+	return lockTypeOf(tv.Type)
+}
+
+// lockTypeOf walks t for a field (transitively) whose pointer method set
+// has Lock and Unlock while its value method set does not — the vet
+// convention for "must not be copied".
+func lockTypeOf(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	seen := make(map[types.Type]bool)
+	if containsLock(t, seen) {
+		return types.TypeString(t, types.RelativeTo(nil))
+	}
+	return ""
+}
+
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if isLock(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+// isLock reports whether *t has Lock and Unlock but t's value method set
+// does not — pointer-receiver lock methods, the no-copy marker.
+func isLock(t types.Type) bool {
+	if _, isPtr := t.(*types.Pointer); isPtr {
+		return false
+	}
+	ptr := types.NewMethodSet(types.NewPointer(t))
+	val := types.NewMethodSet(t)
+	return hasLockMethods(ptr) && !hasLockMethods(val)
+}
+
+func hasLockMethods(ms *types.MethodSet) bool {
+	var lock, unlock bool
+	for i := 0; i < ms.Len(); i++ {
+		switch ms.At(i).Obj().Name() {
+		case "Lock":
+			lock = true
+		case "Unlock":
+			unlock = true
+		}
+	}
+	return lock && unlock
+}

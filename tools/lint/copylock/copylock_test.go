@@ -1,0 +1,12 @@
+package copylock_test
+
+import (
+	"testing"
+
+	"unprotectedlint/analysistest"
+	"unprotectedlint/copylock"
+)
+
+func TestCopyLock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), copylock.Analyzer, "a/copylock")
+}

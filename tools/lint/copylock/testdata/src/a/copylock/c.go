@@ -1,0 +1,56 @@
+// Package copylock is the copylock golden corpus: by-value copies of
+// lock-carrying structs.
+package copylock
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func sink(*guarded) {}
+
+func take(guarded) {}
+
+func assignCopy(g *guarded) {
+	cp := *g // want `assignment copies lock value`
+	sink(&cp)
+}
+
+func declCopy(g *guarded) {
+	var cp = *g // want `variable declaration copies lock value`
+	sink(&cp)
+}
+
+func callCopy(g *guarded) {
+	take(*g) // want `call passes lock by value`
+}
+
+func rangeCopy(gs []guarded) {
+	for _, g := range gs { // want `range binds lock by value`
+		sink(&g)
+	}
+}
+
+// Pointers carry no copy; constructing a fresh value is initialization.
+func okPointer(gs []*guarded) int {
+	total := 0
+	for _, g := range gs {
+		g.mu.Lock()
+		total += g.n
+		g.mu.Unlock()
+	}
+	return total
+}
+
+func okInit() *guarded {
+	g := guarded{n: 1}
+	return &g
+}
+
+// An allow with a reason suppresses the finding.
+func snapshotAllowed(g *guarded) int {
+	cp := *g //lint:allow copylock read-only snapshot taken while the caller holds the lock
+	return cp.n
+}

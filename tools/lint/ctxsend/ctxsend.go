@@ -1,0 +1,167 @@
+// Package ctxsend enforces the goroutine-shutdown contract behind the
+// PR 4 leak gates: a worker goroutine that sends on a channel inside a
+// loop blocks forever if its consumer stops reading — exactly what
+// happens when a consumer breaks out of an iterator or a context is
+// cancelled. Every such send must sit in a select that can also take a
+// cancellation branch (a ctx.Done()-style receive or a default), so the
+// goroutine can always exit.
+//
+// The analyzer flags a channel send statement when all of these hold:
+//
+//   - it executes inside a `go func() { ... }()` body,
+//   - it is inside a for/range loop within that body, and
+//   - neither the send's own select statement nor any select between
+//     the loop and the send has an escape branch: a receive case from a
+//     Done() call or from a channel whose name suggests cancellation
+//     (done/stop/quit/cancel/closing), or a default case.
+//
+// _test.go files are exempt: test goroutines are bounded by the test's
+// own deadline machinery.
+package ctxsend
+
+import (
+	"go/ast"
+	"strings"
+
+	"unprotectedlint/analysis"
+	"unprotectedlint/astwalk"
+)
+
+// Analyzer flags unguarded in-loop channel sends in goroutines.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxsend",
+	Doc: "flag goroutine loops that send on a channel without a ctx.Done()-style select escape; " +
+		"a blocked send leaks the goroutine when the consumer stops (PR 4 leak class)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		astwalk.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			send, ok := n.(*ast.SendStmt)
+			if !ok {
+				return true
+			}
+			if !inGoroutineLoop(stack) {
+				return true
+			}
+			if guarded(stack) {
+				return true
+			}
+			pass.Reportf(send.Pos(),
+				"channel send in a goroutine loop without a cancellation escape: wrap it in select { case ch <- v: case <-ctx.Done(): return } or the goroutine leaks when the consumer stops (PR 4 leak class)")
+			return true
+		})
+	}
+	return nil
+}
+
+// inGoroutineLoop reports whether the innermost node of stack is inside
+// a for/range loop that is itself inside a `go func(){...}()` body —
+// without an intervening function literal boundary that would make the
+// loop belong to some other function.
+func inGoroutineLoop(stack []ast.Node) bool {
+	sawLoop := false
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			sawLoop = true
+		case *ast.FuncLit:
+			// The function boundary: the send executes in this literal.
+			// It is a goroutine body iff the literal is directly the
+			// called function of a go statement.
+			if !sawLoop {
+				return false
+			}
+			if i >= 2 {
+				if call, ok := stack[i-1].(*ast.CallExpr); ok && call.Fun == stack[i] {
+					_, isGo := stack[i-2].(*ast.GoStmt)
+					return isGo
+				}
+			}
+			return false
+		case *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// guarded reports whether some select statement between the send and its
+// enclosing loop (including the select whose comm clause IS the send)
+// has an escape branch.
+func guarded(stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.SelectStmt:
+			if hasEscapeClause(n) {
+				return true
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// hasEscapeClause reports whether the select can take a branch that does
+// not block on the guarded send: a default case, a receive from a
+// Done()-style call, or a receive from a cancellation-named channel.
+func hasEscapeClause(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		comm, ok := clause.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if comm.Comm == nil {
+			return true // default case
+		}
+		var recvExpr ast.Expr
+		switch c := comm.Comm.(type) {
+		case *ast.ExprStmt:
+			recvExpr = c.X
+		case *ast.AssignStmt:
+			if len(c.Rhs) == 1 {
+				recvExpr = c.Rhs[0]
+			}
+		}
+		unary, ok := ast.Unparen(recvExpr).(*ast.UnaryExpr)
+		if !ok || unary.Op.String() != "<-" {
+			continue
+		}
+		if isCancellationChannel(unary.X) {
+			return true
+		}
+	}
+	return false
+}
+
+// isCancellationChannel recognizes the cancellation idioms in use across
+// the tree: a Done() method call (context.Context and friends), or a
+// channel-valued expression whose name suggests shutdown.
+func isCancellationChannel(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			return sel.Sel.Name == "Done"
+		}
+	case *ast.Ident:
+		return cancellationName(e.Name)
+	case *ast.SelectorExpr:
+		return cancellationName(e.Sel.Name)
+	}
+	return false
+}
+
+func cancellationName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, hint := range []string{"done", "stop", "quit", "cancel", "closing", "shutdown"} {
+		if strings.Contains(lower, hint) {
+			return true
+		}
+	}
+	return false
+}

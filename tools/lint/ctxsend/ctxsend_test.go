@@ -1,0 +1,12 @@
+package ctxsend_test
+
+import (
+	"testing"
+
+	"unprotectedlint/analysistest"
+	"unprotectedlint/ctxsend"
+)
+
+func TestCtxSend(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), ctxsend.Analyzer, "a/ctxsend")
+}

@@ -1,0 +1,92 @@
+// Package ctxsend is the ctxsend golden corpus: goroutine loops sending
+// on channels with and without a cancellation escape.
+package ctxsend
+
+import "context"
+
+func leaky(ch chan int) {
+	go func() {
+		for i := 0; i < 10; i++ {
+			ch <- i // want `without a cancellation escape`
+		}
+	}()
+}
+
+func rangeLeaky(items []int, ch chan int) {
+	go func() {
+		for _, it := range items {
+			ch <- it // want `without a cancellation escape`
+		}
+	}()
+}
+
+// A select with another plain communication case is still unguarded: no
+// branch lets the goroutine exit when the consumer stops.
+func unguardedSelect(other <-chan int, ch chan int) {
+	go func() {
+		for i := 0; i < 10; i++ {
+			select {
+			case ch <- i: // want `without a cancellation escape`
+			case v := <-other:
+				_ = v
+			}
+		}
+	}()
+}
+
+func guardedCtx(ctx context.Context, ch chan int) {
+	go func() {
+		for i := 0; i < 10; i++ {
+			select {
+			case ch <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+func guardedDoneChan(done <-chan struct{}, ch chan int) {
+	go func() {
+		for i := 0; i < 10; i++ {
+			select {
+			case ch <- i:
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+func guardedDefault(ch chan int) {
+	go func() {
+		for i := 0; i < 3; i++ {
+			select {
+			case ch <- i:
+			default:
+			}
+		}
+	}()
+}
+
+// Not a goroutine: the caller's own blocking send is its business.
+func synchronous(ch chan int) {
+	for i := 0; i < 3; i++ {
+		ch <- i
+	}
+}
+
+// A single send outside any loop blocks at most once and is the
+// classic buffered-handoff shape; out of scope.
+func oneShot(ch chan int) {
+	go func() { ch <- 1 }()
+}
+
+// An allow with a reason suppresses the finding.
+func documented(ch chan int) {
+	go func() {
+		for i := 0; i < 3; i++ {
+			ch <- i //lint:allow ctxsend consumer is this same function and drains fully before returning
+		}
+	}()
+}

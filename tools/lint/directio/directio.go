@@ -1,0 +1,78 @@
+// Package directio enforces the storage I/O seam installed by PR 8:
+// inside internal/faultstore and internal/logstore, every filesystem
+// touch must route through an injectable iofault.FS so the chaos
+// harness (crash-point sweeps, torn writes, degraded reads) can reach
+// it. A direct os.* call is invisible to the injector — it can never be
+// crash-tested, so the crash-consistency proofs silently stop covering
+// it.
+package directio
+
+import (
+	"go/ast"
+
+	"unprotectedlint/analysis"
+	"unprotectedlint/astwalk"
+)
+
+// Analyzer flags direct os filesystem calls in the storage packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "directio",
+	Doc: "flag direct os.* filesystem calls in internal/faultstore and internal/logstore; " +
+		"storage I/O must route through the iofault.FS seam so fault injection covers it",
+	Run: run,
+}
+
+// scopedPackages are the packages whose I/O the seam must cover.
+var scopedPackages = []string{
+	"internal/faultstore",
+	"internal/logstore",
+}
+
+// seamFuncs are the os package-level functions mirrored by iofault.FS.
+var seamFuncs = map[string]bool{
+	"ReadFile":  true,
+	"WriteFile": true,
+	"Open":      true,
+	"OpenFile":  true,
+	"Rename":    true,
+	"Remove":    true,
+	"MkdirAll":  true,
+	"ReadDir":   true,
+	"Create":    true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !astwalk.PkgPathHasSuffix(pass.Pkg.Path(), scopedPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			// Tests build fixtures and inspect raw bytes directly; the
+			// seam contract covers production code.
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := astwalk.Callee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+				return true
+			}
+			if seamFuncs[fn.Name()] && astwalk.ReceiverNamed(fn) == nil {
+				pass.Reportf(call.Pos(),
+					"direct os.%s bypasses the iofault.FS seam; take an iofault.FS and call fs.%s so chaos injection covers this path",
+					fn.Name(), fn.Name())
+				return true
+			}
+			if named := astwalk.ReceiverNamed(fn); named != nil &&
+				named.Obj().Name() == "File" && fn.Name() == "Sync" {
+				pass.Reportf(call.Pos(),
+					"direct (*os.File).Sync bypasses the iofault.FS seam; use the seam's File.Sync so torn-write and crash injection cover this fsync")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package directio_test
+
+import (
+	"testing"
+
+	"unprotectedlint/analysistest"
+	"unprotectedlint/directio"
+)
+
+func TestDirectIO(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), directio.Analyzer,
+		"a/internal/faultstore", "a/other")
+}

@@ -1,0 +1,56 @@
+// Package faultstore is the directio golden corpus: a stand-in for the
+// repo's internal/faultstore, where every filesystem touch must route
+// through the injectable iofault.FS seam.
+package faultstore
+
+import "os"
+
+func readShard(path string) ([]byte, error) {
+	return os.ReadFile(path) // want `direct os\.ReadFile`
+}
+
+func writeShard(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `direct os\.WriteFile`
+}
+
+func openAppend(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644) // want `direct os\.OpenFile`
+}
+
+func commit(tmp, final string) error {
+	return os.Rename(tmp, final) // want `direct os\.Rename`
+}
+
+func syncShard(f *os.File) error {
+	return f.Sync() // want `direct \(\*os\.File\)\.Sync`
+}
+
+func listShards(dir string) ([]os.DirEntry, error) {
+	return os.ReadDir(dir) // want `direct os\.ReadDir`
+}
+
+func makeLayout(dir string) error {
+	return os.MkdirAll(dir, 0o755) // want `direct os\.MkdirAll`
+}
+
+// Process-level queries are not part of the seam; these stay legal.
+func shardExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// An allow with a reason suppresses the finding on its own line.
+func removeOrphan(path string) error {
+	return os.Remove(path) //lint:allow directio orphan cleanup runs before the seam is constructed
+}
+
+// An own-line allow with a reason suppresses the line below it.
+func removeOrphanOwnLine(path string) error {
+	//lint:allow directio orphan cleanup runs before the seam is constructed
+	return os.Remove(path)
+}
+
+// A reason-less allow suppresses nothing and is itself reported.
+func removeBad(path string) error {
+	return os.Remove(path) //lint:allow directio // want `direct os\.Remove` `requires a written reason`
+}

@@ -1,0 +1,13 @@
+// Package other is outside the storage packages, so the seam contract
+// does not apply: direct os calls are legal here.
+package other
+
+import "os"
+
+func slurp(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+func spill(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,3 @@
+module unprotectedlint
+
+go 1.23

@@ -1,0 +1,195 @@
+// Package maporder enforces the determinism contract that PR 2 fixed by
+// hand (the Accounting.Finish map-order leak): ranging over a map in Go
+// visits keys in a deliberately randomized order, so a loop whose body
+// accumulates into a slice, writes output, or calls a render/export
+// function leaks that order into results that the repo promises are
+// byte-identical across runs.
+//
+// The analyzer flags `for ... range m` over a map when the body
+//
+//   - appends to a slice declared outside the loop, unless the same
+//     function later passes that slice to a sort (sort.* / slices.Sort*)
+//     after the loop — the canonical collect-keys-then-sort idiom; or
+//   - calls an emitting function: fmt.Print*/Fprint*, or any function or
+//     method whose name starts with Write, Print, Render, Export or Emit.
+//
+// Aggregation that is order-independent — summing into scalars, filling
+// another map, taking a max with a total tiebreak — is not flagged.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"unprotectedlint/analysis"
+	"unprotectedlint/astwalk"
+)
+
+// Analyzer flags order-leaking iteration over maps.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration whose body appends to a slice (without a later sort), writes output, " +
+		"or calls a render/export function: map order is randomized and leaks nondeterminism into results",
+	Run: run,
+}
+
+var emitPrefixes = []string{"Write", "Print", "Render", "Export", "Emit"}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		astwalk.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, rng, stack)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, stack []ast.Node) {
+	fn := astwalk.EnclosingFunc(stack)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// s = append(s, ...) growing a slice declared outside the loop.
+		if target := appendTarget(pass.TypesInfo, call, rng); target != nil {
+			if !sortedAfter(pass.TypesInfo, fn, rng, target) {
+				pass.Reportf(call.Pos(),
+					"append to %s inside map iteration without a later sort: map order is randomized, so the slice's order differs run to run (PR 2 bug class); sort it after the loop or iterate sorted keys",
+					target.Name())
+			}
+			return true
+		}
+		if name, kind := emitCall(pass.TypesInfo, call); name != "" {
+			pass.Reportf(call.Pos(),
+				"%s %s inside map iteration emits in randomized map order (PR 2 bug class); collect and sort first",
+				kind, name)
+		}
+		return true
+	})
+}
+
+// appendTarget returns the object of v in `v = append(v, ...)` when the
+// append call is the RHS of an assignment to a variable declared outside
+// the range statement; nil otherwise.
+func appendTarget(info *types.Info, call *ast.CallExpr, rng *ast.RangeStmt) types.Object {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil
+	}
+	if tv, ok := info.Types[call.Fun]; !ok || !tv.IsBuiltin() {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	obj := astwalk.UsedObject(info, call.Args[0])
+	if obj == nil {
+		return nil
+	}
+	// Declared outside the loop: its definition precedes the range
+	// statement. (An append to a loop-local slice cannot leak order out
+	// of one iteration.)
+	if obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End() {
+		return nil
+	}
+	return obj
+}
+
+// sortedAfter reports whether fn contains, after the range statement, a
+// call into sort/slices passing target — the collect-then-sort idiom
+// that restores determinism.
+func sortedAfter(info *types.Info, fn ast.Node, rng *ast.RangeStmt, target types.Object) bool {
+	if fn == nil {
+		return false
+	}
+	body := astwalk.FuncBody(fn)
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		callee := astwalk.Callee(info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		pkg := callee.Pkg().Path()
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		if !strings.Contains(callee.Name(), "Sort") && !sortPkgEntry(pkg, callee.Name()) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if astwalk.UsedObject(info, arg) == target {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// sortPkgEntry recognizes the sort-package entry points whose names do
+// not contain "Sort": sort.Strings, sort.Ints, sort.Float64s, sort.Stable.
+func sortPkgEntry(pkg, name string) bool {
+	if pkg != "sort" {
+		return false
+	}
+	switch name {
+	case "Strings", "Ints", "Float64s", "Stable", "Slice", "SliceStable":
+		return true
+	}
+	return false
+}
+
+// emitCall classifies a call as output-emitting: fmt print family, or a
+// callee whose name carries an emitting prefix.
+func emitCall(info *types.Info, call *ast.CallExpr) (name, kind string) {
+	fn := astwalk.Callee(info, call)
+	if fn == nil {
+		return "", ""
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return "fmt." + fn.Name(), "call to"
+	}
+	for _, prefix := range emitPrefixes {
+		if strings.HasPrefix(fn.Name(), prefix) {
+			if astwalk.ReceiverNamed(fn) != nil {
+				return fn.Name(), "method call"
+			}
+			if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				// fmt.Sprint* builds a string without emitting; already
+				// handled above for the printing family.
+				return "", ""
+			}
+			return fn.Name(), "call to"
+		}
+	}
+	return "", ""
+}

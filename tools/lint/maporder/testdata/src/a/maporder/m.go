@@ -1,0 +1,90 @@
+// Package maporder is the maporder golden corpus: loops over maps whose
+// bodies leak (or safely contain) the randomized iteration order.
+package maporder
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"strings"
+)
+
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside map iteration without a later sort`
+	}
+	return out
+}
+
+// The canonical collect-keys-then-sort idiom is not flagged.
+func appendThenSortStrings(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func appendThenSlicesSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+
+func emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt\.Printf inside map iteration`
+	}
+}
+
+func methodWrite(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `WriteString inside map iteration`
+	}
+	return b.String()
+}
+
+func RenderRow(k string) string { return k }
+
+// Sprintf builds a string without emitting; building per-entry strings
+// is order-independent when the container is.
+func aggregate(m map[string]int) (int, map[string]string) {
+	sum := 0
+	labels := make(map[string]string)
+	for k, v := range m {
+		sum += v
+		labels[k] = fmt.Sprintf("%s=%d", k, v)
+	}
+	return sum, labels
+}
+
+// Appending to a loop-local slice cannot leak order out of an iteration.
+func localAppend(m map[string][]string, f func([]string)) {
+	for _, vs := range m {
+		var local []string
+		local = append(local, vs...)
+		f(local)
+	}
+}
+
+// Render-prefixed calls are emitters.
+func renders(m map[string]int, sink func(string)) {
+	for k := range m {
+		sink(RenderRow(k)) // want `RenderRow inside map iteration`
+	}
+}
+
+// An allow with a reason suppresses the finding.
+func allowed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //lint:allow maporder order randomized deliberately to exercise the downstream sorter
+	}
+	return out
+}

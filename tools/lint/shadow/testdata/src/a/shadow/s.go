@@ -1,0 +1,115 @@
+// Package shadow is the shadow golden corpus: err/ctx shadowing where
+// the outer variable is (or is not) read after the inner scope closes.
+package shadow
+
+import "context"
+
+func step() error { return nil }
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+type key struct{}
+
+func shadowErr() error {
+	err := step()
+	if err == nil {
+		err := step() // want `shadows the err`
+		_ = err
+	}
+	return err
+}
+
+func shadowIfInit() error {
+	err := step()
+	if err := step(); err != nil { // want `shadows the err`
+		_ = err
+	}
+	return err
+}
+
+// No outer err exists: the ubiquitous guard idiom is not flagged.
+func okIfErr() error {
+	if err := step(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// The outer err is never read after the inner scope closes.
+func okNoLaterUse() {
+	err := step()
+	_ = err
+	if err := step(); err != nil {
+		_ = err
+	}
+}
+
+func shadowCtx(ctx context.Context) error {
+	{
+		ctx := context.WithValue(ctx, key{}, 1) // want `shadows the ctx`
+		_ = ctx
+	}
+	return work(ctx)
+}
+
+// Rebinding ctx at the top of the body is the standard derive-and-replace
+// idiom: the parameter is never read after the new scope closes.
+func okRebind(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return work(ctx)
+}
+
+// The accumulate idiom seeds from the current value on purpose: a read
+// that is part of an assignment to the same variable is not stale.
+func okAccumulate(closers []func() error) (err error) {
+	if err := step(); err != nil {
+		return err
+	}
+	for _, c := range closers {
+		err = join(err, c())
+	}
+	return err
+}
+
+func join(a, b error) error {
+	if a != nil {
+		return a
+	}
+	return b
+}
+
+// A `:=` re-use after the inner scope refreshes the outer before the
+// later read.
+func okRefreshedByReuse() error {
+	v, err := pair()
+	_ = v
+	if err := step(); err != nil {
+		return err
+	}
+	w, err := pair()
+	_ = w
+	return err
+}
+
+func pair() (int, error) { return 0, nil }
+
+// A closure parameter named ctx is a signature choice, not an
+// accidental capture.
+func okClosureParam(ctx context.Context) error {
+	f := func(ctx context.Context) error { return work(ctx) }
+	if err := f(context.Background()); err != nil {
+		return err
+	}
+	return work(ctx)
+}
+
+// An allow with a reason suppresses the finding.
+func documented() error {
+	err := step()
+	if err == nil {
+		err := step() //lint:allow shadow inner err is a probe whose failure must not replace the outer result
+		_ = err
+	}
+	return err
+}

@@ -1,0 +1,12 @@
+package shadow
+
+// _test.go files are exempt: table-driven tests re-declare err in every
+// branch and consult only the inner copies.
+func testShape() error {
+	err := step()
+	if err == nil {
+		err := step()
+		_ = err
+	}
+	return err
+}

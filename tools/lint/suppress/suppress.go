@@ -1,0 +1,153 @@
+// Package suppress implements the suite-wide suppression contract:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on the flagged line, or alone on the line directly above it,
+// silences that analyzer's findings for that line. The reason is
+// mandatory — an allow comment without one does not suppress anything
+// and is itself reported, so every deliberate exception in the tree
+// carries a written justification.
+//
+// Both drivers (the go vet tool and the analysistest harness) filter
+// through this package, so tests exercise exactly the production
+// semantics.
+package suppress
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"unprotectedlint/analysis"
+)
+
+// Marker is the comment prefix that introduces a suppression.
+const Marker = "//lint:allow"
+
+// allow is one parsed suppression comment.
+type allow struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+	line     int // line the comment appears on
+	own      bool
+}
+
+// Set holds the suppressions of one package.
+type Set struct {
+	fset   *token.FileSet
+	allows []*allow
+}
+
+// Collect parses every //lint:allow comment in files.
+func Collect(fset *token.FileSet, files []*ast.File) *Set {
+	s := &Set{fset: fset}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, Marker)
+				if !ok || (text != "" && text[0] != ' ' && text[0] != '\t') {
+					continue
+				}
+				// The reason is prose, not code: a later "//" (e.g. an
+				// analysistest "// want" expectation) is not part of it.
+				if i := strings.Index(text, "//"); i >= 0 {
+					text = text[:i]
+				}
+				name, reason := splitArg(text)
+				s.allows = append(s.allows, &allow{
+					analyzer: name,
+					reason:   reason,
+					pos:      c.Pos(),
+					line:     fset.Position(c.Pos()).Line,
+					own:      ownLine(fset, f, c),
+				})
+			}
+		}
+	}
+	return s
+}
+
+// splitArg splits " name reason..." into its analyzer name and reason.
+func splitArg(s string) (name, reason string) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return "", ""
+	}
+	return fields[0], strings.Join(fields[1:], " ")
+}
+
+// ownLine reports whether the comment is the only thing on its line — the
+// form that suppresses the line below instead of its own. Enclosing
+// nodes (a function body, say) span the comment's line without putting
+// tokens on it, so the test is whether any non-comment node STARTS or
+// ENDS there, not whether one spans it.
+func ownLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	cl := fset.Position(c.Pos()).Line
+	own := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !own {
+			return false
+		}
+		switch n.(type) {
+		case *ast.Comment, *ast.CommentGroup, *ast.File:
+			return true
+		}
+		if fset.Position(n.End()).Line < cl || fset.Position(n.Pos()).Line > cl {
+			return false // entirely before or after the line; skip subtree
+		}
+		if fset.Position(n.Pos()).Line == cl || fset.Position(n.End()).Line == cl {
+			own = false
+			return false
+		}
+		return true
+	})
+	return own
+}
+
+// Filter removes suppressed diagnostics. A diagnostic of analyzer A on
+// line L is suppressed by an allow for A on line L, or by an own-line
+// allow for A on line L-1 — provided the allow carries a reason.
+func (s *Set) Filter(diags []analysis.Diagnostic) []analysis.Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		if !s.suppresses(d) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+func (s *Set) suppresses(d analysis.Diagnostic) bool {
+	line := s.fset.Position(d.Pos).Line
+	file := s.fset.Position(d.Pos).Filename
+	for _, a := range s.allows {
+		if a.analyzer != d.Analyzer || a.reason == "" {
+			continue
+		}
+		if s.fset.Position(a.pos).Filename != file {
+			continue
+		}
+		if a.line == line || (a.own && a.line == line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// Problems reports the suppressions that are themselves findings: every
+// allow comment missing its mandatory reason. Returned as diagnostics of
+// the pseudo-analyzer "lintallow" (not itself suppressible).
+func (s *Set) Problems() []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	for _, a := range s.allows {
+		if a.reason == "" {
+			diags = append(diags, analysis.Diagnostic{
+				Pos:      a.pos,
+				Analyzer: "lintallow",
+				Message:  "lint:allow " + a.analyzer + " requires a written reason: //lint:allow " + a.analyzer + " <why this exception is sound>",
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,252 @@
+// Package unitchecker implements the driver side of the `go vet
+// -vettool` protocol on the standard library, mirroring
+// golang.org/x/tools/go/analysis/unitchecker: the go command invokes the
+// tool once per package in the build graph, handing it a JSON config
+// naming the package's files and the export data of its dependencies.
+//
+// The protocol, as spoken by cmd/go (verified empirically against the
+// toolchain in this image):
+//
+//  1. `tool -flags` — print a JSON array describing the tool's flags
+//     (empty for this suite) so vet can validate its command line.
+//  2. `tool -V=full` — print "<path> version <...> buildID=<hex>"; the
+//     go command folds the ID into its action cache key, so the hash
+//     must change when the tool's binary changes.
+//  3. `tool <dir>/vet.cfg` — analyze one package. Dependencies arrive
+//     pre-compiled: cfg.PackageFile maps import paths to export data
+//     files, which the stdlib gc importer reads via its lookup hook.
+//     Packages with VetxOnly=true are dependencies being traversed for
+//     facts only; this suite uses no facts, so they are acknowledged
+//     (the .vetx output file must still be written) and skipped.
+//
+// Diagnostics go to stderr as "file:line:col: message [analyzer]" and
+// the tool exits 2, which go vet renders exactly like its native checks.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"unprotectedlint/analysis"
+	"unprotectedlint/suppress"
+)
+
+// Config is the JSON schema of the vet.cfg file cmd/go writes. Field
+// names must match cmd/go/internal/work's vetConfig exactly.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main runs the driver. It does not return.
+func Main(analyzers ...*analysis.Analyzer) {
+	if len(os.Args) == 2 {
+		switch arg := os.Args[1]; {
+		case arg == "-flags":
+			// No tool-specific flags; vet only needs valid JSON.
+			fmt.Println("[]")
+			os.Exit(0)
+		case strings.HasPrefix(arg, "-V"):
+			printVersion()
+			os.Exit(0)
+		case strings.HasSuffix(arg, ".cfg"):
+			os.Exit(run(arg, analyzers))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "usage: %s <vet.cfg>\n\n"+
+		"unprotectedlint is a go vet tool; invoke it as\n"+
+		"  go vet -vettool=$(command -v unprotectedlint) ./...\n", os.Args[0])
+	os.Exit(1)
+}
+
+// printVersion emits the -V=full line. The go command parses the
+// buildID= token and mixes it into the vet action cache key, so the hash
+// is the tool binary's own content hash: rebuild the tool with different
+// analyzers and every package re-vets.
+func printVersion() {
+	h := sha256.New()
+	if f, err := os.Open(os.Args[0]); err == nil {
+		io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n",
+		os.Args[0], string(h.Sum(nil)[:12]))
+}
+
+func run(cfgPath string, analyzers []*analysis.Analyzer) int {
+	cfg, err := readConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unprotectedlint: %v\n", err)
+		return 1
+	}
+	// The vetx file is this package's entry in vet's fact-output
+	// protocol. The suite computes no facts, but the go command requires
+	// the file to exist to cache the action, for dependencies and
+	// targets alike.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "unprotectedlint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "unprotectedlint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(cfg, fset, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "unprotectedlint: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := runAnalyzers(analyzers, fset, files, pkg, info)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unprotectedlint: %v\n", err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return 2
+}
+
+// RunAnalyzers applies every analyzer to one type-checked package and
+// returns the surviving diagnostics: suppressions applied, reason-less
+// allow comments reported, sorted by position. Shared with the
+// analysistest harness so golden tests exercise the production pipeline.
+func runAnalyzers(analyzers []*analysis.Analyzer, fset *token.FileSet,
+	files []*ast.File, pkg *types.Package, info *types.Info) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := pass.Analyzer.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	sup := suppress.Collect(fset, files)
+	diags = sup.Filter(diags)
+	diags = append(diags, sup.Problems()...)
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	// Dedupe identical findings (an analyzer walking nested closures can
+	// reach one site twice).
+	kept := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, nil
+}
+
+// RunAnalyzersForTest is the analysistest entry into the production
+// diagnostic pipeline (analyzers → suppression filter → allow-comment
+// problems).
+func RunAnalyzersForTest(analyzers []*analysis.Analyzer, fset *token.FileSet,
+	files []*ast.File, pkg *types.Package, info *types.Info) ([]analysis.Diagnostic, error) {
+	return runAnalyzers(analyzers, fset, files, pkg, info)
+}
+
+func readConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return cfg, nil
+}
+
+// typecheck type-checks the package against the export data of its
+// already-compiled dependencies, exactly as cmd/vet's unitchecker does.
+func typecheck(cfg *Config, fset *token.FileSet, files []*ast.File) (*types.Package, *types.Info, error) {
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// Resolve a source import path to the canonical package path
+		// (vendoring), then to its export data file.
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if path == "unsafe" {
+				return types.Unsafe, nil
+			}
+			return compilerImporter.Import(path)
+		}),
+		Sizes:     types.SizesFor(cfg.Compiler, build()),
+		GoVersion: cfg.GoVersion,
+	}
+	info := analysis.NewInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	return pkg, info, err
+}
+
+func build() string {
+	if arch := os.Getenv("GOARCH"); arch != "" {
+		return arch
+	}
+	return runtime.GOARCH
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

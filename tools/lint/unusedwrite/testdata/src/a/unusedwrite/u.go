@@ -1,0 +1,56 @@
+// Package unusedwrite is the unusedwrite golden corpus: field writes
+// through copies Go silently discards.
+package unusedwrite
+
+type item struct{ n int }
+
+func lostRangeWrite(items []item) {
+	for _, it := range items {
+		it.n = 1 // want `write to field of by-value range variable it is lost`
+	}
+}
+
+// The write is read back inside the loop: a used write, not a lost one.
+func usedRangeWrite(items []item) int {
+	total := 0
+	for _, it := range items {
+		it.n *= 2
+		total += it.n
+	}
+	return total
+}
+
+// Pointers mutate the element itself.
+func pointerRange(items []*item) {
+	for _, it := range items {
+		it.n = 1
+	}
+}
+
+// Index-based writes reach the real element.
+func indexWrite(items []item) {
+	for i := range items {
+		items[i].n = 1
+	}
+}
+
+func (i item) lostRecv() {
+	i.n = 5 // want `write to field of by-value receiver i is lost at return`
+}
+
+// Builder style: the mutated copy is returned, so the write is used.
+func (i item) with(n int) item {
+	i.n = n
+	return i
+}
+
+func (i *item) ptrRecv() {
+	i.n = 5
+}
+
+// An allow with a reason suppresses the finding.
+func documented(items []item) {
+	for _, it := range items {
+		it.n = 1 //lint:allow unusedwrite exercising the copy semantics on purpose in this benchmark body
+	}
+}

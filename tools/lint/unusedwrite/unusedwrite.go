@@ -1,0 +1,140 @@
+// Package unusedwrite covers the highest-signal subset of the stock
+// x/tools unusedwrite pass (the upstream module is unreachable in this
+// hermetic build, and the full pass needs SSA): writes through a copy
+// that Go silently discards.
+//
+// Two shapes are flagged:
+//
+//   - a field write through a by-value range variable:
+//     `for _, v := range s { v.F = x }` mutates v, a copy; the slice
+//     element never changes;
+//   - a field write through a by-value method receiver:
+//     `func (s S) Set() { s.f = x }` mutates the receiver copy, which is
+//     discarded at return.
+//
+// In both shapes the write is only reported when the variable is never
+// read again afterwards (builder-style `s.f = x; return s` is a used
+// write, not a lost one). Both flagged forms compile silently and both
+// have shipped real lost-update bugs.
+package unusedwrite
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"unprotectedlint/analysis"
+	"unprotectedlint/astwalk"
+)
+
+// Analyzer flags field writes through discarded copies.
+var Analyzer = &analysis.Analyzer{
+	Name: "unusedwrite",
+	Doc: "flag never-read-again field writes through by-value range variables and by-value method receivers; " +
+		"the write mutates a copy Go discards",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		astwalk.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range assign.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				v, ok := astwalk.UsedObject(info, sel.X).(*types.Var)
+				if !ok {
+					continue
+				}
+				// Writes through pointers mutate the original; only
+				// value-typed struct bases lose the write.
+				if _, isStruct := v.Type().Underlying().(*types.Struct); !isStruct {
+					continue
+				}
+				if scope := rangeValueScope(info, v, stack); scope != nil {
+					if !usedWithin(info, f, v, assign.End(), scope.End()) {
+						pass.Reportf(lhs.Pos(),
+							"write to field of by-value range variable %s is lost: the loop variable is a copy of the element; range over indices or use a pointer element",
+							v.Name())
+					}
+				} else if decl := valueReceiverDecl(info, v, stack); decl != nil {
+					if !usedWithin(info, f, v, assign.End(), decl.End()) {
+						pass.Reportf(lhs.Pos(),
+							"write to field of by-value receiver %s is lost at return: the receiver is a copy; use a pointer receiver",
+							v.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// rangeValueScope returns the enclosing range statement whose by-value
+// value variable is v, or nil.
+func rangeValueScope(info *types.Info, v *types.Var, stack []ast.Node) *ast.RangeStmt {
+	for i := len(stack) - 2; i >= 0; i-- {
+		rng, ok := stack[i].(*ast.RangeStmt)
+		if !ok {
+			continue
+		}
+		if rng.Value == nil {
+			continue
+		}
+		if id, ok := rng.Value.(*ast.Ident); ok && info.Defs[id] == v {
+			return rng
+		}
+	}
+	return nil
+}
+
+// valueReceiverDecl returns the enclosing method declaration whose
+// non-pointer receiver is v, or nil. A closure boundary ends the search:
+// receiver semantics inside closures are out of scope here.
+func valueReceiverDecl(info *types.Info, v *types.Var, stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncLit:
+			return nil
+		case *ast.FuncDecl:
+			if n.Recv == nil || len(n.Recv.List) != 1 || len(n.Recv.List[0].Names) != 1 {
+				return nil
+			}
+			recv := info.Defs[n.Recv.List[0].Names[0]]
+			if recv == nil || recv != v {
+				return nil
+			}
+			if _, isPtr := recv.Type().(*types.Pointer); isPtr {
+				return nil
+			}
+			return n
+		}
+	}
+	return nil
+}
+
+// usedWithin reports whether v is read anywhere in (after, until].
+func usedWithin(info *types.Info, f *ast.File, v *types.Var, after, until token.Pos) bool {
+	used := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if info.Uses[id] == v && id.Pos() > after && id.Pos() <= until {
+			used = true
+		}
+		return true
+	})
+	return used
+}

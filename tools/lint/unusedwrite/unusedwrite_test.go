@@ -1,0 +1,12 @@
+package unusedwrite_test
+
+import (
+	"testing"
+
+	"unprotectedlint/analysistest"
+	"unprotectedlint/unusedwrite"
+)
+
+func TestUnusedWrite(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), unusedwrite.Analyzer, "a/unusedwrite")
+}

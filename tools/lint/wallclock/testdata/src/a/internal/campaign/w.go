@@ -1,0 +1,48 @@
+// Package campaign is the wallclock golden corpus: a stand-in for the
+// repo's deterministic simulation packages, where wall-clock reads and
+// global-rand draws are forbidden.
+package campaign
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func stamp() time.Time {
+	return time.Now() // want `time\.Now in a simulation-deterministic package`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+func draw() int {
+	return rand.Intn(100) // want `rand\.Intn draws from the process-global rand source`
+}
+
+func drawV2() uint64 {
+	return randv2.Uint64() // want `rand\.Uint64 draws from the process-global rand source`
+}
+
+// Explicitly seeded generators are the sanctioned form: the
+// constructors are exempt, and methods on the stream are exempt.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(100)
+}
+
+func seededV2(a, b uint64) uint64 {
+	r := randv2.New(randv2.NewPCG(a, b))
+	return r.Uint64()
+}
+
+// Deterministic time construction is fine; only wall-clock reads are not.
+func epoch() time.Time {
+	return time.Unix(0, 0)
+}
+
+// An allow with a reason suppresses the finding.
+func progressStamp() time.Time {
+	return time.Now() //lint:allow wallclock progress logging only, never part of the event stream
+}

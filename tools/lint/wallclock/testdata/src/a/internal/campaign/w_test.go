@@ -1,0 +1,8 @@
+package campaign
+
+import "time"
+
+// _test.go files may read the wall clock (deadlines, timing asserts).
+func testDeadline() time.Time {
+	return time.Now().Add(5 * time.Second)
+}

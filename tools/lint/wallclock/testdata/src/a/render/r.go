@@ -1,0 +1,9 @@
+// Package render is outside the deterministic set: report rendering may
+// stamp generation time.
+package render
+
+import "time"
+
+func generatedAt() time.Time {
+	return time.Now()
+}

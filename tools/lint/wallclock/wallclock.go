@@ -1,0 +1,108 @@
+// Package wallclock enforces the simulation-determinism contract: the
+// packages that produce or replay the study's event stream must be pure
+// functions of their configuration and seed, because every equivalence
+// proof in the tree (byte-identical exports, report-level differential
+// tests, the sweep determinism gates) compares their output across runs.
+// A wall-clock read or a draw from the global math/rand source makes two
+// runs of the same seed diverge — the exact failure mode the paper's
+// measured-rate claim cannot survive.
+//
+// In the deterministic packages the analyzer flags:
+//
+//   - time.Now and time.Since (Since reads the wall clock implicitly);
+//   - every package-level function of math/rand and math/rand/v2 (they
+//     draw from the process-global source), and the global-source
+//     constructors rand.New(rand.NewSource(time.Now()...)) only via the
+//     time.Now rule. Explicitly seeded generators — rand.New(...),
+//     rand.NewPCG, rand.NewSource with a config-derived seed — and the
+//     repo's own internal/rng streams are the sanctioned alternatives.
+//
+// _test.go files are exempt (tests may time out on wall clocks), as is
+// internal/rng itself, which wraps math/rand/v2 behind seeded streams.
+package wallclock
+
+import (
+	"go/ast"
+
+	"unprotectedlint/analysis"
+	"unprotectedlint/astwalk"
+)
+
+// Analyzer flags wall-clock and global-rand reads in deterministic
+// packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "flag time.Now/time.Since and global math/rand use in the simulation-deterministic packages; " +
+		"nondeterministic inputs break the byte-identical reproduction contract",
+	Run: run,
+}
+
+// deterministicPackages must be pure functions of config and seed.
+var deterministicPackages = []string{
+	"internal/campaign",
+	"internal/extract",
+	"internal/faults",
+	"internal/sched",
+	"internal/sweep",
+	"internal/core",
+	"internal/faultstore",
+	"internal/logstore",
+}
+
+// seededConstructors are the math/rand entry points that do NOT draw
+// from the global source: they build explicitly seeded generators.
+var seededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !astwalk.PkgPathHasSuffix(pass.Pkg.Path(), deterministicPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := astwalk.Callee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if astwalk.ReceiverNamed(fn) != nil {
+					return true
+				}
+				switch fn.Name() {
+				case "Now":
+					pass.Reportf(call.Pos(),
+						"time.Now in a simulation-deterministic package: two runs of one seed diverge; derive time from timebase/config instead")
+				case "Since":
+					pass.Reportf(call.Pos(),
+						"time.Since reads the wall clock implicitly; a deterministic package must compute durations from stream timestamps")
+				}
+			case "math/rand", "math/rand/v2":
+				if astwalk.ReceiverNamed(fn) != nil {
+					// Method on an explicit *rand.Rand — a seeded stream,
+					// which is the sanctioned form.
+					return true
+				}
+				if !seededConstructors[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"%s.%s draws from the process-global rand source: unseeded and nondeterministic; use internal/rng streams derived from the scenario seed",
+						fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"unprotectedlint/analysistest"
+	"unprotectedlint/wallclock"
+)
+
+func TestWallClock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), wallclock.Analyzer,
+		"a/internal/campaign", "a/render")
+}
