@@ -1,0 +1,34 @@
+package core
+
+import (
+	"unprotected/internal/analysis"
+	"unprotected/internal/extract"
+)
+
+// Exported figure accessors for programmatic consumers — the fleet
+// monitor's JSON report and metrics endpoint chief among them. Each is
+// the thin public face of the corresponding unexported accessor in
+// report.go and inherits its contract: the stream-fed accumulators are
+// preferred, the slice computations are the byte-identical fallback for
+// hand-assembled studies, and calling one never mutates the Study (the
+// underlying accumulators finalize non-destructively), so concurrent
+// readers of one immutable snapshot need no coordination.
+
+// Headline returns the §III-B headline numbers (raw volume, independent
+// faults, monitored node-hours, MTBF cadences, flip polarity).
+func (s *Study) Headline() analysis.Headline { return s.headline() }
+
+// MultiBitStats returns the Table I aggregates (§III-C): multi-bit event
+// counts by width, bit-gap shape, LSB concentration.
+func (s *Study) MultiBitStats() analysis.MultiBitStats { return s.multiBitStats() }
+
+// SimultaneityStats returns the Fig 4 aggregates (§III-C): faults
+// co-occurring on one node and their bit-width mixture.
+func (s *Study) SimultaneityStats() extract.SimultaneityStats { return s.simultaneityStats() }
+
+// HourOfDayFigure returns the Figs 5-6 histograms (§III-E).
+func (s *Study) HourOfDayFigure() *analysis.HourOfDay { return s.hourOfDay() }
+
+// RegimesFigure returns the Fig 13 day classification (§III-I): normal
+// versus degraded days with per-regime error counts and MTBF.
+func (s *Study) RegimesFigure() *analysis.Regimes { return s.regimes() }

@@ -115,6 +115,25 @@ func (a *Accounting) Finish() []Session {
 	return a.Sessions
 }
 
+// Snapshot appends every session Finish would return — closed ones plus
+// the still-open set closed as-if-truncated — to dst, without mutating
+// the accumulator: a later END still closes its session normally. It is
+// the follow-mode serving core's conservative view of a node mid-tail
+// (§II-B: an unfinished session contributes zero monitored time), and at
+// quiescence it matches Finish exactly. Like Finish, the open-set tail is
+// sorted so map iteration order never leaks into the result.
+func (a *Accounting) Snapshot(dst []Session) []Session {
+	dst = append(dst, a.Sessions...)
+	open := make([]Session, 0, len(a.open))
+	for _, s := range a.open {
+		cp := *s
+		cp.Truncated = true
+		open = append(open, cp)
+	}
+	sort.Slice(open, func(i, j int) bool { return CompareSessions(&open[i], &open[j]) < 0 })
+	return append(dst, open...)
+}
+
 // HoursByNode sums monitored hours per node.
 func (a *Accounting) HoursByNode() map[cluster.NodeID]float64 {
 	out := make(map[cluster.NodeID]float64)

@@ -228,19 +228,31 @@ func (c *Collapser) Observe(rec eventlog.Record) {
 // with the raw record count, then resets the collapser for reuse. The
 // returned slice is freshly allocated and owned by the caller.
 func (c *Collapser) Close() ([]RawRun, int64) {
+	out, raw := c.Snapshot()
+	c.Reset()
+	return out, raw
+}
+
+// Snapshot returns every run as Close would — finished runs plus the
+// still-open ones flushed as-if-closed, sorted the same way — without
+// mutating the collapser: subsequent Observes keep extending the open
+// runs. It is the follow-mode serving core's view of a node mid-tail,
+// and at quiescence it is exactly what Close would have returned. The
+// returned slice is freshly allocated and owned by the caller.
+func (c *Collapser) Snapshot() ([]RawRun, int64) {
 	out := c.done.AppendRows(make([]RawRun, 0, c.done.Len()+len(c.open)))
 	for _, i := range c.open {
 		out = append(out, c.slab[i])
 	}
-	raw := c.raw
-	c.Reset()
+	// The open set is a map: the sort below dominates its iteration order,
+	// so two snapshots of identical state are identical slices.
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].FirstAt != out[j].FirstAt {
 			return out[i].FirstAt < out[j].FirstAt
 		}
 		return out[i].Addr < out[j].Addr
 	})
-	return out, raw
+	return out, c.raw
 }
 
 // Reset returns the collapser to its empty state, keeping every backing

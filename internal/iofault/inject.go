@@ -304,6 +304,13 @@ func (in *Injector) ReadDir(name string) ([]fs.DirEntry, error) {
 	return in.base.ReadDir(name)
 }
 
+func (in *Injector) Stat(name string) (fs.FileInfo, error) {
+	if _, err := in.decide(opRead, name, 0); err != nil {
+		return nil, err
+	}
+	return in.base.Stat(name)
+}
+
 func (in *Injector) Sync(name string) error {
 	if _, err := in.decide(opMut, name, 0); err != nil {
 		return err
@@ -343,3 +350,9 @@ func (f *injFile) Sync() error {
 }
 
 func (f *injFile) Close() error { return f.f.Close() }
+
+// Seek passes through uncounted, like Read and Close: repositioning a
+// descriptor is not a durability-relevant operation.
+func (f *injFile) Seek(offset int64, whence int) (int64, error) {
+	return f.f.Seek(offset, whence)
+}

@@ -20,11 +20,14 @@ import (
 )
 
 // File is the open-file surface the storage layers need: sequential
-// reads for the log loader, writes and fsync for the log writer.
+// reads for the log loader, writes and fsync for the log writer, and
+// seeking for the follow-mode tailer, which must resume an evicted
+// descriptor at the offset it had already consumed.
 type File interface {
 	io.Reader
 	io.Writer
 	io.Closer
+	io.Seeker
 	// Sync flushes the file's data to stable storage (fsync).
 	Sync() error
 }
@@ -51,6 +54,10 @@ type FS interface {
 	MkdirAll(path string, perm fs.FileMode) error
 	// ReadDir lists the named directory, sorted by filename.
 	ReadDir(name string) ([]fs.DirEntry, error)
+	// Stat describes the named file. The follow-mode tailer polls it to
+	// detect growth (size past the consumed offset) and truncation (size
+	// regression, which forces a reopen from zero).
+	Stat(name string) (fs.FileInfo, error)
 	// Sync opens the named file or directory and fsyncs it: the only
 	// way to make a just-written file's bytes — or a directory's entry
 	// table after a create or rename — durable before proceeding.
@@ -86,6 +93,8 @@ func (osFS) Remove(name string) error { return os.Remove(name) }
 func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
 
 func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
 
 func (osFS) Sync(name string) error {
 	f, err := os.Open(name)

@@ -1,6 +1,7 @@
 package logstore
 
 import (
+	"sync"
 	"testing"
 
 	"unprotected/internal/cluster"
@@ -152,5 +153,94 @@ func TestSetMaxOpenFilesFloor(t *testing.T) {
 	store.SetMaxOpenFiles(-5)
 	if got := store.budget.Cap(); got != 1 {
 		t.Fatalf("floor not applied: %d", got)
+	}
+}
+
+// TestStoreConcurrentAppendCounters hammers one Store from many
+// goroutines — each owning its own node so per-node time order holds —
+// while two more poll Reopens and NodeCount. Before the store grew its
+// mutex, the writer cache, the seen set and the LRU clock were all
+// unsynchronized; under -race this test is the regression proof, and the
+// tight 2-descriptor budget keeps eviction and reopen accounting in the
+// contended path the whole time.
+func TestStoreConcurrentAppendCounters(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.SetMaxOpenFiles(2)
+
+	const writers = 8
+	const perWriter = 50
+	stop := make(chan struct{})
+	var pollers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		pollers.Add(1)
+		go func() {
+			defer pollers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = store.Reopens()
+					_ = store.NodeCount()
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			host := cluster.NodeID{Blade: w + 1, SoC: 1}
+			for i := 0; i < perWriter; i++ {
+				rec := eventlog.Record{
+					Kind: eventlog.KindStart, At: timebase.T(i * 10),
+					Host: host, AllocBytes: 1 << 30, TempC: thermal.NoReading,
+				}
+				if err := store.Append(rec); err != nil {
+					errs <- err
+					return
+				}
+				rec.Kind, rec.At, rec.AllocBytes = eventlog.KindEnd, rec.At+5, 0
+				if err := store.Append(rec); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	pollers.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := store.NodeCount(); got != writers {
+		t.Fatalf("NodeCount %d, want %d", got, writers)
+	}
+	// Every record must survive the concurrent eviction churn intact.
+	res, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Sessions); got != writers*perWriter {
+		t.Fatalf("sessions %d, want %d", got, writers*perWriter)
+	}
+	for _, s := range res.Sessions {
+		if s.Truncated {
+			t.Fatalf("truncated session %+v: interleaved write corrupted a file", s)
+		}
 	}
 }

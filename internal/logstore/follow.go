@@ -1,0 +1,504 @@
+package logstore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+	"os"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/eventlog"
+	"unprotected/internal/fdlimit"
+	"unprotected/internal/iofault"
+	"unprotected/internal/stream"
+)
+
+// DefaultFollowInterval is the tail poll cadence when no option overrides
+// it: fast enough that a fleet monitor's figures lag the logs by about a
+// second, slow enough that an idle 1000-node directory costs one stat
+// sweep per second, not a busy loop.
+const DefaultFollowInterval = time.Second
+
+// FollowStats is the caller-owned counter block a follower publishes
+// into (FollowWithStats). All fields are atomics, so a monitoring
+// daemon's HTTP handlers read them lock-free while the tail loop writes.
+type FollowStats struct {
+	// Rounds counts completed poll rounds (one KindSync each).
+	Rounds atomic.Int64
+	// Lines counts parsed records delivered as KindRecord events.
+	Lines atomic.Int64
+	// Files reports how many node files are currently being tailed.
+	Files atomic.Int64
+	// Truncations counts size regressions: a tailed file shrank under
+	// the follower (truncate-in-place or rotation), forcing a reopen
+	// from offset zero.
+	Truncations atomic.Int64
+	// Reopens counts descriptors reopened after a budget eviction — the
+	// cost metric of tailing more files than the fd budget allows.
+	Reopens atomic.Int64
+}
+
+// followCfg is the resolved follow option set.
+type followCfg struct {
+	fsys     iofault.FS
+	budget   *fdlimit.Budget
+	retry    iofault.RetryPolicy
+	interval time.Duration
+	// wait blocks until the next poll round is due, returning false when
+	// the follow should stop (the injectable ticker; tests drive it
+	// deterministically, production builds one from interval).
+	wait  func(ctx context.Context) bool
+	stats *FollowStats
+}
+
+// FollowOption configures Follow.
+type FollowOption func(*followCfg) error
+
+// FollowWithFS routes every file operation of the follower through fsys —
+// the seam the truncation and torn-write tests inject faults through.
+func FollowWithFS(fsys iofault.FS) FollowOption {
+	return func(c *followCfg) error {
+		if fsys == nil {
+			return errors.New("nil FS")
+		}
+		c.fsys = fsys
+		return nil
+	}
+}
+
+// FollowWithBudget makes the follower meter its long-lived tail
+// descriptors from b instead of the shared process-wide budget.
+func FollowWithBudget(b *fdlimit.Budget) FollowOption {
+	return func(c *followCfg) error {
+		if b == nil {
+			return errors.New("nil Budget")
+		}
+		c.budget = b
+		return nil
+	}
+}
+
+// FollowWithInterval sets the poll cadence (default one second).
+func FollowWithInterval(d time.Duration) FollowOption {
+	return func(c *followCfg) error {
+		if d <= 0 {
+			return fmt.Errorf("non-positive poll interval %v", d)
+		}
+		c.interval = d
+		return nil
+	}
+}
+
+// FollowWithTicker replaces the wall-clock poll ticker: wait blocks until
+// the next round is due and returns false to end the follow cleanly (the
+// iterator then yields ctx.Err() if the context was cancelled, or simply
+// returns). Tests inject a channel-driven stepper here so tail behavior
+// is deterministic — no sleeps, no wall clock.
+func FollowWithTicker(wait func(ctx context.Context) bool) FollowOption {
+	return func(c *followCfg) error {
+		if wait == nil {
+			return errors.New("nil ticker")
+		}
+		c.wait = wait
+		return nil
+	}
+}
+
+// FollowWithStats publishes the follower's counters into st.
+func FollowWithStats(st *FollowStats) FollowOption {
+	return func(c *followCfg) error {
+		if st == nil {
+			return errors.New("nil FollowStats")
+		}
+		c.stats = st
+		return nil
+	}
+}
+
+// FollowWithRetry replaces the transient-error retry policy applied to
+// the follower's directory walks, stats and opens.
+func FollowWithRetry(p iofault.RetryPolicy) FollowOption {
+	return func(c *followCfg) error {
+		c.retry = p
+		return nil
+	}
+}
+
+// Follow tails a log directory: it delivers every record already on disk,
+// then keeps polling for appended lines and newly created node files, as
+// an endless stream of KindRecord events in per-node arrival order with a
+// KindSync boundary after each poll round. It is the live-ingest
+// counterpart of Events — a fleet monitor ranges over it for the lifetime
+// of the process.
+//
+// Contract (differs from the batch Source shape, see stream.KindRecord):
+//
+//   - No stats prologue: totals are unknowable mid-tail.
+//   - Records of one node arrive in file-append order; nodes interleave
+//     in sorted file order per round, NOT in the canonical global merge
+//     order. Consumers that need canonical order re-establish it at
+//     snapshot time (extract.Compare is total, so sorting the same fault
+//     set always yields the same sequence).
+//   - A torn final line — bytes after the last complete '\n' — is never
+//     parsed: the follower buffers it and resumes from the last complete
+//     line boundary once the writer finishes the record.
+//   - A file whose size regresses (truncation, rotation) is reopened
+//     from offset zero and its unread tail buffer dropped. A KindReset
+//     event for the file's node precedes the re-read: every record
+//     previously delivered from the old content is invalid, and the
+//     consumer must discard that node's accumulated state before the
+//     file's current content arrives as fresh records. A tailed file
+//     that vanishes after delivering records resets the same way.
+//   - Long-lived tail descriptors are metered from the fd budget as
+//     cached holds (TryAcquire/AcquireCached + own-LRU eviction), so a
+//     follower tailing more files than the cap never starves transient
+//     acquirers (fault-store segment reads) of the reserve.
+//   - Cancelling ctx (or a false injectable ticker) ends the stream; a
+//     cancelled context is surfaced as a final (zero Event, ctx.Err())
+//     pair after the descriptors are closed. A parse or I/O error that
+//     survives the retry policy ends the stream the same way.
+func Follow(ctx context.Context, dir string, opts ...FollowOption) iter.Seq2[stream.Event, error] {
+	return func(yield func(stream.Event, error) bool) {
+		cfg := followCfg{
+			fsys:     iofault.OS,
+			budget:   fdlimit.Shared,
+			retry:    iofault.DefaultRetry,
+			interval: DefaultFollowInterval,
+		}
+		for _, opt := range opts {
+			if opt == nil {
+				yield(stream.Event{}, errors.New("logstore: Follow: nil FollowOption"))
+				return
+			}
+			if err := opt(&cfg); err != nil {
+				yield(stream.Event{}, fmt.Errorf("logstore: Follow: %w", err))
+				return
+			}
+		}
+		if cfg.wait == nil {
+			ticker := time.NewTicker(cfg.interval)
+			defer ticker.Stop()
+			cfg.wait = func(ctx context.Context) bool {
+				select {
+				case <-ctx.Done():
+					return false
+				case <-ticker.C:
+					return true
+				}
+			}
+		}
+		f := &follower{cfg: cfg, dir: dir, tails: make(map[string]*tail)}
+		defer f.closeAll()
+		for {
+			if !f.poll(ctx, yield) {
+				return
+			}
+			if cfg.stats != nil {
+				cfg.stats.Rounds.Add(1)
+			}
+			if !yield(stream.SyncEvent(), nil) {
+				return
+			}
+			if !cfg.wait(ctx) {
+				if err := ctx.Err(); err != nil {
+					f.closeAll()
+					yield(stream.Event{}, err)
+				}
+				return
+			}
+		}
+	}
+}
+
+// tail is the follower's per-file cursor.
+type tail struct {
+	path string
+	node cluster.NodeID
+	f    iofault.File // nil while evicted or not yet opened
+	off  int64        // bytes consumed from the file, including partial
+	// partial holds the bytes after the last complete '\n' — the torn
+	// final line the follower must never parse until it is finished.
+	partial []byte
+	lineNo  int
+	lastUse uint64
+	opened  bool // the file was opened at least once (reopen accounting)
+}
+
+// follower tracks every tailed file and the descriptors they hold.
+type follower struct {
+	cfg   followCfg
+	dir   string
+	tails map[string]*tail
+	clock uint64
+	open  int // tails currently holding a descriptor
+}
+
+// poll runs one round: discover files, detect truncations, read every
+// file to its current end, deliver complete lines. It returns false when
+// the stream must stop (consumer break, cancellation, or an error that
+// was already yielded).
+func (f *follower) poll(ctx context.Context, yield func(stream.Event, error) bool) bool {
+	var files []string
+	err := f.cfg.retry.Do(ctx, func() error {
+		var lerr error
+		files, lerr = listNodeFiles(f.cfg.fsys, f.dir)
+		return lerr
+	})
+	if err != nil {
+		f.closeAll()
+		yield(stream.Event{}, err)
+		return false
+	}
+	live := make(map[string]bool, len(files))
+	for _, path := range files {
+		live[path] = true
+	}
+	// A tracked file that vanished (rotation by rename, cleanup) stops
+	// being tailed; if a file reappears at the same path it is discovered
+	// fresh, from offset zero. Consumers holding state folded from the
+	// vanished content are told to drop it (sorted so multiple vanishes
+	// in one round reset in a deterministic order).
+	var gone []*tail
+	for path, t := range f.tails {
+		if !live[path] {
+			gone = append(gone, t)
+		}
+	}
+	sort.Slice(gone, func(i, j int) bool { return gone[i].path < gone[j].path })
+	for _, t := range gone {
+		consumed := t.off > 0
+		f.closeTail(t)
+		delete(f.tails, t.path)
+		if consumed && !yield(stream.ResetEvent(t.node), nil) {
+			return false
+		}
+	}
+	for _, path := range files {
+		if err := ctx.Err(); err != nil {
+			f.closeAll()
+			yield(stream.Event{}, err)
+			return false
+		}
+		t := f.tails[path]
+		if t == nil {
+			node, _ := nodeOfFile(path)
+			t = &tail{path: path, node: node}
+			f.tails[path] = t
+		}
+		if !f.drain(ctx, t, yield) {
+			return false
+		}
+	}
+	if f.cfg.stats != nil {
+		f.cfg.stats.Files.Store(int64(len(f.tails)))
+	}
+	return true
+}
+
+// drain catches one tail up with its file: stat for growth or
+// truncation, then read and deliver every newly completed line.
+func (f *follower) drain(ctx context.Context, t *tail, yield func(stream.Event, error) bool) bool {
+	var size int64
+	err := f.cfg.retry.Do(ctx, func() error {
+		info, serr := f.cfg.fsys.Stat(t.path)
+		if serr != nil {
+			return serr
+		}
+		size = info.Size()
+		return nil
+	})
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			// Deleted between ReadDir and Stat: drop it; a recreated file
+			// is rediscovered next round.
+			consumed := t.off > 0
+			f.closeTail(t)
+			delete(f.tails, t.path)
+			return !consumed || yield(stream.ResetEvent(t.node), nil)
+		}
+		f.closeAll()
+		yield(stream.Event{}, fmt.Errorf("logstore: follow %s: %w", t.path, err))
+		return false
+	}
+	if size < t.off {
+		// Size regression: the file was truncated or rotated underneath
+		// us. The old offset now points past (or into the middle of)
+		// content we never saw; the only consistent restart is offset
+		// zero with the torn-line buffer dropped — and a reset telling the
+		// consumer to drop everything it folded from the old content,
+		// which the re-read below re-delivers as fresh records. Without
+		// this check the tail would block at the stale offset forever.
+		f.closeTail(t)
+		t.off = 0
+		t.partial = t.partial[:0]
+		t.lineNo = 0
+		if f.cfg.stats != nil {
+			f.cfg.stats.Truncations.Add(1)
+		}
+		if !yield(stream.ResetEvent(t.node), nil) {
+			return false
+		}
+	}
+	if size <= t.off {
+		return true
+	}
+	if err := f.ensureOpen(ctx, t); err != nil {
+		f.closeAll()
+		yield(stream.Event{}, fmt.Errorf("logstore: follow %s: %w", t.path, err))
+		return false
+	}
+	// Read to the size the stat observed, not to EOF: a writer appending
+	// concurrently could otherwise keep this loop in one file while every
+	// other tail starves. What lands after the stat is next round's work.
+	remain := size - t.off
+	buf := make([]byte, 64*1024)
+	for remain > 0 {
+		n := int64(len(buf))
+		if n > remain {
+			n = remain
+		}
+		rn, rerr := t.f.Read(buf[:n])
+		if rn > 0 {
+			t.off += int64(rn)
+			remain -= int64(rn)
+			if ok, perr := f.deliver(t, buf[:rn], yield); !ok {
+				if perr != nil {
+					f.closeAll()
+					yield(stream.Event{}, perr)
+				}
+				return false
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			f.closeAll()
+			yield(stream.Event{}, fmt.Errorf("logstore: follow %s: %w", t.path, rerr))
+			return false
+		}
+	}
+	return true
+}
+
+// deliver appends chunk to the tail's line buffer and yields every
+// complete line as a KindRecord event, leaving the torn remainder — if
+// any — buffered. It mirrors eventlog.Reader line handling exactly: blank
+// lines are skipped, malformed lines abort with a positioned error.
+func (f *follower) deliver(t *tail, chunk []byte, yield func(stream.Event, error) bool) (bool, error) {
+	t.partial = append(t.partial, chunk...)
+	consumed := 0
+	for {
+		i := bytes.IndexByte(t.partial[consumed:], '\n')
+		if i < 0 {
+			break
+		}
+		line := bytes.TrimSpace(t.partial[consumed : consumed+i])
+		consumed += i + 1
+		t.lineNo++
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := eventlog.ParseBytes(line)
+		if err != nil {
+			return false, fmt.Errorf("logstore: follow %s: line %d: %w", t.path, t.lineNo, err)
+		}
+		if f.cfg.stats != nil {
+			f.cfg.stats.Lines.Add(1)
+		}
+		if !yield(stream.RecordEvent(rec), nil) {
+			return false, nil
+		}
+	}
+	if consumed > 0 {
+		rest := copy(t.partial, t.partial[consumed:])
+		t.partial = t.partial[:rest]
+	}
+	return true, nil
+}
+
+// ensureOpen gives the tail a readable descriptor positioned at its
+// consumed offset, claiming one from the budget as a cached hold: the
+// descriptor stays open across rounds, so it must never dip into the
+// reserve that keeps transient acquirers (fault-store segment reads)
+// live. While the budget is exhausted the follower evicts its own
+// least-recently-used open tail; with nothing left to evict it blocks in
+// AcquireCached for another holder's release.
+func (f *follower) ensureOpen(ctx context.Context, t *tail) error {
+	f.clock++
+	t.lastUse = f.clock
+	if t.f != nil {
+		return nil
+	}
+	for !f.cfg.budget.TryAcquire() {
+		if f.open == 0 {
+			f.cfg.budget.AcquireCached()
+			break
+		}
+		f.evictLRU()
+	}
+	var file iofault.File
+	err := f.cfg.retry.Do(ctx, func() error {
+		var oerr error
+		file, oerr = f.cfg.fsys.Open(t.path)
+		return oerr
+	})
+	if err != nil {
+		f.cfg.budget.Release()
+		return err
+	}
+	if t.off > 0 {
+		if _, err := file.Seek(t.off, io.SeekStart); err != nil {
+			file.Close()
+			f.cfg.budget.Release()
+			return err
+		}
+	}
+	t.f = file
+	f.open++
+	if t.opened && f.cfg.stats != nil {
+		f.cfg.stats.Reopens.Add(1)
+	}
+	t.opened = true
+	return nil
+}
+
+// evictLRU closes the least-recently-used open tail to free a budget
+// token. The tail's offset survives; the next drain reopens and seeks.
+func (f *follower) evictLRU() {
+	var victim *tail
+	for _, t := range f.tails {
+		if t.f != nil && (victim == nil || t.lastUse < victim.lastUse) {
+			victim = t
+		}
+	}
+	if victim == nil {
+		return
+	}
+	f.closeTail(victim)
+}
+
+// closeTail releases one tail's descriptor, if it holds one.
+func (f *follower) closeTail(t *tail) {
+	if t.f == nil {
+		return
+	}
+	t.f.Close()
+	t.f = nil
+	f.open--
+	f.cfg.budget.Release()
+}
+
+// closeAll releases every descriptor the follower holds; safe to call
+// repeatedly (the final yield paths and the deferred cleanup both run it).
+func (f *follower) closeAll() {
+	for _, t := range f.tails {
+		f.closeTail(t)
+	}
+}

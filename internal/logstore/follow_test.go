@@ -1,0 +1,392 @@
+package logstore
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"unprotected/internal/cluster"
+	"unprotected/internal/dram"
+	"unprotected/internal/eventlog"
+	"unprotected/internal/fdlimit"
+	"unprotected/internal/iofault"
+	"unprotected/internal/stream"
+	"unprotected/internal/thermal"
+	"unprotected/internal/timebase"
+)
+
+// followEv is one delivery of the follow iterator.
+type followEv struct {
+	ev  stream.Event
+	err error
+}
+
+// startFollow ranges over Follow in a goroutine, pushing every delivery
+// onto a channel. The returned step channel drives the injected ticker:
+// one send permits one more poll round; closing it ends the follow
+// cleanly. done closes when the iterator returns.
+func startFollow(ctx context.Context, dir string, opts ...FollowOption) (step chan struct{}, evs chan followEv, done chan struct{}) {
+	step = make(chan struct{})
+	evs = make(chan followEv, 1024)
+	done = make(chan struct{})
+	opts = append(opts, FollowWithTicker(func(ctx context.Context) bool {
+		select {
+		case <-ctx.Done():
+			return false
+		case _, ok := <-step:
+			return ok
+		}
+	}))
+	go func() {
+		defer close(done)
+		for ev, err := range Follow(ctx, dir, opts...) {
+			evs <- followEv{ev: ev, err: err}
+		}
+	}()
+	return step, evs, done
+}
+
+// drainRoundEvents reads deliveries until the KindSync round boundary,
+// failing on stream errors, and returns the events seen this round in
+// delivery order (the sync itself excluded).
+func drainRoundEvents(t *testing.T, evs chan followEv) []stream.Event {
+	t.Helper()
+	var out []stream.Event
+	for {
+		select {
+		case d := <-evs:
+			if d.err != nil {
+				t.Fatalf("stream error: %v", d.err)
+			}
+			if d.ev.Kind == stream.KindSync {
+				return out
+			}
+			out = append(out, d.ev)
+		case <-time.After(10 * time.Second):
+			t.Fatal("timed out waiting for round boundary")
+		}
+	}
+}
+
+// drainRound reads one round and returns its records, failing on any
+// event that is not a record (rounds that expect resets use
+// drainRoundEvents).
+func drainRound(t *testing.T, evs chan followEv) []eventlog.Record {
+	t.Helper()
+	var recs []eventlog.Record
+	for _, ev := range drainRoundEvents(t, evs) {
+		if ev.Kind != stream.KindRecord {
+			t.Fatalf("unexpected event kind %d", ev.Kind)
+		}
+		recs = append(recs, ev.Record)
+	}
+	return recs
+}
+
+// appendLines appends raw text to a node log file.
+func appendLines(t *testing.T, path, text string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(text); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// line renders one record as a log line with trailing newline.
+func line(rec eventlog.Record) string {
+	return string(rec.AppendText(nil)) + "\n"
+}
+
+// errRec builds a raw scanner ERROR record.
+func errRec(host cluster.NodeID, at timebase.T, addr dram.Addr) eventlog.Record {
+	return eventlog.Record{
+		Kind: eventlog.KindError, At: at, Host: host,
+		VAddr: dram.VirtAddr(addr), Expected: 0xFFFFFFFF, Actual: 0xFFFFFFFE,
+		TempC: thermal.NoReading,
+	}
+}
+
+func TestFollowDeliversBacklogAppendsAndNewFiles(t *testing.T) {
+	dir := t.TempDir()
+	a := cluster.NodeID{Blade: 1, SoC: 1}
+	b := cluster.NodeID{Blade: 2, SoC: 7}
+	pathA := filepath.Join(dir, FileName(a))
+	pathB := filepath.Join(dir, FileName(b))
+	appendLines(t, pathA,
+		line(eventlog.Record{Kind: eventlog.KindStart, At: 0, Host: a, AllocBytes: 1 << 30, TempC: thermal.NoReading})+
+			line(errRec(a, 10, 7)))
+
+	var st FollowStats
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	step, evs, done := startFollow(ctx, dir, FollowWithStats(&st))
+
+	// Round 1 runs immediately: the backlog already on disk.
+	recs := drainRound(t, evs)
+	if len(recs) != 2 || recs[0].Kind != eventlog.KindStart || recs[1].Kind != eventlog.KindError {
+		t.Fatalf("backlog round: %+v", recs)
+	}
+
+	// Appended lines and a brand-new node file are both picked up.
+	appendLines(t, pathA, line(errRec(a, 20, 9)))
+	appendLines(t, pathB, line(errRec(b, 15, 3)))
+	step <- struct{}{}
+	recs = drainRound(t, evs)
+	if len(recs) != 2 {
+		t.Fatalf("incremental round: %+v", recs)
+	}
+	// Files drain in sorted file order within a round.
+	if recs[0].Host != a || recs[1].Host != b {
+		t.Fatalf("round order: %v then %v", recs[0].Host, recs[1].Host)
+	}
+
+	if got := st.Lines.Load(); got != 4 {
+		t.Fatalf("lines ingested %d, want 4", got)
+	}
+	if got := st.Rounds.Load(); got != 2 {
+		t.Fatalf("rounds %d, want 2", got)
+	}
+	if got := st.Files.Load(); got != 2 {
+		t.Fatalf("files tailed %d, want 2", got)
+	}
+
+	// Closing the ticker ends the stream cleanly: no trailing error.
+	close(step)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("follow did not stop on ticker end")
+	}
+	select {
+	case d := <-evs:
+		t.Fatalf("unexpected trailing delivery %+v", d)
+	default:
+	}
+}
+
+func TestFollowNeverParsesTornFinalLine(t *testing.T) {
+	dir := t.TempDir()
+	a := cluster.NodeID{Blade: 3, SoC: 2}
+	path := filepath.Join(dir, FileName(a))
+	full := line(errRec(a, 30, 5))
+	half := full[:len(full)/2]
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	step, evs, done := startFollow(ctx, dir)
+	defer func() { cancel(); <-done }()
+
+	if recs := drainRound(t, evs); len(recs) != 0 {
+		t.Fatalf("empty dir delivered %+v", recs)
+	}
+
+	// A torn write: half a record, no newline. Nothing may be parsed.
+	appendLines(t, path, half)
+	step <- struct{}{}
+	if recs := drainRound(t, evs); len(recs) != 0 {
+		t.Fatalf("torn line was parsed: %+v", recs)
+	}
+
+	// The writer finishes the line; the record arrives whole.
+	appendLines(t, path, full[len(half):])
+	step <- struct{}{}
+	recs := drainRound(t, evs)
+	if len(recs) != 1 || recs[0].At != 30 || recs[0].Host != a {
+		t.Fatalf("completed line: %+v", recs)
+	}
+}
+
+func TestFollowTruncatedFileReopensFromZero(t *testing.T) {
+	dir := t.TempDir()
+	a := cluster.NodeID{Blade: 4, SoC: 4}
+	path := filepath.Join(dir, FileName(a))
+	appendLines(t, path, line(errRec(a, 10, 1))+line(errRec(a, 200, 2)))
+
+	// The iofault seam carries every stat/read; a transient injected Stat
+	// failure must be ridden out by the retry policy, not kill the tail.
+	inj := iofault.NewInjector(nil)
+	var st FollowStats
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	step, evs, done := startFollow(ctx, dir,
+		FollowWithFS(inj), FollowWithStats(&st),
+		FollowWithRetry(iofault.RetryPolicy{Attempts: 3}))
+	defer func() { cancel(); <-done }()
+
+	if recs := drainRound(t, evs); len(recs) != 2 {
+		t.Fatal("backlog not delivered")
+	}
+
+	// Rotate underneath the tail: truncate to zero, then write fresh
+	// content shorter than the consumed offset. Without size-regression
+	// detection the tail would sit at the stale offset forever.
+	if err := os.Truncate(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	appendLines(t, path, line(errRec(a, 300, 3)))
+	inj.FailPath(path, 1, nil) // one injected EIO on the reopened file's first touch
+	step <- struct{}{}
+	round := drainRoundEvents(t, evs)
+	// A KindReset for the node must precede the re-delivered content:
+	// without it a consumer would fold the file's records twice.
+	if len(round) != 2 || round[0].Kind != stream.KindReset || round[0].Record.Host != a {
+		t.Fatalf("post-truncation round did not lead with a reset: %+v", round)
+	}
+	if round[1].Kind != stream.KindRecord || round[1].Record.At != 300 {
+		t.Fatalf("post-truncation round: %+v", round)
+	}
+	if got := st.Truncations.Load(); got != 1 {
+		t.Fatalf("truncations %d, want 1", got)
+	}
+
+	// The tail keeps following the recreated file.
+	appendLines(t, path, line(errRec(a, 400, 4)))
+	step <- struct{}{}
+	if recs := drainRound(t, evs); len(recs) != 1 || recs[0].At != 400 {
+		t.Fatalf("post-truncation append: %+v", recs)
+	}
+
+	// A consumed file that vanishes outright resets the node too; its
+	// recreated successor is rediscovered fresh.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	step <- struct{}{}
+	round = drainRoundEvents(t, evs)
+	if len(round) != 1 || round[0].Kind != stream.KindReset || round[0].Record.Host != a {
+		t.Fatalf("vanish round: %+v", round)
+	}
+	appendLines(t, path, line(errRec(a, 500, 5)))
+	step <- struct{}{}
+	if recs := drainRound(t, evs); len(recs) != 1 || recs[0].At != 500 {
+		t.Fatalf("recreated file round: %+v", recs)
+	}
+}
+
+func TestFollowTailFDsUseCachedBudgetHolds(t *testing.T) {
+	dir := t.TempDir()
+	const nodes = 6
+	var ids []cluster.NodeID
+	for i := 0; i < nodes; i++ {
+		id := cluster.NodeID{Blade: i + 1, SoC: 1}
+		ids = append(ids, id)
+		appendLines(t, filepath.Join(dir, FileName(id)), line(errRec(id, timebase.T(10*i+10), dram.Addr(i+1))))
+	}
+
+	// cap 4, reserve 2: cached holders (tail fds) may claim at most 2;
+	// the reserve stays free for transient acquirers — the same split
+	// that keeps fault-store segment reads live next to the log writer.
+	budget := fdlimit.NewReservedBudget(4, 2)
+	var st FollowStats
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	step, evs, done := startFollow(ctx, dir, FollowWithBudget(budget), FollowWithStats(&st))
+
+	if recs := drainRound(t, evs); len(recs) != nodes {
+		t.Fatalf("backlog %d records, want %d", len(recs), nodes)
+	}
+	if hw := budget.MaxInUse(); hw > 2 {
+		t.Fatalf("tail fd high-water %d exceeded the cached ceiling 2: idle tails starve transient readers", hw)
+	}
+	// An idle monitord holding its full cached allowance must leave the
+	// transient reserve claimable without blocking.
+	acquired := make(chan struct{})
+	go func() {
+		budget.Acquire()
+		budget.Acquire()
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+	case <-time.After(10 * time.Second):
+		t.Fatal("transient acquire blocked behind idle tail fds")
+	}
+	budget.Release()
+	budget.Release()
+
+	// More appends across every node force eviction cycles under the
+	// 2-descriptor allowance; everything still arrives, and the reopen
+	// counter records the cost.
+	for i, id := range ids {
+		appendLines(t, filepath.Join(dir, FileName(id)), line(errRec(id, timebase.T(1000+10*i), dram.Addr(40+i))))
+	}
+	step <- struct{}{}
+	if recs := drainRound(t, evs); len(recs) != nodes {
+		t.Fatalf("post-eviction round %d records, want %d", len(recs), nodes)
+	}
+	if hw := budget.MaxInUse(); hw > 4 {
+		t.Fatalf("high-water %d exceeds cap", hw)
+	}
+	if st.Reopens.Load() == 0 {
+		t.Fatal("expected eviction-driven reopens under a 2-fd allowance")
+	}
+
+	cancel()
+	<-done
+	if n := budget.InUse(); n != 0 {
+		t.Fatalf("budget leak: %d descriptors still claimed after shutdown", n)
+	}
+	_ = step
+}
+
+func TestFollowCancelSurfacesContextError(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	_, evs, done := startFollow(ctx, dir)
+	drainRound(t, evs)
+	cancel()
+	select {
+	case d := <-evs:
+		if !errors.Is(d.err, context.Canceled) {
+			t.Fatalf("final delivery %+v, want context.Canceled", d)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no final delivery after cancel")
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("iterator did not return after cancel")
+	}
+}
+
+func TestFollowMalformedLineAbortsPositioned(t *testing.T) {
+	dir := t.TempDir()
+	a := cluster.NodeID{Blade: 9, SoC: 9}
+	appendLines(t, filepath.Join(dir, FileName(a)),
+		line(errRec(a, 5, 1))+"NOT A RECORD\n")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, evs, done := startFollow(ctx, dir)
+	var sawRecord bool
+	for {
+		select {
+		case d := <-evs:
+			if d.err != nil {
+				if !strings.Contains(d.err.Error(), "line 2") {
+					t.Fatalf("error not positioned: %v", d.err)
+				}
+				<-done
+				return
+			}
+			if d.ev.Kind == stream.KindRecord {
+				sawRecord = true
+				continue
+			}
+			t.Fatalf("unexpected event before error (kind %d, sawRecord %v)", d.ev.Kind, sawRecord)
+		case <-time.After(10 * time.Second):
+			t.Fatal("no positioned error delivered")
+		}
+	}
+}

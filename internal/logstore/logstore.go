@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"unprotected/internal/cluster"
 	"unprotected/internal/eventlog"
@@ -44,8 +45,18 @@ func nodeOfFile(name string) (cluster.NodeID, bool) {
 // meter their descriptors from one pool.
 const DefaultMaxOpenFiles = fdlimit.DefaultCap
 
-// Store writes per-node log files under a directory.
+// Store writes per-node log files under a directory. All methods are safe
+// for concurrent use: a daemon keeps one Store alive indefinitely while
+// other goroutines read its counters (Reopens, NodeCount), so the writer
+// cache and its accounting are guarded by one mutex rather than relying
+// on a documented single-writer discipline. Records of one node must
+// still arrive in time order, which under concurrent Appends means every
+// writer of a given node serializes its own calls.
 type Store struct {
+	// mu guards every mutable field below; Append holds it across the
+	// whole write so eviction, reopen accounting and the LRU clock stay
+	// consistent.
+	mu  sync.Mutex
 	dir string
 	// fsys carries every file operation; retry covers the writer's
 	// OpenFile, so a transient descriptor blip (EMFILE from a neighbour
@@ -100,7 +111,11 @@ func NewStoreFS(dir string, fsys iofault.FS) (*Store, error) {
 }
 
 // SetRetry replaces the writer's transient-OpenFile retry policy.
-func (s *Store) SetRetry(p iofault.RetryPolicy) { s.retry = p }
+func (s *Store) SetRetry(p iofault.RetryPolicy) {
+	s.mu.Lock()
+	s.retry = p
+	s.mu.Unlock()
+}
 
 // path returns the node's log file path, rendering it at most once.
 func (s *Store) path(id cluster.NodeID) string {
@@ -116,12 +131,16 @@ func (s *Store) path(id cluster.NodeID) string {
 // given cap (minimum 1), detaching it from the shared fdlimit pool. Use
 // SetBudget to share a specific budget instead.
 func (s *Store) SetMaxOpenFiles(n int) {
+	s.mu.Lock()
 	s.budget = fdlimit.NewBudget(n)
+	s.mu.Unlock()
 }
 
 // SetBudget makes the store meter its open files from b. The store must
 // hold no open files yet (call it right after NewStore).
 func (s *Store) SetBudget(b *fdlimit.Budget) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.writers) > 0 {
 		panic("logstore: SetBudget with files already open")
 	}
@@ -149,8 +168,12 @@ func (s *Store) acquireFD() error {
 }
 
 // Append writes a record to its node's file, creating it on first use.
-// Records of one node must arrive in time order (scanner order).
+// Records of one node must arrive in time order (scanner order). Append
+// is safe to call from multiple goroutines; calls serialize on the
+// store's mutex.
 func (s *Store) Append(rec eventlog.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	nf, ok := s.writers[rec.Host]
 	if !ok {
 		if err := s.acquireFD(); err != nil {
@@ -212,10 +235,16 @@ func (s *Store) evictOne() error {
 
 // Reopens counts how many times an evicted node file had to be reopened —
 // the cost metric of the eviction policy.
-func (s *Store) Reopens() int { return s.reopens }
+func (s *Store) Reopens() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reopens
+}
 
 // Close flushes and closes every node file.
 func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var firstErr error
 	for _, nf := range s.writers {
 		if err := nf.w.Flush(); err != nil && firstErr == nil {
@@ -231,7 +260,11 @@ func (s *Store) Close() error {
 }
 
 // NodeCount reports how many distinct node files the store has written.
-func (s *Store) NodeCount() int { return len(s.seen) }
+func (s *Store) NodeCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.seen)
+}
 
 // ListNodeFiles returns the node log files under dir, sorted by node.
 func ListNodeFiles(dir string) ([]string, error) {

@@ -1,0 +1,386 @@
+package monitor
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"unprotected/internal/campaign"
+	"unprotected/internal/cluster"
+	"unprotected/internal/core"
+	"unprotected/internal/dram"
+	"unprotected/internal/eventlog"
+	"unprotected/internal/logstore"
+	"unprotected/internal/thermal"
+	"unprotected/internal/timebase"
+)
+
+// stepMonitor runs m.Run in a goroutine under an injected stepper ticker:
+// each send on step permits one more poll round (the first round runs
+// unprompted), closing step ends the follow. done receives Run's error.
+func stepMonitor(t *testing.T, dir string, opts ...Option) (m *Monitor, step chan struct{}, cancel context.CancelFunc, done chan error) {
+	t.Helper()
+	step = make(chan struct{})
+	opts = append(opts, WithTicker(func(ctx context.Context) bool {
+		select {
+		case <-ctx.Done():
+			return false
+		case _, ok := <-step:
+			return ok
+		}
+	}))
+	m, err := New(dir, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done = make(chan error, 1)
+	exited := make(chan struct{})
+	go func() { done <- m.Run(ctx); close(exited) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-exited:
+		case <-time.After(30 * time.Second):
+			t.Error("Run did not exit after cancel")
+		}
+	})
+	return m, step, cancel, done
+}
+
+// waitEpoch polls until a snapshot with at least the wanted epoch is
+// published.
+func waitEpoch(t *testing.T, m *Monitor, want int64) *Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := m.Snapshot(); s != nil && s.Epoch >= want {
+			return s
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("no snapshot reached epoch %d", want)
+	return nil
+}
+
+// reportBytes renders the study's full numeric report — every figure and
+// table, the byte-equivalence oracle.
+func reportBytes(s *core.Study) []byte {
+	var buf bytes.Buffer
+	s.FullReport(&buf, core.ReportOptions{Charts: true})
+	return buf.Bytes()
+}
+
+// splitLines splits raw file content at a line boundary near frac.
+func splitLines(raw []byte, frac float64) (head, tail []byte) {
+	cut := int(float64(len(raw)) * frac)
+	if cut >= len(raw) {
+		return raw, nil
+	}
+	i := bytes.IndexByte(raw[cut:], '\n')
+	if i < 0 {
+		return raw, nil
+	}
+	return raw[:cut+i+1], raw[cut+i+1:]
+}
+
+// TestMonitorQuiescenceEquivalence is the serving core's central claim:
+// after live, incremental, arrival-order ingest goes quiet, the published
+// snapshot is byte-identical — every figure, every table — to a one-shot
+// Analyze replay of the same directory. The corpus is a subsampled
+// simulated campaign (full fault set, every 6th session) staged into the
+// live directory in three phases: a backlog, partial per-file appends cut
+// mid-file, and late-arriving node files.
+func TestMonitorQuiescenceEquivalence(t *testing.T) {
+	ds, err := core.Analyze(context.Background(), core.Simulate(campaign.DefaultConfig(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := make([]eventlog.Session, 0, len(ds.Dataset.Sessions)/6+1)
+	for i := 0; i < len(ds.Dataset.Sessions); i += 6 {
+		sessions = append(sessions, ds.Dataset.Sessions[i])
+	}
+	staging := t.TempDir()
+	if err := logstore.Export(sessions, ds.Dataset.Faults, staging); err != nil {
+		t.Fatal(err)
+	}
+	files, err := logstore.ListNodeFiles(staging)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 100 {
+		t.Fatalf("corpus too small: %d files", len(files))
+	}
+
+	live := t.TempDir()
+	write := func(path string, data []byte, appendTo bool) {
+		flags := os.O_CREATE | os.O_WRONLY
+		if appendTo {
+			flags |= os.O_APPEND
+		}
+		f, err := os.OpenFile(path, flags, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Phase 1 backlog: the first 60% of every even-indexed file.
+	type pending struct {
+		path string
+		data []byte
+	}
+	var phase2, phase3 []pending
+	for i, path := range files {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := filepath.Join(live, filepath.Base(path))
+		if i%2 == 0 {
+			head, tail := splitLines(raw, 0.6)
+			write(dst, head, false)
+			if len(tail) > 0 {
+				phase2 = append(phase2, pending{dst, tail})
+			}
+		} else {
+			// Odd-indexed files appear only mid-tail: new-file discovery.
+			phase3 = append(phase3, pending{dst, raw})
+		}
+	}
+
+	m, step, cancel, done := stepMonitor(t, live, WithController("02-04"))
+	snap := waitEpoch(t, m, 1)
+	if snap.Report.Lines == 0 || snap.Report.Files == 0 {
+		t.Fatalf("backlog round ingested nothing: %+v", snap.Report)
+	}
+
+	// Phase 2: finish the cut files. Phase 3: the late node files.
+	for _, p := range phase2 {
+		write(p.path, p.data, true)
+	}
+	step <- struct{}{}
+	waitEpoch(t, m, 2)
+	for _, p := range phase3 {
+		write(p.path, p.data, false)
+	}
+	step <- struct{}{}
+	final := waitEpoch(t, m, 3)
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	oneShot, err := core.Analyze(context.Background(), core.Logs(live), core.WithController("02-04"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := reportBytes(oneShot), reportBytes(final.Study)
+	if !bytes.Equal(want, got) {
+		t.Fatalf("quiescent snapshot diverges from one-shot replay:\n--- one-shot ---\n%s\n--- monitor ---\n%s", want, got)
+	}
+	if final.Report.Lines != m.Stats().Lines.Load() {
+		t.Fatalf("frozen line counter %d != live %d at quiescence", final.Report.Lines, m.Stats().Lines.Load())
+	}
+}
+
+// mkrec appends one canonical log line to a node file.
+func appendRecord(t *testing.T, dir string, rec eventlog.Record) {
+	t.Helper()
+	path := filepath.Join(dir, logstore.FileName(rec.Host))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(append(rec.AppendText(nil), '\n')); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func startRec(host cluster.NodeID, at timebase.T) eventlog.Record {
+	return eventlog.Record{Kind: eventlog.KindStart, At: at, Host: host, AllocBytes: 2 << 30, TempC: thermal.NoReading}
+}
+
+func endRec(host cluster.NodeID, at timebase.T) eventlog.Record {
+	return eventlog.Record{Kind: eventlog.KindEnd, At: at, Host: host, TempC: thermal.NoReading}
+}
+
+func errorRec(host cluster.NodeID, at timebase.T, addr dram.Addr, actual uint32) eventlog.Record {
+	return eventlog.Record{
+		Kind: eventlog.KindError, At: at, Host: host,
+		VAddr: dram.VirtAddr(addr), Expected: 0xFFFFFFFF, Actual: actual,
+		TempC: thermal.NoReading,
+	}
+}
+
+// TestMonitorVerdictClasses pins the per-node classification rules on a
+// hand-built fleet: a clean node, a single-bit faulty node, a multi-bit
+// node, and a raw-log flooder crossing the pathological threshold.
+func TestMonitorVerdictClasses(t *testing.T) {
+	dir := t.TempDir()
+	clean := cluster.NodeID{Blade: 1, SoC: 1}
+	faulty := cluster.NodeID{Blade: 2, SoC: 1}
+	multi := cluster.NodeID{Blade: 3, SoC: 1}
+	flooder := cluster.NodeID{Blade: 4, SoC: 1}
+
+	appendRecord(t, dir, startRec(clean, 0))
+	appendRecord(t, dir, endRec(clean, 3600))
+	appendRecord(t, dir, startRec(faulty, 0))
+	appendRecord(t, dir, errorRec(faulty, 100, 7, 0xFFFFFFFE))
+	appendRecord(t, dir, endRec(faulty, 3600))
+	appendRecord(t, dir, startRec(multi, 0))
+	appendRecord(t, dir, errorRec(multi, 200, 9, 0xFFFFFF00))
+	appendRecord(t, dir, endRec(multi, 3600))
+	flood := errorRec(flooder, 300, 11, 0xFFFF7FFF)
+	flood.LastAt, flood.Logs = 4000, 1_000_000
+	appendRecord(t, dir, startRec(flooder, 0))
+	appendRecord(t, dir, flood)
+
+	m, _, cancel, _ := stepMonitor(t, dir)
+	snap := waitEpoch(t, m, 1)
+	cancel()
+
+	want := map[string]string{
+		clean.String():   ClassClean,
+		faulty.String():  ClassFaulty,
+		multi.String():   ClassMultiBit,
+		flooder.String(): ClassPathological,
+	}
+	if len(snap.Report.Nodes) != len(want) {
+		t.Fatalf("verdicts: %+v", snap.Report.Nodes)
+	}
+	for _, v := range snap.Report.Nodes {
+		if want[v.Node] != v.Class {
+			t.Errorf("node %s class %q, want %q", v.Node, v.Class, want[v.Node])
+		}
+	}
+	// The flooder's still-open session must be accounted conservatively:
+	// present, marked open, zero hours (§II-B).
+	fv := snap.byNode[flooder.String()]
+	if fv == nil || fv.Open != 1 || fv.Sessions != 1 || fv.Hours != 0 {
+		t.Fatalf("flooder verdict %+v, want one open zero-hour session", fv)
+	}
+	if cv := snap.byNode[clean.String()]; cv == nil || cv.Hours <= 0 {
+		t.Fatalf("clean verdict %+v, want positive monitored hours", cv)
+	}
+}
+
+// TestMonitorIdleRoundsPublishNothing: rounds that ingest nothing must
+// not churn epochs — readers of a quiet fleet keep the same snapshot.
+// TestMonitorTruncationResetsNodeState: when a node's file is truncated
+// and rewritten underneath the tail, the monitor must discard that node's
+// accumulated state (stream.KindReset) before folding the re-delivered
+// content — otherwise the reread double-counts every session and fault
+// and the quiescence equivalence breaks. Found live: a rotated file left
+// the node with both the old and the reread sessions.
+func TestMonitorTruncationResetsNodeState(t *testing.T) {
+	dir := t.TempDir()
+	a := cluster.NodeID{Blade: 6, SoC: 2}
+	b := cluster.NodeID{Blade: 7, SoC: 1}
+	for i := 0; i < 4; i++ {
+		at := timebase.T(i * 1000)
+		appendRecord(t, dir, startRec(a, at))
+		appendRecord(t, dir, errorRec(a, at+5, dram.Addr(i+1), 0xFFFFFFFE))
+		appendRecord(t, dir, endRec(a, at+900))
+		appendRecord(t, dir, startRec(b, at))
+		appendRecord(t, dir, endRec(b, at+900))
+	}
+
+	m, step, cancel, _ := stepMonitor(t, dir)
+	waitEpoch(t, m, 1)
+
+	// Rotate a's file in place: shorter, different content. The reread
+	// must replace a's state, not stack on top of it.
+	var fresh []byte
+	for _, rec := range []eventlog.Record{
+		startRec(a, 10000),
+		errorRec(a, 10005, 99, 0xFFFFFFFE),
+		endRec(a, 10900),
+	} {
+		fresh = append(fresh, rec.AppendText(nil)...)
+		fresh = append(fresh, '\n')
+	}
+	if err := os.WriteFile(filepath.Join(dir, logstore.FileName(a)), fresh, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	step <- struct{}{}
+	snap := waitEpoch(t, m, 2)
+	if m.Stats().Truncations.Load() == 0 {
+		t.Fatal("rotation not detected as truncation")
+	}
+	va := snap.Report.Nodes[0]
+	if va.Node != "06-02" || va.Sessions != 1 || va.Faults != 1 {
+		t.Fatalf("rotated node carries stale state: %+v", va)
+	}
+	if vb := snap.Report.Nodes[1]; vb.Sessions != 4 {
+		t.Fatalf("untouched node disturbed: %+v", vb)
+	}
+
+	// And the rebuilt snapshot still equals a one-shot replay of what is
+	// on disk now.
+	cancel()
+	oneShot, err := core.Analyze(context.Background(), core.Logs(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, got := reportBytes(oneShot), reportBytes(snap.Study); !bytes.Equal(want, got) {
+		t.Fatalf("post-truncation snapshot diverges from one-shot replay:\n--- one-shot ---\n%s\n--- monitor ---\n%s", want, got)
+	}
+}
+
+func TestMonitorIdleRoundsPublishNothing(t *testing.T) {
+	dir := t.TempDir()
+	appendRecord(t, dir, startRec(cluster.NodeID{Blade: 1, SoC: 2}, 0))
+	m, step, cancel, _ := stepMonitor(t, dir)
+	snap := waitEpoch(t, m, 1)
+	for i := 0; i < 3; i++ {
+		step <- struct{}{}
+	}
+	// The sends above only return once Follow reaches the next wait, so
+	// at least two idle rounds have fully completed by now.
+	if cur := m.Snapshot(); cur.Epoch != snap.Epoch {
+		t.Fatalf("idle rounds advanced the epoch: %d -> %d", snap.Epoch, cur.Epoch)
+	}
+	cancel()
+}
+
+// TestMonitorOptionErrors pins constructor validation.
+func TestMonitorOptionErrors(t *testing.T) {
+	if _, err := New(t.TempDir(), WithController("not-a-node")); err == nil {
+		t.Fatal("bad controller accepted")
+	}
+	if _, err := New(t.TempDir(), nil); err == nil {
+		t.Fatal("nil option accepted")
+	}
+	if _, err := New(t.TempDir(), WithInterval(-time.Second)); err == nil {
+		t.Fatal("negative interval accepted")
+	}
+}
+
+// TestMonitorRunSurfacesCorruptLine: a malformed line is fatal to the
+// tail loop and surfaces from Run with the file position.
+func TestMonitorRunSurfacesCorruptLine(t *testing.T) {
+	dir := t.TempDir()
+	host := cluster.NodeID{Blade: 5, SoC: 5}
+	appendRecord(t, dir, startRec(host, 0))
+	if err := os.WriteFile(filepath.Join(dir, logstore.FileName(host)), []byte("GARBAGE\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(context.Background()); err == nil {
+		t.Fatal("corrupt line did not surface")
+	}
+}

@@ -48,6 +48,26 @@ const (
 	// KindSession delivers Event.Session, in eventlog.CompareSessions
 	// order, after every fault.
 	KindSession
+	// KindRecord delivers Event.Record: one raw eventlog line, before
+	// extraction. Only follow-mode (tail) streams produce it — a live log
+	// has no canonical global order yet, so records arrive in per-node
+	// arrival order and the consumer owns the §II-C collapse. Batch
+	// (Deliver-shaped) streams never emit it.
+	KindRecord
+	// KindSync is a follow-mode poll-round boundary: every file the
+	// tailer watches has been drained to its last complete line. It
+	// carries no payload; consumers use it as the safe point to publish
+	// a snapshot, because between two KindSyncs the stream may stop
+	// mid-file. Batch streams never emit it.
+	KindSync
+	// KindReset invalidates a node's history: the file backing
+	// Event.Record.Host was truncated, rotated or removed, so every
+	// KindRecord previously delivered for that node no longer reflects
+	// what is on disk. Consumers must discard the node's accumulated
+	// state; whatever the file now holds is re-delivered as fresh
+	// records. Only Event.Record.Host is meaningful. Batch streams never
+	// emit it.
+	KindReset
 )
 
 // Event is one element of the merged campaign stream: a tagged union of
@@ -59,6 +79,8 @@ type Event struct {
 	Fault extract.Fault
 	// Session is valid for KindSession events.
 	Session eventlog.Session
+	// Record is valid for KindRecord events (follow-mode streams only).
+	Record eventlog.Record
 	// Stats is valid for the single KindStats event. The pointed-to value
 	// (including its RawLogsByNode map) is owned by the consumer once
 	// yielded; sources do not retain or mutate it afterwards.
@@ -95,10 +117,23 @@ func FaultEvent(f extract.Fault) Event { return Event{Kind: KindFault, Fault: f}
 // SessionEvent wraps one session delivery.
 func SessionEvent(s eventlog.Session) Event { return Event{Kind: KindSession, Session: s} }
 
+// ResetEvent marks node's previously delivered records invalid
+// (follow-mode streams; see KindReset).
+func ResetEvent(node cluster.NodeID) Event {
+	return Event{Kind: KindReset, Record: eventlog.Record{Host: node}}
+}
+
+// RecordEvent wraps one raw eventlog record (follow-mode streams).
+func RecordEvent(r eventlog.Record) Event { return Event{Kind: KindRecord, Record: r} }
+
+// SyncEvent marks a follow-mode poll-round boundary.
+func SyncEvent() Event { return Event{Kind: KindSync} }
+
 // batchSize is the internal delivery granularity: the k-way merges fill
 // []Event blocks of this many elements before the per-event yield loop
 // walks them. Large enough to amortize block handling, small enough that
-// one pooled block stays cache-resident (512 events ≈ 64 KiB).
+// one pooled block stays cache-resident (512 events ≈ 100 KiB now that
+// Event also carries the follow-mode Record variant).
 const batchSize = 512
 
 // batchPool recycles the []Event delivery blocks across Deliver calls —
